@@ -1,0 +1,49 @@
+// Scaling study: accuracy and monitoring cost versus cluster size.
+//
+// The paper evaluates at 50 slaves and argues the aggregate monitoring
+// bandwidth stays "on the order of 1 MB/s even when monitoring
+// hundreds of nodes". This bench sweeps the slave count (median peer
+// comparison should *improve* with more peers, per-node monitoring
+// cost should stay flat, aggregate bandwidth should grow linearly).
+// Run with --max-nodes=50 to reproduce the paper's scale (slower).
+#include "bench_util.h"
+
+using namespace asdf;
+
+int main(int argc, char** argv) {
+  modules::registerBuiltinModules();
+  const long maxNodes = bench::flagInt(argc, argv, "max-nodes", 50);
+  std::printf("Scaling: cluster size sweep (CPUHog, up to %ld slaves)\n\n",
+              maxNodes);
+  bench::printRule();
+  std::printf("%8s %14s %14s %18s %16s\n", "slaves", "BB accuracy %",
+              "WB accuracy %", "per-node kB/s", "aggregate kB/s");
+  bench::printRule();
+  for (int slaves : {6, 12, 24, 50}) {
+    if (slaves > maxNodes) break;
+    harness::ExperimentSpec spec;
+    spec.slaves = slaves;
+    spec.duration = 1000.0;
+    spec.trainDuration = 350.0;
+    spec.seed = 42;
+    spec.fault.type = faults::FaultType::kCpuHog;
+    spec.fault.node = slaves / 2;
+    spec.fault.startTime = 350.0;
+    const analysis::BlackBoxModel model = harness::trainModel(spec);
+    const harness::ExperimentResult result =
+        harness::runExperiment(spec, model);
+    const harness::ExperimentSummary summary = harness::summarize(result);
+    double perNode = 0.0;
+    for (const auto& ch : result.rpcChannels) {
+      perNode += ch.perIterationKbPerSec;
+    }
+    std::printf("%8d %14.1f %14.1f %18.2f %16.1f\n", slaves,
+                summary.blackBox.eval.balancedAccuracyPct(),
+                summary.whiteBox.eval.balancedAccuracyPct(), perNode,
+                perNode * slaves);
+  }
+  bench::printRule();
+  std::printf("expected: flat per-node cost, linear aggregate, accuracy "
+              "stable or improving with more peers\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Shared helpers for the table/figure regeneration binaries.
+//
+// Every bench binary runs standalone with defaults sized for a laptop
+// (8 slaves, 20 simulated minutes) and accepts --nodes= / --duration= /
+// --seed= flags to reproduce at the paper's scale (50 nodes).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "harness/experiment.h"
+#include "modules/modules.h"
+
+namespace asdf::bench {
+
+inline std::string flagValue(int argc, char** argv, const std::string& name,
+                             const std::string& fallback) {
+  const std::string prefix = "--" + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::string(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+inline double flagDouble(int argc, char** argv, const std::string& name,
+                         double fallback) {
+  const std::string v = flagValue(argc, argv, name, "");
+  return v.empty() ? fallback : std::atof(v.c_str());
+}
+
+inline long flagInt(int argc, char** argv, const std::string& name,
+                    long fallback) {
+  const std::string v = flagValue(argc, argv, name, "");
+  return v.empty() ? fallback : std::atol(v.c_str());
+}
+
+/// The common experiment shape used by the figure benches.
+inline harness::ExperimentSpec benchSpec(int argc, char** argv) {
+  modules::registerBuiltinModules();
+  harness::ExperimentSpec spec;
+  spec.slaves = static_cast<int>(flagInt(argc, argv, "nodes", 8));
+  spec.duration = flagDouble(argc, argv, "duration", 1200.0);
+  spec.trainDuration = flagDouble(argc, argv, "train-duration", 400.0);
+  spec.seed = static_cast<std::uint64_t>(flagInt(argc, argv, "seed", 42));
+  spec.fault.node = static_cast<NodeId>(
+      flagInt(argc, argv, "fault-node", spec.slaves / 2));
+  spec.fault.startTime = flagDouble(argc, argv, "inject-at", 400.0);
+  return spec;
+}
+
+/// Runs the six Table 2 faults (one run each, shared trained model)
+/// and hands each result to `consume`.
+template <typename Consumer>
+void sweepFaults(const harness::ExperimentSpec& base, Consumer&& consume) {
+  std::printf("training black-box model (fault-free %.0f s run)...\n",
+              base.trainDuration);
+  const analysis::BlackBoxModel model = harness::trainModel(base);
+  for (faults::FaultType fault : faults::allFaults()) {
+    harness::ExperimentSpec spec = base;
+    spec.fault.type = fault;
+    std::printf("running %s...\n", faults::faultName(fault));
+    std::fflush(stdout);
+    consume(fault, harness::runExperiment(spec, model));
+  }
+}
+
+inline void printRule() {
+  std::printf("-------------------------------------------------------------"
+              "---------\n");
+}
+
+}  // namespace asdf::bench

@@ -1,0 +1,46 @@
+// Tiny command-line flag helpers shared by the example binaries.
+#pragma once
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace asdf::examples {
+
+/// Returns the value of "--name=value", or fallback when absent.
+inline std::string flagValue(int argc, char** argv, const std::string& name,
+                             const std::string& fallback) {
+  const std::string prefix = "--" + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::string(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+inline double flagDouble(int argc, char** argv, const std::string& name,
+                         double fallback) {
+  const std::string v = flagValue(argc, argv, name, "");
+  return v.empty() ? fallback : std::atof(v.c_str());
+}
+
+inline long flagInt(int argc, char** argv, const std::string& name,
+                    long fallback) {
+  const std::string v = flagValue(argc, argv, name, "");
+  return v.empty() ? fallback : std::atol(v.c_str());
+}
+
+inline bool flagPresent(int argc, char** argv, const std::string& name) {
+  const std::string bare = "--" + name;
+  const std::string prefix = bare + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (bare == argv[i] ||
+        std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace asdf::examples

@@ -1,0 +1,109 @@
+#include "analysis/bbmodel.h"
+
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+#include "analysis/kmeans.h"
+#include "common/error.h"
+#include "common/stats.h"
+#include "common/strings.h"
+
+namespace asdf::analysis {
+
+std::vector<double> BlackBoxModel::transform(
+    const std::vector<double>& raw) const {
+  assert(raw.size() == sigmas.size());
+  std::vector<double> out(raw.size());
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    out[i] = std::log1p(std::max(0.0, raw[i])) / sigmas[i];
+  }
+  return out;
+}
+
+std::size_t BlackBoxModel::classify(const std::vector<double>& raw) const {
+  return nearestCentroid(centroids, transform(raw));
+}
+
+BlackBoxModel trainBlackBoxModel(
+    const std::vector<std::vector<double>>& rawTraining, int k, Rng& rng) {
+  assert(!rawTraining.empty());
+  const std::size_t dims = rawTraining.front().size();
+
+  BlackBoxModel model;
+  model.sigmas.assign(dims, 1.0);
+
+  // Per-metric sigma of log(1+x) over the training corpus.
+  std::vector<RunningStats> stats(dims);
+  for (const auto& row : rawTraining) {
+    assert(row.size() == dims);
+    for (std::size_t d = 0; d < dims; ++d) {
+      stats[d].add(std::log1p(std::max(0.0, row[d])));
+    }
+  }
+  for (std::size_t d = 0; d < dims; ++d) {
+    const double s = stats[d].stddev();
+    model.sigmas[d] = s > 1e-12 ? s : 1.0;
+  }
+
+  std::vector<std::vector<double>> transformed;
+  transformed.reserve(rawTraining.size());
+  for (const auto& row : rawTraining) transformed.push_back(model.transform(row));
+
+  KMeansOptions options;
+  options.k = k;
+  model.centroids = kmeans(transformed, options, rng).centroids;
+  return model;
+}
+
+std::string serializeModel(const BlackBoxModel& model) {
+  std::ostringstream out;
+  out << "sigmas";
+  for (double s : model.sigmas) out << ',' << strformat("%.17g", s);
+  out << '\n';
+  for (const auto& c : model.centroids) {
+    out << "centroid";
+    for (double v : c) out << ',' << strformat("%.17g", v);
+    out << '\n';
+  }
+  return out.str();
+}
+
+BlackBoxModel deserializeModel(const std::string& text) {
+  BlackBoxModel model;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (trim(line).empty()) continue;
+    const auto cells = split(line, ',');
+    std::vector<double> values;
+    values.reserve(cells.size() - 1);
+    for (std::size_t i = 1; i < cells.size(); ++i) {
+      double v = 0.0;
+      if (!parseDouble(cells[i], v)) {
+        throw ConfigError("black-box model: malformed number '" + cells[i] +
+                          "'");
+      }
+      values.push_back(v);
+    }
+    if (cells.empty()) continue;
+    if (cells[0] == "sigmas") {
+      model.sigmas = std::move(values);
+    } else if (cells[0] == "centroid") {
+      model.centroids.push_back(std::move(values));
+    } else {
+      throw ConfigError("black-box model: unknown row tag '" + cells[0] + "'");
+    }
+  }
+  if (model.sigmas.empty() || model.centroids.empty()) {
+    throw ConfigError("black-box model: missing sigmas or centroids");
+  }
+  for (const auto& c : model.centroids) {
+    if (c.size() != model.sigmas.size()) {
+      throw ConfigError("black-box model: centroid dimension mismatch");
+    }
+  }
+  return model;
+}
+
+}  // namespace asdf::analysis

@@ -1,0 +1,48 @@
+// The black-box workload model (Section 4.5).
+//
+// Raw sadc metric vectors are transformed as x' = log(1 + x) / sigma,
+// where sigma is the per-metric standard deviation of log(1 + x) over
+// fault-free training data ("we used logarithms to reduce the dynamic
+// range ... and scaled the resulting logarithmic metric samples by the
+// standard deviation"). k-means centroids trained on the transformed
+// fault-free vectors define the workload "states" that the knn module
+// matches at runtime.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace asdf::analysis {
+
+struct BlackBoxModel {
+  /// Per-metric standard deviation of log(1+x) on training data;
+  /// entries of exactly 0 are replaced by 1 (constant metrics carry no
+  /// scale information but must not divide by zero).
+  std::vector<double> sigmas;
+  /// Centroids in the transformed space.
+  std::vector<std::vector<double>> centroids;
+
+  std::size_t dims() const { return sigmas.size(); }
+  std::size_t states() const { return centroids.size(); }
+  bool empty() const { return centroids.empty(); }
+
+  /// Applies the log/sigma transform to a raw metric vector.
+  std::vector<double> transform(const std::vector<double>& raw) const;
+
+  /// 1-NN state assignment for a raw metric vector.
+  std::size_t classify(const std::vector<double>& raw) const;
+};
+
+/// Trains the model from raw fault-free vectors.
+BlackBoxModel trainBlackBoxModel(
+    const std::vector<std::vector<double>>& rawTraining, int k, Rng& rng);
+
+/// Serialization (CSV-ish text) so trained models can be shipped to
+/// the knn module via a file, mirroring the paper's offline-training /
+/// online-matching split.
+std::string serializeModel(const BlackBoxModel& model);
+BlackBoxModel deserializeModel(const std::string& text);
+
+}  // namespace asdf::analysis

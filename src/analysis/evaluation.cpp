@@ -1,0 +1,139 @@
+#include "analysis/evaluation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace asdf::analysis {
+
+double EvalResult::truePositiveRate() const {
+  return tp + fn == 0 ? 1.0
+                      : static_cast<double>(tp) /
+                            static_cast<double>(tp + fn);
+}
+
+double EvalResult::trueNegativeRate() const {
+  return tn + fp == 0 ? 1.0
+                      : static_cast<double>(tn) /
+                            static_cast<double>(tn + fp);
+}
+
+double EvalResult::balancedAccuracyPct() const {
+  return 50.0 * (truePositiveRate() + trueNegativeRate());
+}
+
+double EvalResult::falsePositiveRatePct() const {
+  return fp + tn == 0 ? 0.0
+                      : 100.0 * static_cast<double>(fp) /
+                            static_cast<double>(fp + tn);
+}
+
+EvalResult evaluate(const AlarmSeries& series, const GroundTruth& truth) {
+  EvalResult r;
+  for (const auto& record : series) {
+    const bool faultActive = truth.activeAt(record.time);
+    for (std::size_t node = 0; node < record.flags.size(); ++node) {
+      const bool flagged = record.flags[node] > 0.5;
+      const bool culprit =
+          faultActive && static_cast<int>(node) == truth.slaveIndex;
+      if (culprit && flagged) ++r.tp;
+      if (culprit && !flagged) ++r.fn;
+      if (!culprit && flagged) ++r.fp;
+      if (!culprit && !flagged) ++r.tn;
+    }
+  }
+  return r;
+}
+
+double fingerpointingLatency(const AlarmSeries& series,
+                             const GroundTruth& truth) {
+  if (truth.slaveIndex < 0) return -1.0;
+  for (const auto& record : series) {
+    if (record.time < truth.faultStart) continue;
+    if (static_cast<std::size_t>(truth.slaveIndex) < record.flags.size() &&
+        record.flags[static_cast<std::size_t>(truth.slaveIndex)] > 0.5) {
+      return record.time - truth.faultStart;
+    }
+  }
+  return -1.0;
+}
+
+AlarmSeries applyThreshold(const AlarmSeries& series, double threshold) {
+  AlarmSeries out = series;
+  for (auto& record : out) {
+    record.flags.assign(record.scores.size(), 0.0);
+    for (std::size_t i = 0; i < record.scores.size(); ++i) {
+      record.flags[i] = record.scores[i] > threshold ? 1.0 : 0.0;
+    }
+  }
+  return out;
+}
+
+AlarmSeries requireConsecutive(const AlarmSeries& series, int consecutive) {
+  if (consecutive <= 1) return series;
+  AlarmSeries out = series;
+  std::map<std::size_t, int> streak;
+  for (std::size_t w = 0; w < series.size(); ++w) {
+    for (std::size_t node = 0; node < series[w].flags.size(); ++node) {
+      if (series[w].flags[node] > 0.5) {
+        ++streak[node];
+      } else {
+        streak[node] = 0;
+      }
+      out[w].flags[node] = streak[node] >= consecutive ? 1.0 : 0.0;
+    }
+  }
+  return out;
+}
+
+AlarmSeries combineUnion(const AlarmSeries& a, const AlarmSeries& b,
+                         double slack) {
+  AlarmSeries out = a;
+  std::vector<char> bUsed(b.size(), 0);
+  for (auto& record : out) {
+    // Find the closest unused b record within the slack.
+    std::size_t best = b.size();
+    double bestDt = slack;
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      if (bUsed[j]) continue;
+      const double dt = std::abs(b[j].time - record.time);
+      if (dt <= bestDt) {
+        bestDt = dt;
+        best = j;
+      }
+    }
+    if (best == b.size()) continue;
+    bUsed[best] = 1;
+    const auto& other = b[best];
+    const std::size_t n = std::max(record.flags.size(), other.flags.size());
+    record.flags.resize(n, 0.0);
+    for (std::size_t i = 0; i < other.flags.size() && i < n; ++i) {
+      if (other.flags[i] > 0.5) record.flags[i] = 1.0;
+    }
+  }
+  // Windows only present in b still count.
+  for (std::size_t j = 0; j < b.size(); ++j) {
+    if (!bUsed[j]) out.push_back(b[j]);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const AlarmRecord& x, const AlarmRecord& y) {
+              return x.time < y.time;
+            });
+  return out;
+}
+
+double flaggedFractionPct(const AlarmSeries& series) {
+  long flagged = 0;
+  long total = 0;
+  for (const auto& record : series) {
+    for (double f : record.flags) {
+      ++total;
+      if (f > 0.5) ++flagged;
+    }
+  }
+  return total == 0 ? 0.0
+                    : 100.0 * static_cast<double>(flagged) /
+                          static_cast<double>(total);
+}
+
+}  // namespace asdf::analysis

@@ -1,0 +1,73 @@
+// Evaluation metrics (Section 4.6): false-positive rate on fault-free
+// traces, balanced accuracy against injected-fault ground truth, and
+// fingerpointing latency (injection -> first correct alarm).
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace asdf::analysis {
+
+/// One emitted analysis window: flags/scores per slave node, in slave
+/// order (index 0 = slave 1).
+struct AlarmRecord {
+  SimTime time = kNoTime;
+  std::vector<double> flags;
+  std::vector<double> scores;
+};
+
+using AlarmSeries = std::vector<AlarmRecord>;
+
+/// What was actually injected. slaveIndex is 0-based (node 1 -> 0);
+/// a negative slaveIndex means a fault-free run.
+struct GroundTruth {
+  int slaveIndex = -1;
+  SimTime faultStart = kNoTime;
+  SimTime faultEnd = kNoTime;  // kNoTime = until end of trace
+  bool activeAt(SimTime t) const {
+    return slaveIndex >= 0 && t >= faultStart &&
+           (faultEnd == kNoTime || t <= faultEnd);
+  }
+};
+
+struct EvalResult {
+  long tp = 0, fp = 0, tn = 0, fn = 0;
+  double truePositiveRate() const;
+  double trueNegativeRate() const;
+  /// (TPR + TNR) / 2, in percent — the paper's headline metric.
+  double balancedAccuracyPct() const;
+  /// FP / (FP + TN), in percent.
+  double falsePositiveRatePct() const;
+};
+
+/// Scores per-(window, node) decisions: a positive is "fault active at
+/// the window's time AND node is the culprit".
+EvalResult evaluate(const AlarmSeries& series, const GroundTruth& truth);
+
+/// Seconds from injection to the first window whose flags include the
+/// culprit; negative when the culprit was never flagged after start.
+double fingerpointingLatency(const AlarmSeries& series,
+                             const GroundTruth& truth);
+
+/// Re-thresholds a recorded series from its scores: flag = score >
+/// threshold. Enables offline threshold sweeps (Figures 6a/6b).
+AlarmSeries applyThreshold(const AlarmSeries& series, double threshold);
+
+/// Alarm-confidence filter: a node's flag survives only when it was
+/// raised in `consecutive` successive windows (reported at the last of
+/// them). The paper waits for 3 consecutive anomalous windows before
+/// fingerpointing — the source of its ~200 s latencies.
+AlarmSeries requireConsecutive(const AlarmSeries& series, int consecutive);
+
+/// Union of two analyses' alarms (the paper's "combined" approach).
+/// Records are matched by window time within `slack` seconds; a window
+/// present in only one series contributes its flags alone.
+AlarmSeries combineUnion(const AlarmSeries& a, const AlarmSeries& b,
+                         double slack = 5.0);
+
+/// Convenience: percentage of flagged (window, node) decisions —
+/// evaluates the FP rate of a fault-free trace.
+double flaggedFractionPct(const AlarmSeries& series);
+
+}  // namespace asdf::analysis

@@ -1,0 +1,146 @@
+#include "analysis/kmeans.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/stats.h"
+
+namespace asdf::analysis {
+namespace {
+
+double sq(double x) { return x * x; }
+
+double sqDistance(const std::vector<double>& a, const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += sq(a[i] - b[i]);
+  return sum;
+}
+
+std::vector<std::vector<double>> seedPlusPlus(
+    const std::vector<std::vector<double>>& points, int k, Rng& rng) {
+  std::vector<std::vector<double>> centroids;
+  centroids.reserve(static_cast<std::size_t>(k));
+  centroids.push_back(
+      points[static_cast<std::size_t>(rng.uniformInt(
+          0, static_cast<long>(points.size()) - 1))]);
+  std::vector<double> d2(points.size(),
+                         std::numeric_limits<double>::infinity());
+  while (static_cast<int>(centroids.size()) < k) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      d2[i] = std::min(d2[i], sqDistance(points[i], centroids.back()));
+      total += d2[i];
+    }
+    if (total <= 0.0) {
+      // All points coincide with existing centroids; duplicate one.
+      centroids.push_back(centroids.back());
+      continue;
+    }
+    double x = rng.uniform(0.0, total);
+    std::size_t chosen = points.size() - 1;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      x -= d2[i];
+      if (x < 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    centroids.push_back(points[chosen]);
+  }
+  return centroids;
+}
+
+}  // namespace
+
+KMeansResult kmeans(const std::vector<std::vector<double>>& points,
+                    const KMeansOptions& options, Rng& rng) {
+  assert(!points.empty());
+  assert(options.k >= 1);
+  const std::size_t dims = points.front().size();
+
+  KMeansResult result;
+  result.centroids = seedPlusPlus(points, options.k, rng);
+  result.assignment.assign(points.size(), 0);
+
+  double prevInertia = std::numeric_limits<double>::infinity();
+  for (int iter = 0; iter < options.maxIterations; ++iter) {
+    result.iterations = iter + 1;
+
+    // Assignment step.
+    double inertia = 0.0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const std::size_t c = nearestCentroid(result.centroids, points[i]);
+      result.assignment[i] = static_cast<int>(c);
+      inertia += sqDistance(points[i], result.centroids[c]);
+    }
+    result.inertia = inertia;
+
+    // Update step.
+    std::vector<std::vector<double>> sums(
+        result.centroids.size(), std::vector<double>(dims, 0.0));
+    std::vector<std::size_t> counts(result.centroids.size(), 0);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const auto c = static_cast<std::size_t>(result.assignment[i]);
+      ++counts[c];
+      for (std::size_t d = 0; d < dims; ++d) sums[c][d] += points[i][d];
+    }
+    for (std::size_t c = 0; c < result.centroids.size(); ++c) {
+      if (counts[c] == 0) continue;  // empty cluster keeps its centroid
+      for (std::size_t d = 0; d < dims; ++d) {
+        result.centroids[c][d] =
+            sums[c][d] / static_cast<double>(counts[c]);
+      }
+    }
+
+    if (prevInertia - inertia <=
+        options.tolerance * std::max(1.0, prevInertia)) {
+      break;
+    }
+    prevInertia = inertia;
+  }
+
+  // Final assignment pass so reported assignments are nearest to the
+  // *final* centroids (the update step moved them after the last
+  // assignment).
+  double inertia = 0.0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const std::size_t c = nearestCentroid(result.centroids, points[i]);
+    result.assignment[i] = static_cast<int>(c);
+    inertia += sqDistance(points[i], result.centroids[c]);
+  }
+  result.inertia = inertia;
+  return result;
+}
+
+std::size_t nearestCentroid(const std::vector<std::vector<double>>& centroids,
+                            const std::vector<double>& x) {
+  assert(!centroids.empty());
+  std::size_t best = 0;
+  double bestD = std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < centroids.size(); ++c) {
+    const double d = sqDistance(centroids[c], x);
+    if (d < bestD) {
+      bestD = d;
+      best = c;
+    }
+  }
+  return best;
+}
+
+std::vector<std::size_t> nearestCentroids(
+    const std::vector<std::vector<double>>& centroids,
+    const std::vector<double>& x, std::size_t k) {
+  std::vector<std::size_t> order(centroids.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return sqDistance(centroids[a], x) < sqDistance(centroids[b], x);
+  });
+  order.resize(std::min(k, order.size()));
+  return order;
+}
+
+}  // namespace asdf::analysis

@@ -1,0 +1,40 @@
+#include "analysis/mad.h"
+
+#include <cmath>
+
+#include "common/stats.h"
+
+namespace asdf::analysis {
+
+PeerComparisonResult madCompare(const std::vector<double>& scores, double k,
+                                double minMad) {
+  PeerComparisonResult result;
+  if (scores.empty()) return result;
+  const double med = median(scores);
+  std::vector<double> deviations;
+  deviations.reserve(scores.size());
+  for (double s : scores) deviations.push_back(std::abs(s - med));
+  const double mad = std::max(minMad, median(deviations));
+
+  result.flags.reserve(scores.size());
+  result.scores.reserve(scores.size());
+  for (double s : scores) {
+    // Sweepable score: the k at which this node stops being flagged.
+    const double criticalK = (s - med) / mad;
+    result.scores.push_back(criticalK);
+    result.flags.push_back(criticalK > k ? 1.0 : 0.0);
+  }
+  return result;
+}
+
+PeerComparisonResult blackBoxMadCompare(
+    const std::vector<std::vector<double>>& histograms, double k) {
+  if (histograms.empty()) return {};
+  const std::vector<double> medianHist = componentwiseMedian(histograms);
+  std::vector<double> l1;
+  l1.reserve(histograms.size());
+  for (const auto& h : histograms) l1.push_back(l1Distance(h, medianHist));
+  return madCompare(l1, k);
+}
+
+}  // namespace asdf::analysis

@@ -1,0 +1,71 @@
+#include "analysis/peercompare.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/stats.h"
+
+namespace asdf::analysis {
+
+std::vector<double> stateHistogram(const std::vector<double>& stateIndices,
+                                   std::size_t numStates) {
+  std::vector<double> hist(numStates, 0.0);
+  for (double raw : stateIndices) {
+    const long s = std::lround(raw);
+    if (s >= 0 && static_cast<std::size_t>(s) < numStates) {
+      hist[static_cast<std::size_t>(s)] += 1.0;
+    }
+  }
+  return hist;
+}
+
+PeerComparisonResult blackBoxCompare(
+    const std::vector<std::vector<double>>& histograms, double threshold) {
+  PeerComparisonResult result;
+  if (histograms.empty()) return result;
+  const std::vector<double> medianHist = componentwiseMedian(histograms);
+  result.flags.reserve(histograms.size());
+  result.scores.reserve(histograms.size());
+  for (const auto& h : histograms) {
+    const double d = l1Distance(h, medianHist);
+    result.scores.push_back(d);
+    result.flags.push_back(d > threshold ? 1.0 : 0.0);
+  }
+  return result;
+}
+
+PeerComparisonResult whiteBoxCompare(
+    const std::vector<std::vector<double>>& means,
+    const std::vector<std::vector<double>>& stddevs, double k) {
+  PeerComparisonResult result;
+  if (means.empty()) return result;
+  assert(means.size() == stddevs.size());
+  const std::size_t nodes = means.size();
+  const std::size_t dims = means.front().size();
+
+  const std::vector<double> medianMean = componentwiseMedian(means);
+  const std::vector<double> sigmaMedian = componentwiseMedian(stddevs);
+
+  result.flags.assign(nodes, 0.0);
+  result.scores.assign(nodes, 0.0);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    assert(means[i].size() == dims && stddevs[i].size() == dims);
+    double criticalK = 0.0;
+    for (std::size_t m = 0; m < dims; ++m) {
+      const double diff = std::abs(means[i][m] - medianMean[m]);
+      if (diff <= 1.0) continue;  // below the max(1, .) floor at any k
+      const double sigma = sigmaMedian[m];
+      const double metricCritical =
+          sigma > 1e-12 ? diff / sigma : kWhiteBoxAlwaysFlagged;
+      criticalK = std::max(criticalK, metricCritical);
+    }
+    result.scores[i] = criticalK;
+    // Flagged iff some metric has diff > max(1, k*sigma), i.e. the
+    // critical k is strictly above the configured k.
+    result.flags[i] = criticalK > k ? 1.0 : 0.0;
+  }
+  return result;
+}
+
+}  // namespace asdf::analysis

@@ -1,0 +1,45 @@
+// Real (host) CPU-time metering.
+//
+// The paper's Table 3 reports the CPU cost of the collection daemons
+// and of fpt-core. We meter the actual CPU time the host process
+// spends inside those components while the simulation runs, and the
+// Table 3 bench divides by the simulated duration to report "% CPU".
+#pragma once
+
+#include <ctime>
+
+namespace asdf {
+
+/// CPU seconds consumed by the calling thread so far.
+inline double threadCpuSeconds() {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+/// Accumulates CPU time across RAII scopes.
+class CpuMeter {
+ public:
+  class Scope {
+   public:
+    explicit Scope(CpuMeter& meter)
+        : meter_(meter), start_(threadCpuSeconds()) {}
+    ~Scope() { meter_.seconds_ += threadCpuSeconds() - start_; }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    CpuMeter& meter_;
+    double start_;
+  };
+
+  double seconds() const { return seconds_; }
+  void reset() { seconds_ = 0.0; }
+
+ private:
+  friend class Scope;
+  double seconds_ = 0.0;
+};
+
+}  // namespace asdf

@@ -1,0 +1,47 @@
+#include "common/csv.h"
+
+#include <stdexcept>
+
+#include "common/strings.h"
+
+namespace asdf {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {
+  if (!out_) {
+    throw std::runtime_error("CsvWriter: cannot open " + path);
+  }
+}
+
+std::string CsvWriter::escape(const std::string& v) {
+  if (v.find_first_of(",\"\n") == std::string::npos) return v;
+  std::string out = "\"";
+  for (char c : v) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::header(const std::vector<std::string>& columns) {
+  row(columns);
+}
+
+void CsvWriter::row(const std::vector<std::string>& values) {
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) out_ << ',';
+    out_ << escape(values[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::rowNumeric(const std::vector<double>& values) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  for (double v : values) cells.push_back(strformat("%.6g", v));
+  row(cells);
+}
+
+void CsvWriter::flush() { out_.flush(); }
+
+}  // namespace asdf

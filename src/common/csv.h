@@ -1,0 +1,33 @@
+// Minimal CSV writer used by the experiment harness and bench binaries
+// to dump per-window decisions, figure series, and table rows.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace asdf {
+
+class CsvWriter {
+ public:
+  /// Opens the file for writing, truncating any previous content.
+  /// Throws std::runtime_error when the file cannot be opened.
+  explicit CsvWriter(const std::string& path);
+
+  /// Writes a header row.
+  void header(const std::vector<std::string>& columns);
+
+  /// Writes one data row; values are quoted when they contain commas.
+  void row(const std::vector<std::string>& values);
+
+  /// Convenience for numeric rows.
+  void rowNumeric(const std::vector<double>& values);
+
+  void flush();
+
+ private:
+  std::ofstream out_;
+  static std::string escape(const std::string& v);
+};
+
+}  // namespace asdf

@@ -1,0 +1,28 @@
+// Error types for the ASDF reproduction.
+//
+// Configuration and wiring errors (bad fpt-core config files,
+// unsatisfiable DAGs, unknown module types) throw ConfigError: these
+// are user mistakes detected at startup, and the paper's fpt-core
+// likewise terminates when the DAG cannot be constructed (Section 3.3).
+// Internal invariant violations use assertions.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace asdf {
+
+/// Raised when an fpt-core configuration cannot be parsed or the
+/// module DAG cannot be constructed from it.
+class ConfigError : public std::runtime_error {
+ public:
+  explicit ConfigError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised by RPC daemons and transports on call failures.
+class RpcError : public std::runtime_error {
+ public:
+  explicit RpcError(const std::string& what) : std::runtime_error(what) {}
+};
+
+}  // namespace asdf

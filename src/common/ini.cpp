@@ -1,0 +1,90 @@
+#include "common/ini.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace asdf {
+
+std::string IniSection::get(const std::string& key,
+                            const std::string& fallback) const {
+  for (const auto& a : assignments) {
+    if (a.key == key) return a.value;
+  }
+  return fallback;
+}
+
+bool IniSection::has(const std::string& key) const {
+  for (const auto& a : assignments) {
+    if (a.key == key) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> IniSection::getAll(const std::string& key) const {
+  std::vector<std::string> out;
+  for (const auto& a : assignments) {
+    if (a.key == key) out.push_back(a.value);
+  }
+  return out;
+}
+
+IniFile parseIni(const std::string& text) {
+  IniFile file;
+  std::istringstream in(text);
+  std::string rawLine;
+  int lineNo = 0;
+  while (std::getline(in, rawLine)) {
+    ++lineNo;
+    const std::string line = trim(rawLine);
+    if (line.empty() || line[0] == '#' || line[0] == ';') continue;
+
+    if (line.front() == '[') {
+      if (line.back() != ']' || line.size() < 3) {
+        throw ConfigError(strformat("config line %d: malformed section header '%s'",
+                                    lineNo, line.c_str()));
+      }
+      IniSection section;
+      section.name = trim(line.substr(1, line.size() - 2));
+      section.line = lineNo;
+      if (section.name.empty()) {
+        throw ConfigError(strformat("config line %d: empty section name", lineNo));
+      }
+      file.sections.push_back(std::move(section));
+      continue;
+    }
+
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      throw ConfigError(strformat("config line %d: expected 'key = value', got '%s'",
+                                  lineNo, line.c_str()));
+    }
+    if (file.sections.empty()) {
+      throw ConfigError(strformat("config line %d: assignment before any [section]",
+                                  lineNo));
+    }
+    IniAssignment a;
+    a.key = trim(line.substr(0, eq));
+    a.value = trim(line.substr(eq + 1));
+    a.line = lineNo;
+    if (a.key.empty()) {
+      throw ConfigError(strformat("config line %d: empty key", lineNo));
+    }
+    file.sections.back().assignments.push_back(std::move(a));
+  }
+  return file;
+}
+
+IniFile parseIniFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw ConfigError("cannot open config file: " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parseIni(buf.str());
+}
+
+}  // namespace asdf

@@ -1,0 +1,54 @@
+// Ordered INI-style parser for fpt-core configuration files.
+//
+// The format follows Section 3.4 of the paper: a module is
+// instantiated by naming its type in square brackets, followed by
+// "key = value" assignments. Section headers repeat (one section per
+// module instance) and key order matters, so this parser preserves
+// both section order and per-section assignment order, and allows
+// repeated keys (e.g. several "input[...]" lines).
+//
+//   [ibuffer]
+//   id = buf1
+//   input[input] = onenn0.output0
+//   size = 10
+//
+// Comments start with '#' or ';' at the beginning of a (trimmed) line.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace asdf {
+
+struct IniAssignment {
+  std::string key;
+  std::string value;
+  int line = 0;  // 1-based source line, for error messages
+};
+
+struct IniSection {
+  std::string name;  // module type, e.g. "ibuffer"
+  int line = 0;
+  std::vector<IniAssignment> assignments;
+
+  /// First value for the key, or the fallback when absent.
+  std::string get(const std::string& key, const std::string& fallback = "") const;
+  bool has(const std::string& key) const;
+  /// All values for a (possibly repeated) key, in order.
+  std::vector<std::string> getAll(const std::string& key) const;
+};
+
+struct IniFile {
+  std::vector<IniSection> sections;
+};
+
+/// Parses configuration text. Throws ConfigError with line numbers on
+/// malformed input (assignments before any section, lines that are
+/// neither assignments, sections, comments, nor blank).
+IniFile parseIni(const std::string& text);
+
+/// Reads and parses a configuration file from disk. Throws
+/// ConfigError when the file cannot be read.
+IniFile parseIniFile(const std::string& path);
+
+}  // namespace asdf

@@ -1,0 +1,25 @@
+// Framework diagnostics for the ASDF tooling itself (not the simulated
+// Hadoop application logs — those live in src/hadooplog). Verbosity is
+// process-global and off by default so tests and benches stay quiet.
+#pragma once
+
+#include <string>
+
+namespace asdf {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the minimum level that is printed to stderr.
+void setLogLevel(LogLevel level);
+LogLevel logLevel();
+
+/// Writes "[LEVEL] message" to stderr when level >= the configured
+/// minimum.
+void logMessage(LogLevel level, const std::string& message);
+
+inline void logDebug(const std::string& m) { logMessage(LogLevel::kDebug, m); }
+inline void logInfo(const std::string& m) { logMessage(LogLevel::kInfo, m); }
+inline void logWarn(const std::string& m) { logMessage(LogLevel::kWarn, m); }
+inline void logError(const std::string& m) { logMessage(LogLevel::kError, m); }
+
+}  // namespace asdf

@@ -1,0 +1,126 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace asdf {
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double variance(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double sum = 0.0;
+  for (double x : xs) sum += (x - m) * (x - m);
+  return sum / static_cast<double>(xs.size());
+}
+
+double stddev(const std::vector<double>& xs) {
+  return std::sqrt(variance(xs));
+}
+
+double median(std::vector<double> xs) {
+  if (xs.empty()) return 0.0;
+  const std::size_t mid = xs.size() / 2;
+  std::nth_element(xs.begin(), xs.begin() + mid, xs.end());
+  double hi = xs[mid];
+  if (xs.size() % 2 == 1) return hi;
+  double lo = *std::max_element(xs.begin(), xs.begin() + mid);
+  return 0.5 * (lo + hi);
+}
+
+double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  std::sort(xs.begin(), xs.end());
+  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double l1Distance(const std::vector<double>& a, const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += std::abs(a[i] - b[i]);
+  return sum;
+}
+
+double l2Distance(const std::vector<double>& a, const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+std::vector<double> componentwiseMedian(
+    const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) return {};
+  const std::size_t dims = rows.front().size();
+  std::vector<double> out(dims, 0.0);
+  std::vector<double> column(rows.size());
+  for (std::size_t d = 0; d < dims; ++d) {
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      assert(rows[r].size() == dims);
+      column[r] = rows[r][d];
+    }
+    out[d] = median(column);
+  }
+  return out;
+}
+
+void RunningStats::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::clear() {
+  n_ = 0;
+  mean_ = 0.0;
+  m2_ = 0.0;
+}
+
+double RunningStats::stddev() const {
+  return std::sqrt(variance());
+}
+
+SlidingWindow::SlidingWindow(std::size_t capacity) : capacity_(capacity) {
+  assert(capacity > 0);
+  buf_.reserve(capacity);
+}
+
+void SlidingWindow::push(double x) {
+  if (buf_.size() < capacity_) {
+    buf_.push_back(x);
+  } else {
+    buf_[head_] = x;
+    head_ = (head_ + 1) % capacity_;
+  }
+}
+
+std::vector<double> SlidingWindow::values() const {
+  std::vector<double> out;
+  out.reserve(buf_.size());
+  for (std::size_t i = 0; i < buf_.size(); ++i) {
+    out.push_back(buf_[(head_ + i) % buf_.size()]);
+  }
+  return out;
+}
+
+double SlidingWindow::mean() const { return asdf::mean(buf_); }
+double SlidingWindow::variance() const { return asdf::variance(buf_); }
+double SlidingWindow::stddev() const { return asdf::stddev(buf_); }
+
+}  // namespace asdf

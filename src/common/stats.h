@@ -1,0 +1,81 @@
+// Statistics primitives used throughout the analysis modules:
+// batch summaries, Welford online accumulation, medians, and the
+// vector distances the black-box analysis needs.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace asdf {
+
+/// Arithmetic mean; 0 for an empty range.
+double mean(const std::vector<double>& xs);
+
+/// Population variance; 0 for fewer than 2 samples.
+double variance(const std::vector<double>& xs);
+
+/// Population standard deviation.
+double stddev(const std::vector<double>& xs);
+
+/// Median (average of middle two for even sizes); 0 for empty input.
+/// Copies the input; the caller's vector is untouched.
+double median(std::vector<double> xs);
+
+/// p-th percentile with linear interpolation, p in [0, 100].
+double percentile(std::vector<double> xs, double p);
+
+/// Sum of absolute component differences. Vectors must be equal size.
+double l1Distance(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Euclidean distance. Vectors must be equal size.
+double l2Distance(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Component-wise median of a set of equally-sized vectors; used by
+/// both fingerpointing algorithms for peer comparison.
+std::vector<double> componentwiseMedian(
+    const std::vector<std::vector<double>>& rows);
+
+/// Online mean/variance accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+  void clear();
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Population variance.
+  double variance() const { return n_ ? m2_ / static_cast<double>(n_) : 0.0; }
+  double stddev() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Fixed-capacity sliding window over doubles, supporting the
+/// window/slide semantics of mavgvec and the analysis modules.
+class SlidingWindow {
+ public:
+  explicit SlidingWindow(std::size_t capacity);
+
+  void push(double x);
+  bool full() const { return buf_.size() == capacity_; }
+  std::size_t size() const { return buf_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  void clear() { buf_.clear(); head_ = 0; }
+
+  /// Snapshot of current contents in insertion order.
+  std::vector<double> values() const;
+
+  double mean() const;
+  double variance() const;
+  double stddev() const;
+
+ private:
+  std::size_t capacity_;
+  std::size_t head_ = 0;      // next overwrite position once full
+  std::vector<double> buf_;   // ring once size() == capacity_
+};
+
+}  // namespace asdf

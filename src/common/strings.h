@@ -1,0 +1,42 @@
+// Small string utilities used by the config parser, the Hadoop log
+// parser, and table formatting. Kept dependency-free.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace asdf {
+
+/// Removes leading and trailing ASCII whitespace.
+std::string trim(std::string_view s);
+
+/// Splits on a single character delimiter; does not collapse empty
+/// fields ("a,,b" -> {"a", "", "b"}).
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Splits on runs of whitespace; collapses empty fields.
+std::vector<std::string> splitWhitespace(std::string_view s);
+
+bool startsWith(std::string_view s, std::string_view prefix);
+bool endsWith(std::string_view s, std::string_view suffix);
+
+/// True if s contains the given substring.
+bool contains(std::string_view s, std::string_view needle);
+
+/// Joins the pieces with the given separator.
+std::string join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+/// printf-style formatting into a std::string.
+std::string strformat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Parses a double; returns false on malformed input (trailing junk
+/// counts as malformed).
+bool parseDouble(std::string_view s, double& out);
+
+/// Parses a long integer; returns false on malformed input.
+bool parseInt(std::string_view s, long& out);
+
+}  // namespace asdf

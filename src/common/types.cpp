@@ -1,0 +1,85 @@
+#include "common/types.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace asdf {
+namespace {
+
+// Fixed log epoch: 2008-04-15 14:00:00,000 — the date appearing in the
+// paper's Figure 5 log snippet. Only time differences matter to the
+// analyses; a fixed epoch keeps golden-file tests stable.
+constexpr int kEpochYear = 2008;
+constexpr int kEpochMonth = 4;
+constexpr int kEpochDay = 15;
+constexpr int kEpochHour = 14;
+
+constexpr int kDaysPerMonth[12] = {31, 29, 31, 30, 31, 30,
+                                   31, 31, 30, 31, 30, 31};
+
+}  // namespace
+
+std::string formatLogTimestamp(SimTime t) {
+  if (t < 0) t = 0;
+  const auto totalMillis = static_cast<long long>(std::llround(t * 1000.0));
+  long long millis = totalMillis % 1000;
+  long long totalSeconds = totalMillis / 1000;
+  long long seconds = totalSeconds % 60;
+  long long totalMinutes = totalSeconds / 60;
+  long long minutes = totalMinutes % 60;
+  long long totalHours = totalMinutes / 60 + kEpochHour;
+  long long hours = totalHours % 24;
+  long long days = totalHours / 24;
+
+  int day = kEpochDay + static_cast<int>(days);
+  int month = kEpochMonth;
+  int year = kEpochYear;
+  while (day > kDaysPerMonth[month - 1]) {
+    day -= kDaysPerMonth[month - 1];
+    ++month;
+    if (month > 12) {
+      month = 1;
+      ++year;
+    }
+  }
+
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d %02lld:%02lld:%02lld,%03lld",
+                year, month, day, hours, minutes, seconds, millis);
+  return buf;
+}
+
+SimTime parseLogTimestamp(const std::string& text) {
+  int year = 0, month = 0, day = 0, hour = 0, minute = 0, second = 0,
+      milli = 0;
+  if (std::sscanf(text.c_str(), "%d-%d-%d %d:%d:%d,%d", &year, &month, &day,
+                  &hour, &minute, &second, &milli) != 7) {
+    return kNoTime;
+  }
+  if (year < kEpochYear || month < 1 || month > 12 || day < 1) return kNoTime;
+
+  // Days elapsed since the epoch date (single-year spans are all the
+  // simulator produces, but handle year wrap for robustness).
+  long long days = 0;
+  int y = kEpochYear, m = kEpochMonth, d = kEpochDay;
+  while (y < year || m < month || d < day) {
+    ++d;
+    ++days;
+    if (d > kDaysPerMonth[m - 1]) {
+      d = 1;
+      ++m;
+      if (m > 12) {
+        m = 1;
+        ++y;
+      }
+    }
+    if (days > 400000) return kNoTime;  // malformed / runaway
+  }
+
+  const long long totalSeconds = ((days * 24 + hour - kEpochHour) * 60 +
+                                  minute) * 60 + second;
+  if (totalSeconds < 0) return kNoTime;
+  return static_cast<SimTime>(totalSeconds) + milli / 1000.0;
+}
+
+}  // namespace asdf

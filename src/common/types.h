@@ -1,0 +1,41 @@
+// Basic identifier and time types shared across the ASDF reproduction.
+//
+// Simulation time is a double count of seconds since the start of the
+// simulated run. All substrates (metrics, Hadoop, logs, RPC) and the
+// fpt-core scheduler agree on this clock, mirroring the paper's
+// requirement that "clocks on all nodes must be synchronized at all
+// times" (Section 3.7).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace asdf {
+
+/// Simulated time in seconds since the beginning of the run.
+using SimTime = double;
+
+/// Sentinel for "no time" / "never".
+inline constexpr SimTime kNoTime = -1.0;
+
+/// Index of a node within the cluster. Node 0 is the master
+/// (JobTracker + NameNode); nodes 1..N are slaves (TaskTracker +
+/// DataNode), matching the paper's deployment.
+using NodeId = std::int32_t;
+
+inline constexpr NodeId kInvalidNode = -1;
+
+/// Monotonically increasing identifier for MapReduce jobs.
+using JobId = std::int32_t;
+
+/// Formats a SimTime as "YYYY-MM-DD HH:MM:SS,mmm" the way Hadoop 0.18
+/// log4j timestamps look (Figure 5 of the paper). The epoch is an
+/// arbitrary fixed date; only differences matter to the analyses.
+std::string formatLogTimestamp(SimTime t);
+
+/// Parses a "YYYY-MM-DD HH:MM:SS,mmm" timestamp back to SimTime.
+/// Returns kNoTime on malformed input.
+SimTime parseLogTimestamp(const std::string& text);
+
+}  // namespace asdf

@@ -1,0 +1,3 @@
+// Environment is header-only; this translation unit anchors the
+// library target.
+#include "core/environment.h"

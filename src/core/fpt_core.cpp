@@ -1,0 +1,268 @@
+#include "core/fpt_core.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <set>
+
+#include "common/error.h"
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace asdf::core {
+
+FptCore::FptCore(sim::SimEngine& engine, Environment env,
+                 ModuleRegistry* registry)
+    : engine_(engine),
+      env_(std::move(env)),
+      registry_(registry != nullptr ? registry : &ModuleRegistry::global()) {}
+
+FptCore::~FptCore() = default;
+
+void FptCore::configureFromText(const std::string& configText) {
+  configure(parseIni(configText));
+}
+
+void FptCore::configureFromFile(const std::string& path) {
+  configure(parseIniFile(path));
+}
+
+ModuleInstance* FptCore::findInstance(const std::string& id) {
+  for (auto& inst : instances_) {
+    if (inst->id() == id) return inst.get();
+  }
+  return nullptr;
+}
+
+void FptCore::configure(const IniFile& config) {
+  if (configured_) {
+    throw ConfigError("fpt-core is already configured");
+  }
+  configured_ = true;
+
+  // Step 1: a vertex per module instance in the configuration file.
+  std::set<std::string> ids;
+  int anonymous = 0;
+  for (const auto& section : config.sections) {
+    if (!registry_->has(section.name)) {
+      throw ConfigError(strformat(
+          "config line %d: unknown module type '%s'", section.line,
+          section.name.c_str()));
+    }
+    std::string id = section.get("id");
+    if (id.empty()) {
+      id = strformat("%s%d", section.name.c_str(), anonymous++);
+    }
+    if (!ids.insert(id).second) {
+      throw ConfigError(strformat("config line %d: duplicate instance id '%s'",
+                                  section.line, id.c_str()));
+    }
+    if (id.find('.') != std::string::npos || id.find('@') != std::string::npos) {
+      throw ConfigError(strformat(
+          "config line %d: instance id '%s' may not contain '.' or '@'",
+          section.line, id.c_str()));
+    }
+    instances_.push_back(std::make_unique<ModuleInstance>(
+        *this, id, section.name, section, registry_->create(section.name)));
+  }
+
+  initializeGraph();
+}
+
+void FptCore::initializeGraph() {
+  // Steps 2-4 of Section 3.3: seed the initialization queue with
+  // output-only instances, then initialize instances as their inputs
+  // become satisfiable (all producers initialized, so their outputs
+  // exist and can be bound).
+  std::deque<ModuleInstance*> queue;
+  for (auto& inst : instances_) {
+    if (inst->dependencyIds().empty()) queue.push_back(inst.get());
+  }
+
+  std::size_t initialized = 0;
+  while (!queue.empty()) {
+    ModuleInstance* inst = queue.front();
+    queue.pop_front();
+    if (inst->initialized_) continue;
+
+    wireInputs(*inst);
+    InstanceContext ctx(*this, *inst);
+    inst->module_->init(ctx);
+    inst->initialized_ = true;
+    ++initialized;
+
+    if (inst->outputs_.empty() && inst->inputSpecs_.empty()) {
+      logWarn("fpt-core: instance '" + inst->id() +
+              "' has neither inputs nor outputs");
+    }
+    if (inst->periodicInterval_ > 0.0) {
+      ModuleInstance* target = inst;
+      engine_.addPeriodic(
+          inst->periodicInterval_,
+          [this, target] { runInstance(*target, RunReason::kPeriodic); },
+          inst->periodicInterval_);
+    }
+
+    // Newly created outputs may satisfy other instances.
+    for (auto& candidate : instances_) {
+      if (candidate->initialized_) continue;
+      const auto deps = candidate->dependencyIds();
+      const bool ready = std::all_of(
+          deps.begin(), deps.end(), [this](const std::string& dep) {
+            ModuleInstance* producer = findInstance(dep);
+            return producer != nullptr && producer->initialized_;
+          });
+      if (ready &&
+          std::find(queue.begin(), queue.end(), candidate.get()) ==
+              queue.end()) {
+        queue.push_back(candidate.get());
+      }
+    }
+  }
+
+  if (initialized != instances_.size()) {
+    // Diagnose: name the stuck instances and the missing dependencies
+    // (unknown producer ids or cycles).
+    std::string detail;
+    for (auto& inst : instances_) {
+      if (inst->initialized_) continue;
+      detail += " '" + inst->id() + "' waits on {";
+      for (const auto& dep : inst->dependencyIds()) {
+        ModuleInstance* producer = findInstance(dep);
+        if (producer == nullptr) {
+          detail += dep + "(unknown) ";
+        } else if (!producer->initialized_) {
+          detail += dep + " ";
+        }
+      }
+      detail += "}";
+    }
+    throw ConfigError(
+        "fpt-core: DAG construction failed; uninitializable instances:" +
+        detail);
+  }
+}
+
+void FptCore::wireInputs(ModuleInstance& instance) {
+  for (const auto& spec : instance.inputSpecs_) {
+    std::vector<OutputPort*> ports;
+    if (spec.ref[0] == '@') {
+      const std::string id = spec.ref.substr(1);
+      ModuleInstance* producer = findInstance(id);
+      if (producer == nullptr) {
+        throw ConfigError(strformat(
+            "config line %d: input references unknown instance '%s'",
+            spec.line, id.c_str()));
+      }
+      if (producer->outputs_.empty()) {
+        throw ConfigError(strformat(
+            "config line %d: instance '%s' has no outputs to bind",
+            spec.line, id.c_str()));
+      }
+      for (auto& port : producer->outputs_) ports.push_back(port.get());
+    } else {
+      const std::size_t dot = spec.ref.find('.');
+      if (dot == std::string::npos) {
+        throw ConfigError(strformat(
+            "config line %d: input ref '%s' must be '@instance' or "
+            "'instance.output'",
+            spec.line, spec.ref.c_str()));
+      }
+      const std::string id = spec.ref.substr(0, dot);
+      const std::string outputName = spec.ref.substr(dot + 1);
+      ModuleInstance* producer = findInstance(id);
+      if (producer == nullptr) {
+        throw ConfigError(strformat(
+            "config line %d: input references unknown instance '%s'",
+            spec.line, id.c_str()));
+      }
+      OutputPort* port = producer->findOutput(outputName);
+      if (port == nullptr) {
+        throw ConfigError(strformat(
+            "config line %d: instance '%s' has no output '%s'", spec.line,
+            id.c_str(), outputName.c_str()));
+      }
+      ports.push_back(port);
+    }
+
+    if (instance.inputs_.find(spec.inputName) == instance.inputs_.end()) {
+      instance.inputOrder_.push_back(spec.inputName);
+    }
+    auto& conns = instance.inputs_[spec.inputName];
+    for (OutputPort* port : ports) {
+      conns.push_back(InputConnection{port, 0});
+      auto& subs = port->owner->subscribers_;
+      if (std::find(subs.begin(), subs.end(), &instance) == subs.end()) {
+        subs.push_back(&instance);
+      }
+    }
+  }
+}
+
+void FptCore::onOutputWritten(OutputPort& port) {
+  for (ModuleInstance* sub : port.owner->subscribers_) {
+    // Count the update only if the subscriber actually listens to this
+    // specific port (it may subscribe to a sibling output only).
+    bool listens = false;
+    for (const auto& [name, conns] : sub->inputs_) {
+      for (const auto& conn : conns) {
+        if (conn.port == &port) {
+          listens = true;
+          break;
+        }
+      }
+      if (listens) break;
+    }
+    if (!listens) continue;
+    ++sub->pendingUpdates_;
+    scheduleDispatch(*sub);
+  }
+}
+
+void FptCore::scheduleDispatch(ModuleInstance& instance) {
+  if (instance.runQueued_) return;
+  instance.runQueued_ = true;
+  ModuleInstance* target = &instance;
+  engine_.scheduleAfter(0.0, [this, target] {
+    target->runQueued_ = false;
+    if (target->pendingUpdates_ >= target->inputTrigger_) {
+      target->pendingUpdates_ = 0;
+      runInstance(*target, RunReason::kInputsUpdated);
+    }
+  });
+}
+
+void FptCore::runInstance(ModuleInstance& instance, RunReason reason) {
+  CpuMeter::Scope scope(cpu_);
+  ++totalRuns_;
+  ++instance.runs_;
+  InstanceContext ctx(*this, instance);
+  instance.module_->run(ctx, reason);
+  // Mark everything read: freshness is relative to the end of the run.
+  for (auto& [name, conns] : instance.inputs_) {
+    for (auto& conn : conns) conn.lastSeenVersion = conn.port->version;
+  }
+}
+
+std::size_t FptCore::memoryFootprintBytes() const {
+  std::size_t total = sizeof(FptCore);
+  for (const auto& inst : instances_) {
+    total += sizeof(ModuleInstance) + 256 /* module object estimate */;
+    for (const auto& port : inst->outputs_) {
+      total += sizeof(OutputPort);
+      if (const auto* vec = std::get_if<std::vector<double>>(
+              &port->latest.value)) {
+        total += vec->capacity() * sizeof(double);
+      } else if (const auto* str =
+                     std::get_if<std::string>(&port->latest.value)) {
+        total += str->capacity();
+      }
+    }
+    for (const auto& [name, conns] : inst->inputs_) {
+      total += name.capacity() + conns.size() * sizeof(InputConnection);
+    }
+  }
+  return total;
+}
+
+}  // namespace asdf::core

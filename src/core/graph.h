@@ -1,0 +1,128 @@
+// DAG vertices and edges: module instances, output ports, input
+// connections. FptCore (fpt_core.h) builds and schedules the graph;
+// this header holds the data structures plus the ModuleContext
+// implementation modules interact with.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/ini.h"
+#include "core/module.h"
+
+namespace asdf::core {
+
+class FptCore;
+class ModuleInstance;
+
+/// A named output connection of a module instance. Holds the latest
+/// sample; subscribers poll it when notified.
+struct OutputPort {
+  ModuleInstance* owner = nullptr;
+  std::string name;
+  std::string origin;  // e.g. "slave3"; set by the producing module
+  Sample latest;
+  std::uint64_t version = 0;  // bumped on every write
+};
+
+/// An edge: one bound output, as seen from the consuming instance.
+struct InputConnection {
+  OutputPort* port = nullptr;
+  std::uint64_t lastSeenVersion = 0;  // for freshness accounting
+};
+
+/// One vertex of the DAG.
+class ModuleInstance {
+ public:
+  ModuleInstance(FptCore& core, std::string id, std::string type,
+                 IniSection section, std::unique_ptr<Module> module);
+
+  const std::string& id() const { return id_; }
+  const std::string& type() const { return type_; }
+  bool initialized() const { return initialized_; }
+  std::uint64_t runCount() const { return runs_; }
+
+  /// Output port by name; nullptr when absent.
+  OutputPort* findOutput(const std::string& name);
+  const std::vector<std::unique_ptr<OutputPort>>& outputs() const {
+    return outputs_;
+  }
+
+  /// The raw "input[name] = ref" assignments from the configuration.
+  struct InputSpec {
+    std::string inputName;
+    std::string ref;  // "@instance" or "instance.output"
+    int line = 0;
+  };
+  const std::vector<InputSpec>& inputSpecs() const { return inputSpecs_; }
+
+  /// Instance ids this instance consumes from (DAG dependencies).
+  std::vector<std::string> dependencyIds() const;
+
+ private:
+  friend class FptCore;
+  friend class InstanceContext;
+
+  FptCore& core_;
+  std::string id_;
+  std::string type_;
+  IniSection section_;
+  std::unique_ptr<Module> module_;
+  std::vector<InputSpec> inputSpecs_;
+
+  std::vector<std::string> inputOrder_;
+  std::map<std::string, std::vector<InputConnection>> inputs_;
+  std::vector<std::unique_ptr<OutputPort>> outputs_;
+  std::vector<ModuleInstance*> subscribers_;  // who consumes my outputs
+
+  bool initialized_ = false;
+  double periodicInterval_ = 0.0;  // 0 = no periodic schedule
+  int inputTrigger_ = 1;
+  int pendingUpdates_ = 0;
+  bool runQueued_ = false;
+  std::uint64_t runs_ = 0;
+};
+
+/// The ModuleContext implementation handed to Module::init/run.
+class InstanceContext final : public ModuleContext {
+ public:
+  InstanceContext(FptCore& core, ModuleInstance& instance)
+      : core_(core), instance_(instance) {}
+
+  const std::string& instanceId() const override { return instance_.id_; }
+  const IniSection& section() const override { return instance_.section_; }
+
+  std::vector<std::string> inputNames() const override {
+    return instance_.inputOrder_;
+  }
+  std::size_t inputWidth(const std::string& name) const override;
+  const Sample& input(const std::string& name,
+                      std::size_t index) const override;
+  bool inputHasData(const std::string& name,
+                    std::size_t index) const override;
+  bool inputFresh(const std::string& name, std::size_t index) const override;
+  const std::string& inputOrigin(const std::string& name,
+                                 std::size_t index) const override;
+  const std::string& inputPortName(const std::string& name,
+                                   std::size_t index) const override;
+
+  int addOutput(const std::string& name, const std::string& origin) override;
+  void write(int outputIndex, Value value) override;
+
+  void requestPeriodic(double interval) override;
+  void setInputTrigger(int updates) override;
+
+  SimTime now() const override;
+  Environment& env() override;
+
+ private:
+  const InputConnection& connection(const std::string& name,
+                                    std::size_t index) const;
+  FptCore& core_;
+  ModuleInstance& instance_;
+};
+
+}  // namespace asdf::core

@@ -1,0 +1,98 @@
+// The fpt-core plug-in API (Section 3.2 of the paper).
+//
+// All module types — data-collection and analysis alike — implement
+// the same two entry points:
+//
+//   init(ctx)  — called once per instance: read configuration values,
+//                verify input connections, create output connections,
+//                set origin information, add scheduling hooks.
+//   run(ctx, reason) — called by the scheduler, either periodically
+//                (data-collection modules poll their sources) or when
+//                a configurable number of inputs received new data
+//                (analysis modules).
+//
+// Modules never see each other directly; they communicate only
+// through their ports, which is what lets a configuration file rewire
+// collection into analysis arbitrarily.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/ini.h"
+#include "core/environment.h"
+#include "core/value.h"
+
+namespace asdf::core {
+
+enum class RunReason {
+  kPeriodic,       // scheduled at the instance's requested frequency
+  kInputsUpdated,  // the configured number of input updates arrived
+};
+
+/// The facade through which a module instance touches the core. The
+/// concrete implementation lives in graph.cpp; modules only see this
+/// interface, which keeps them decoupled from scheduler internals.
+class ModuleContext {
+ public:
+  virtual ~ModuleContext() = default;
+
+  // --- identity & configuration --------------------------------------
+  virtual const std::string& instanceId() const = 0;
+  virtual const IniSection& section() const = 0;
+  /// Convenience parameter readers; numeric variants throw ConfigError
+  /// on malformed values (fail at init, not mid-run).
+  std::string param(const std::string& key,
+                    const std::string& fallback = "") const;
+  double numParam(const std::string& key, double fallback) const;
+  long intParam(const std::string& key, long fallback) const;
+
+  // --- inputs ----------------------------------------------------------
+  /// Names of configured inputs, in configuration order.
+  virtual std::vector<std::string> inputNames() const = 0;
+  /// Number of output connections bound to the named input.
+  virtual std::size_t inputWidth(const std::string& name) const = 0;
+  /// Latest sample on connection `index` of the named input.
+  virtual const Sample& input(const std::string& name,
+                              std::size_t index) const = 0;
+  /// True once the connection has ever produced data.
+  virtual bool inputHasData(const std::string& name,
+                            std::size_t index) const = 0;
+  /// True when the connection produced data since this instance last
+  /// finished a run.
+  virtual bool inputFresh(const std::string& name,
+                          std::size_t index) const = 0;
+  /// Origin label of the producing output (e.g. "slave3").
+  virtual const std::string& inputOrigin(const std::string& name,
+                                         std::size_t index) const = 0;
+  /// Name of the producing output port (e.g. "alarms").
+  virtual const std::string& inputPortName(const std::string& name,
+                                           std::size_t index) const = 0;
+
+  // --- outputs (create during init, write during run) -------------------
+  virtual int addOutput(const std::string& name,
+                        const std::string& origin = "") = 0;
+  virtual void write(int outputIndex, Value value) = 0;
+
+  // --- scheduling hooks (init only) --------------------------------------
+  /// Requests periodic run() calls every `interval` seconds.
+  virtual void requestPeriodic(double interval) = 0;
+  /// Requests input-triggered run() calls after `updates` input writes
+  /// (default 1 — run whenever anything new arrives).
+  virtual void setInputTrigger(int updates) = 0;
+
+  // --- services ----------------------------------------------------------
+  virtual SimTime now() const = 0;
+  virtual Environment& env() = 0;
+};
+
+class Module {
+ public:
+  virtual ~Module() = default;
+  /// Throws ConfigError on bad configuration or wiring.
+  virtual void init(ModuleContext& ctx) = 0;
+  virtual void run(ModuleContext& ctx, RunReason reason) = 0;
+};
+
+}  // namespace asdf::core

@@ -1,0 +1,24 @@
+#include "core/realtime.h"
+
+#include <chrono>
+#include <thread>
+
+namespace asdf::core {
+
+void RealTimeDriver::run(double durationSeconds) {
+  using Clock = std::chrono::steady_clock;
+  const auto start = Clock::now();
+  const double virtualStart = engine_.now();
+  while (!stopped_.load()) {
+    const double wallElapsed =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    if (wallElapsed >= durationSeconds) break;
+    engine_.runUntil(virtualStart + wallElapsed);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  if (!stopped_.load()) {
+    engine_.runUntil(virtualStart + durationSeconds);
+  }
+}
+
+}  // namespace asdf::core

@@ -1,0 +1,30 @@
+// Wall-clock pump for live deployments: advances a SimEngine's virtual
+// clock in step with real time, so the same fpt-core configuration
+// that runs against the simulator can run "online" — module periodic
+// hooks fire at true wall-clock frequency. Used by the quickstart
+// example's --realtime flag; experiments use pure virtual time.
+#pragma once
+
+#include <atomic>
+
+#include "sim/engine.h"
+
+namespace asdf::core {
+
+class RealTimeDriver {
+ public:
+  explicit RealTimeDriver(sim::SimEngine& engine) : engine_(engine) {}
+
+  /// Runs for `durationSeconds` of wall-clock time (sleeping between
+  /// event batches), or until stop() is called from a signal handler
+  /// or another thread.
+  void run(double durationSeconds);
+
+  void stop() { stopped_.store(true); }
+
+ private:
+  sim::SimEngine& engine_;
+  std::atomic<bool> stopped_{false};
+};
+
+}  // namespace asdf::core

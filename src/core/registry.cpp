@@ -1,0 +1,36 @@
+#include "core/registry.h"
+
+#include "common/error.h"
+
+namespace asdf::core {
+
+ModuleRegistry& ModuleRegistry::global() {
+  static ModuleRegistry registry;
+  return registry;
+}
+
+void ModuleRegistry::registerType(const std::string& name,
+                                  ModuleFactory factory) {
+  factories_[name] = std::move(factory);
+}
+
+bool ModuleRegistry::has(const std::string& name) const {
+  return factories_.count(name) != 0;
+}
+
+std::unique_ptr<Module> ModuleRegistry::create(const std::string& name) const {
+  const auto it = factories_.find(name);
+  if (it == factories_.end()) {
+    throw ConfigError("unknown module type '" + name + "'");
+  }
+  return it->second();
+}
+
+std::vector<std::string> ModuleRegistry::typeNames() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, f] : factories_) out.push_back(name);
+  return out;
+}
+
+}  // namespace asdf::core

@@ -1,0 +1,40 @@
+// Data values flowing along fpt-core DAG edges.
+//
+// A module output carries a time-stamped Sample whose payload is a
+// scalar, a numeric vector (metric vectors, state vectors, alarm
+// flags), or a string (diagnostics). Data-collection modules produce
+// them; analysis modules consume and transform them.
+#pragma once
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/types.h"
+
+namespace asdf::core {
+
+using Value = std::variant<double, std::vector<double>, std::string>;
+
+struct Sample {
+  SimTime time = kNoTime;
+  Value value;
+};
+
+/// Convenience accessors with clear failure semantics.
+inline bool isScalar(const Value& v) {
+  return std::holds_alternative<double>(v);
+}
+inline bool isVector(const Value& v) {
+  return std::holds_alternative<std::vector<double>>(v);
+}
+
+/// Returns the scalar payload; throws std::bad_variant_access when the
+/// value is not a scalar (a module wiring bug worth failing loudly on).
+inline double asScalar(const Value& v) { return std::get<double>(v); }
+
+inline const std::vector<double>& asVector(const Value& v) {
+  return std::get<std::vector<double>>(v);
+}
+
+}  // namespace asdf::core

@@ -1,0 +1,57 @@
+// Tunables of the simulated Hadoop cluster. Defaults approximate the
+// paper's testbed: Hadoop 0.18.x semantics on EC2 Large instances
+// (4 cores, 7.5 GB), 2 map + 2 reduce slots per TaskTracker, 3-second
+// heartbeats, HDFS replication 3, speculative execution on.
+#pragma once
+
+#include <cstddef>
+
+namespace asdf::hadoop {
+
+struct HadoopParams {
+  // Cluster shape. Node 0 is the master (JobTracker + NameNode);
+  // nodes 1..slaveCount are slaves (TaskTracker + DataNode).
+  int slaveCount = 16;
+
+  // Node hardware (EC2 Large-ish).
+  double cores = 4.0;
+  double memTotalBytes = 7.5e9;
+  double diskBytesPerSec = 80.0e6;
+  double nicBytesPerSec = 125.0e6;  // 1 Gbps
+
+  // MapReduce. Map slots sized to the cores (a common production
+  // override of the 0.18 default of 2); reduce slots at the default.
+  int mapSlots = 4;
+  int reduceSlots = 2;
+  double heartbeatInterval = 3.0;
+  double reduceSlowstart = 0.05;    // fraction of maps done before
+                                    // reduces are scheduled
+  int maxTaskAttempts = 4;
+  bool speculativeExecution = true;
+  double speculativeRuntimeFactor = 2.5;  // attempt slower than
+                                          // factor x median -> backup
+  double speculativeMinRuntime = 120.0;
+
+  // HDFS.
+  double blockBytes = 16.0e6;  // scaled down like the paper's dataset
+  int replication = 3;
+  /// Per-stream shuffle fetch ceiling: map outputs are many small
+  /// seek-bound segments, so a single fetch stream moves far below
+  /// line rate. This is what makes real reduce copy phases last
+  /// minutes — the dormancy window of HADOOP-1152/2080.
+  double shuffleStreamBytesPerSec = 4.0e6;
+  double outputDeleteDelay = 60.0;  // GridMix cleanup after job end
+
+  // Task resource profile.
+  double mapReadCpuCores = 0.15;     // while reading input
+  double mapSpillCpuCores = 0.30;    // while writing map output
+  double reduceCopyCpuCores = 0.20;  // while shuffling
+  double reduceSortCpuCores = 0.40;  // while merging
+  double taskMemBytes = 2.0e8;       // JVM heap per running task
+  double daemonMemBytes = 1.3e9;     // OS + TT + DN baseline
+
+  // Log chatter.
+  double progressLogInterval = 5.0;  // seconds between progress lines
+};
+
+}  // namespace asdf::hadoop

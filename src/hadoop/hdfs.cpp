@@ -1,0 +1,126 @@
+#include "hadoop/hdfs.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace asdf::hadoop {
+
+std::vector<NodeId> NameNode::pickReplicas(NodeId preferred, Rng& rng) {
+  std::vector<NodeId> out;
+  const int want = std::min(replication_, slaveCount_);
+  if (preferred >= 1 && preferred <= slaveCount_) out.push_back(preferred);
+  while (static_cast<int>(out.size()) < want) {
+    const auto candidate =
+        static_cast<NodeId>(rng.uniformInt(1, slaveCount_));
+    if (std::find(out.begin(), out.end(), candidate) == out.end()) {
+      out.push_back(candidate);
+    }
+  }
+  return out;
+}
+
+std::vector<long> NameNode::createFile(double bytes, double blockBytes,
+                                       Rng& rng) {
+  assert(blockBytes > 0);
+  const int blocks = std::max(1, static_cast<int>(std::ceil(bytes / blockBytes)));
+  std::vector<long> ids;
+  ids.reserve(static_cast<std::size_t>(blocks));
+  for (int i = 0; i < blocks; ++i) {
+    const long id = nextBlockId_++;
+    locations_[id] = pickReplicas(kInvalidNode, rng);
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+long NameNode::createBlock(NodeId preferred, Rng& rng) {
+  const long id = nextBlockId_++;
+  locations_[id] = pickReplicas(preferred, rng);
+  return id;
+}
+
+const std::vector<NodeId>& NameNode::replicas(long blockId) const {
+  static const std::vector<NodeId> kEmpty;
+  const auto it = locations_.find(blockId);
+  return it == locations_.end() ? kEmpty : it->second;
+}
+
+std::vector<NodeId> NameNode::deleteBlock(long blockId) {
+  const auto it = locations_.find(blockId);
+  if (it == locations_.end()) return {};
+  std::vector<NodeId> where = it->second;
+  locations_.erase(it);
+  return where;
+}
+
+BlockTransfer::BlockTransfer(Node* src, Node* dst, double bytes,
+                             bool readsSrcDisk)
+    : src_(src),
+      dst_(dst),
+      total_(bytes),
+      remaining_(bytes),
+      readsSrcDisk_(readsSrcDisk) {
+  assert(src != nullptr && dst != nullptr && bytes >= 0.0);
+}
+
+void BlockTransfer::requestResources() {
+  requested_ = false;
+  if (complete()) return;
+  requested_ = true;
+  if (readsSrcDisk_) {
+    hSrcDisk_ = src_->disk().request(remaining_);
+  }
+  if (src_ != dst_) {
+    hSrcNic_ = src_->nic().request(remaining_);
+    hDstNic_ = dst_->nic().request(remaining_);
+    hSrcCpu_ = src_->cpu().request(kServeCpuCores);
+  }
+}
+
+void BlockTransfer::setConsumerThrottle(double factor) {
+  consumerThrottle_ = std::clamp(factor, 0.0, 1.0);
+}
+
+double BlockTransfer::advance(double dt) {
+  (void)dt;  // demands are already per-tick amounts
+  if (!requested_ || complete()) return 0.0;
+  double moved = remaining_;
+  double diskGrant = remaining_;
+  if (readsSrcDisk_) {
+    diskGrant = src_->disk().granted(hSrcDisk_);
+    moved = std::min(moved, diskGrant);
+  }
+  if (src_ != dst_) {
+    moved = std::min(moved, src_->nic().granted(hSrcNic_));
+    moved = std::min(moved, dst_->nic().granted(hDstNic_));
+    // The server cannot checksum faster than its CPU share allows.
+    const double serveCpu = src_->cpu().granted(hSrcCpu_);
+    moved *= serveCpu / kServeCpuCores;
+    src_->addCpuSystem(serveCpu);
+  }
+  moved *= consumerThrottle_;
+  consumerThrottle_ = 1.0;
+  moved = std::min(moved, remaining_);
+  remaining_ -= moved;
+
+  if (readsSrcDisk_) src_->addDiskRead(std::min(moved, diskGrant));
+  if (src_ != dst_) {
+    src_->addNetTx(moved);
+    dst_->addNetRx(moved);
+    // Packets the lossy ends attempted but dropped: loss p wastes
+    // p/(1-p) extra packets per delivered packet.
+    constexpr double kPkt = 1500.0;
+    const double srcLoss = src_->nic().lossRate();
+    const double dstLoss = dst_->nic().lossRate();
+    if (srcLoss > 0.0) {
+      src_->addNetTxDrops(moved / kPkt * srcLoss / (1.0 - srcLoss));
+    }
+    if (dstLoss > 0.0) {
+      dst_->addNetRxDrops(moved / kPkt * dstLoss / (1.0 - dstLoss));
+    }
+  }
+  return moved;
+}
+
+}  // namespace asdf::hadoop

@@ -1,0 +1,103 @@
+// HDFS substrate: the NameNode's block map plus block-transfer
+// helpers. DataNodes have no separate class — a DataNode is the
+// storage personality of a Node (its disk, NIC and dnLog) — so this
+// file also provides BlockTransfer, the two-endpoint network transfer
+// primitive used for remote reads, shuffle fetches and write-pipeline
+// replication.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "hadoop/node.h"
+
+namespace asdf::hadoop {
+
+/// The NameNode: allocates block ids and tracks replica placement.
+/// Runs on the master node; its CPU footprint is negligible and folded
+/// into the master's daemon baseline.
+class NameNode {
+ public:
+  explicit NameNode(int slaveCount, int replication)
+      : slaveCount_(slaveCount), replication_(replication) {}
+
+  /// Creates the blocks of a file of the given size, placing replicas
+  /// uniformly at random across distinct slaves (HDFS default policy
+  /// flattened: the simulated cluster is a single rack). Returns the
+  /// new block ids.
+  std::vector<long> createFile(double bytes, double blockBytes, Rng& rng);
+
+  /// Creates one block with its first replica on `preferred` (HDFS
+  /// writes place the first replica on the writer's node).
+  long createBlock(NodeId preferred, Rng& rng);
+
+  const std::vector<NodeId>& replicas(long blockId) const;
+
+  /// Removes the block from the namespace, returning where its
+  /// replicas lived (so DataNodes can log the deletions).
+  std::vector<NodeId> deleteBlock(long blockId);
+
+  std::size_t blockCount() const { return locations_.size(); }
+
+ private:
+  std::vector<NodeId> pickReplicas(NodeId preferred, Rng& rng);
+
+  int slaveCount_;
+  int replication_;
+  long nextBlockId_ = 1000;
+  std::map<long, std::vector<NodeId>> locations_;
+};
+
+/// A byte stream between two nodes' NICs (plus the source disk when
+/// the payload is read from storage). Demands are re-issued each tick;
+/// progress is the minimum of the granted amounts at both endpoints,
+/// with packet loss already folded into NIC grants. Loss on *either*
+/// end throttles the transfer — that is how the PacketLoss fault on
+/// one node degrades its peers' shuffle fetches.
+class BlockTransfer {
+ public:
+  /// src == dst models a loopback (local disk read only).
+  BlockTransfer(Node* src, Node* dst, double bytes, bool readsSrcDisk);
+
+  /// Registers this tick's demands. No-op when complete. Serving a
+  /// block costs the source CPU (HDFS checksums every chunk), so a
+  /// CPU-starved DataNode serves slowly — transfers pile up on it.
+  void requestResources();
+
+  /// Caps this tick's progress at `factor` (0..1) of the granted
+  /// bytes; the consumer applies its own CPU squeeze (a task whose
+  /// CPU share was cut cannot pump bytes at full rate). Reset to 1
+  /// after each advance().
+  void setConsumerThrottle(double factor);
+
+  /// Consumes grants, records activity on both nodes, and returns the
+  /// bytes moved this tick.
+  double advance(double dt);
+
+  bool complete() const { return remaining_ <= 0.0; }
+  double remainingBytes() const { return remaining_; }
+  double totalBytes() const { return total_; }
+  Node* src() const { return src_; }
+  Node* dst() const { return dst_; }
+
+ private:
+  Node* src_;
+  Node* dst_;
+  double total_;
+  double remaining_;
+  bool readsSrcDisk_;
+  double consumerThrottle_ = 1.0;
+  int hSrcNic_ = -1;
+  int hDstNic_ = -1;
+  int hSrcDisk_ = -1;
+  int hSrcCpu_ = -1;
+  bool requested_ = false;
+};
+
+/// CPU cores a DataNode burns to serve one remote block stream at
+/// full rate (checksumming + copying).
+inline constexpr double kServeCpuCores = 0.08;
+
+}  // namespace asdf::hadoop

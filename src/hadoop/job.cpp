@@ -1,0 +1,124 @@
+#include "hadoop/job.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace asdf::hadoop {
+
+const char* jobTypeName(JobType type) {
+  switch (type) {
+    case JobType::kWebdataSample:
+      return "webdataSample";
+    case JobType::kMonsterQuery:
+      return "monsterQuery";
+    case JobType::kWebdataSort:
+      return "webdataSort";
+    case JobType::kStreamingSort:
+      return "streamingSort";
+    case JobType::kCombiner:
+      return "combiner";
+  }
+  return "unknown";
+}
+
+Job::Job(JobId id, JobSpec spec, double blockBytes, NameNode& nameNode,
+         int slaveCount, Rng& rng)
+    : id_(id), spec_(std::move(spec)) {
+  inputBlocks_ = nameNode.createFile(spec_.inputBytes, blockBytes, rng);
+  numMaps_ = static_cast<int>(inputBlocks_.size());
+  assert(spec_.numReduces >= 1);
+
+  mapDone_.assign(static_cast<std::size_t>(numMaps_), 0);
+  reduceDone_.assign(static_cast<std::size_t>(spec_.numReduces), 0);
+  mapRunning_.assign(static_cast<std::size_t>(numMaps_), 0);
+  reduceRunning_.assign(static_cast<std::size_t>(spec_.numReduces), 0);
+  mapAttemptSerial_.assign(static_cast<std::size_t>(numMaps_), 0);
+  reduceAttemptSerial_.assign(static_cast<std::size_t>(spec_.numReduces), 0);
+  mapFailures_.assign(static_cast<std::size_t>(numMaps_), 0);
+  reduceFailures_.assign(static_cast<std::size_t>(spec_.numReduces), 0);
+  shuffleAvailPerNode_.assign(static_cast<std::size_t>(slaveCount) + 1, 0.0);
+
+  for (int i = 0; i < numMaps_; ++i) pendingMaps_.push_back(i);
+  for (int i = 0; i < spec_.numReduces; ++i) pendingReduces_.push_back(i);
+}
+
+long Job::inputBlock(int mapIndex) const {
+  assert(mapIndex >= 0 && mapIndex < numMaps_);
+  return inputBlocks_[static_cast<std::size_t>(mapIndex)];
+}
+
+double Job::mapOutputPerReducePerMap() const {
+  const double perMap =
+      spec_.inputBytes * spec_.mapOutputRatio / numMaps_;
+  return perMap / spec_.numReduces;
+}
+
+double Job::outputBytesPerReduce() const {
+  return spec_.inputBytes * spec_.outputRatio / spec_.numReduces;
+}
+
+double Job::shuffleBytesPerReduce() const {
+  return mapOutputPerReducePerMap() * numMaps_;
+}
+
+int Job::runningAttempts(bool isMap, int index) const {
+  return isMap ? mapRunning_[static_cast<std::size_t>(index)]
+               : reduceRunning_[static_cast<std::size_t>(index)];
+}
+
+void Job::noteAttemptStarted(bool isMap, int index) {
+  auto& v = isMap ? mapRunning_ : reduceRunning_;
+  ++v[static_cast<std::size_t>(index)];
+}
+
+void Job::noteAttemptEnded(bool isMap, int index) {
+  auto& v = isMap ? mapRunning_ : reduceRunning_;
+  auto& n = v[static_cast<std::size_t>(index)];
+  assert(n > 0);
+  --n;
+}
+
+int Job::nextAttemptSerial(bool isMap, int index) {
+  auto& v = isMap ? mapAttemptSerial_ : reduceAttemptSerial_;
+  return v[static_cast<std::size_t>(index)]++;
+}
+
+int Job::failureCount(bool isMap, int index) const {
+  return isMap ? mapFailures_[static_cast<std::size_t>(index)]
+               : reduceFailures_[static_cast<std::size_t>(index)];
+}
+
+void Job::noteFailure(bool isMap, int index) {
+  auto& v = isMap ? mapFailures_ : reduceFailures_;
+  ++v[static_cast<std::size_t>(index)];
+}
+
+bool Job::completeMap(int index, NodeId node, double duration) {
+  auto& done = mapDone_[static_cast<std::size_t>(index)];
+  if (done) return false;
+  done = 1;
+  ++completedMaps_;
+  mapDurations_.push_back(duration);
+  assert(node >= 0 &&
+         static_cast<std::size_t>(node) < shuffleAvailPerNode_.size());
+  shuffleAvailPerNode_[static_cast<std::size_t>(node)] +=
+      mapOutputPerReducePerMap();
+  return true;
+}
+
+bool Job::completeReduce(int index, double duration) {
+  auto& done = reduceDone_[static_cast<std::size_t>(index)];
+  if (done) return false;
+  done = 1;
+  ++completedReduces_;
+  reduceDurations_.push_back(duration);
+  return true;
+}
+
+double Job::shuffleAvailable(NodeId node) const {
+  assert(node >= 0 &&
+         static_cast<std::size_t>(node) < shuffleAvailPerNode_.size());
+  return shuffleAvailPerNode_[static_cast<std::size_t>(node)];
+}
+
+}  // namespace asdf::hadoop

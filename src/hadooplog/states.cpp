@@ -1,0 +1,32 @@
+#include "hadooplog/states.h"
+
+#include <cassert>
+
+namespace asdf::hadooplog {
+namespace {
+
+const std::array<const char*, kTtStateCount> kTtNames = {
+    "MapTask", "ReduceTask", "ReduceCopy", "ReduceSort", "ReduceReduce",
+};
+
+const std::array<const char*, kDnStateCount> kDnNames = {
+    "ReadBlock", "WriteBlock", "DeleteBlock",
+};
+
+}  // namespace
+
+const std::array<const char*, kTtStateCount>& ttStateNames() {
+  return kTtNames;
+}
+
+const std::array<const char*, kDnStateCount>& dnStateNames() {
+  return kDnNames;
+}
+
+std::string whiteBoxMetricName(std::size_t index) {
+  assert(index < kWhiteBoxVectorSize);
+  if (index < kTtStateCount) return kTtNames[index];
+  return kDnNames[index - kTtStateCount];
+}
+
+}  // namespace asdf::hadooplog

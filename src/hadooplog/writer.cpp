@@ -1,0 +1,102 @@
+#include "hadooplog/writer.h"
+
+#include "common/strings.h"
+
+namespace asdf::hadooplog {
+namespace {
+
+constexpr const char* kTtClass = "org.apache.hadoop.mapred.TaskTracker";
+constexpr const char* kDnClass = "org.apache.hadoop.dfs.DataNode";
+
+}  // namespace
+
+std::string makeTaskAttemptId(int jobId, bool isMap, int taskIndex,
+                              int attempt) {
+  return strformat("task_%04d_%c_%06d_%d", jobId, isMap ? 'm' : 'r',
+                   taskIndex, attempt);
+}
+
+void TtLogWriter::emit(SimTime t, const std::string& level,
+                       const std::string& message) {
+  buffer_->append(formatLogTimestamp(t) + " " + level + " " + kTtClass +
+                  ": " + message);
+}
+
+void TtLogWriter::launchTask(SimTime t, const std::string& taskId) {
+  emit(t, "INFO", "LaunchTaskAction: " + taskId);
+}
+
+void TtLogWriter::taskDone(SimTime t, const std::string& taskId) {
+  emit(t, "INFO", "Task " + taskId + " is done.");
+}
+
+void TtLogWriter::taskFailed(SimTime t, const std::string& taskId,
+                             const std::string& reason) {
+  emit(t, "WARN", "Task " + taskId + " failed: " + reason);
+}
+
+void TtLogWriter::killTask(SimTime t, const std::string& taskId) {
+  emit(t, "INFO", "KillTaskAction: " + taskId);
+}
+
+void TtLogWriter::mapProgress(SimTime t, const std::string& taskId,
+                              double fraction) {
+  emit(t, "INFO",
+       strformat("%s %.2f%% hdfs://input", taskId.c_str(), fraction * 100.0));
+}
+
+void TtLogWriter::reduceProgress(SimTime t, const std::string& taskId,
+                                 double fraction, const std::string& phase,
+                                 int copiedMaps, int totalMaps) {
+  emit(t, "INFO",
+       strformat("%s %.2f%% reduce > %s (%d of %d)", taskId.c_str(),
+                 fraction * 100.0, phase.c_str(), copiedMaps, totalMaps));
+}
+
+void TtLogWriter::copyFailed(SimTime t, const std::string& taskId,
+                             const std::string& mapTaskId) {
+  emit(t, "WARN",
+       taskId + " copy failed: " + mapTaskId +
+           " java.io.IOException: failed to rename map output");
+}
+
+void DnLogWriter::emit(SimTime t, const std::string& level,
+                       const std::string& message) {
+  buffer_->append(formatLogTimestamp(t) + " " + level + " " + kDnClass +
+                  ": " + message);
+}
+
+void DnLogWriter::servingBlock(SimTime t, long blockId,
+                               const std::string& clientIp) {
+  emit(t, "INFO", strformat("Serving block blk_%ld to /%s", blockId,
+                            clientIp.c_str()));
+}
+
+void DnLogWriter::servedBlock(SimTime t, long blockId,
+                              const std::string& clientIp) {
+  emit(t, "INFO",
+       strformat("Served block blk_%ld to /%s", blockId, clientIp.c_str()));
+}
+
+void DnLogWriter::receivingBlock(SimTime t, long blockId,
+                                 const std::string& srcIp,
+                                 const std::string& destIp) {
+  emit(t, "INFO",
+       strformat("Receiving block blk_%ld src: /%s:50010 dest: /%s:50010",
+                 blockId, srcIp.c_str(), destIp.c_str()));
+}
+
+void DnLogWriter::receivedBlock(SimTime t, long blockId, double sizeBytes,
+                                const std::string& srcIp) {
+  emit(t, "INFO",
+       strformat("Received block blk_%ld of size %.0f from /%s", blockId,
+                 sizeBytes, srcIp.c_str()));
+}
+
+void DnLogWriter::deletingBlock(SimTime t, long blockId) {
+  emit(t, "INFO",
+       strformat("Deleting block blk_%ld file /hadoop/dfs/data/current/blk_%ld",
+                 blockId, blockId));
+}
+
+}  // namespace asdf::hadooplog

@@ -1,0 +1,72 @@
+// Formats Hadoop-0.18-style log lines into a LogBuffer.
+//
+// The substrate calls these writers as task/block events happen; the
+// parser (parser.h) later recovers events from the *text*. Formats
+// mirror the paper's Figure 5 snippet:
+//
+//   2008-04-15 14:23:15,324 INFO org.apache.hadoop.mapred.TaskTracker:
+//   LaunchTaskAction: task_0001_m_000096_0
+//
+// plus the DataNode block-lifecycle lines SALSA-style state inference
+// relies on.
+#pragma once
+
+#include <string>
+
+#include "common/types.h"
+#include "hadooplog/log_buffer.h"
+
+namespace asdf::hadooplog {
+
+/// Builds "task_%04d_%c_%06d_%d" attempt identifiers (Figure 5).
+std::string makeTaskAttemptId(int jobId, bool isMap, int taskIndex,
+                              int attempt);
+
+/// Writer for a TaskTracker daemon's log.
+class TtLogWriter {
+ public:
+  explicit TtLogWriter(LogBuffer* buffer) : buffer_(buffer) {}
+
+  void launchTask(SimTime t, const std::string& taskId);
+  void taskDone(SimTime t, const std::string& taskId);
+  void taskFailed(SimTime t, const std::string& taskId,
+                  const std::string& reason);
+  void killTask(SimTime t, const std::string& taskId);
+
+  /// Emits a map progress line ("0.50% hdfs://..."); informational.
+  void mapProgress(SimTime t, const std::string& taskId, double fraction);
+
+  /// Emits a reduce progress line; `phase` is "copy", "sort" or
+  /// "reduce". The parser uses the first line mentioning a new phase
+  /// as that phase's entrance event.
+  void reduceProgress(SimTime t, const std::string& taskId, double fraction,
+                      const std::string& phase, int copiedMaps, int totalMaps);
+
+  /// WARN line for a failed shuffle fetch (HADOOP-1152 flavor).
+  void copyFailed(SimTime t, const std::string& taskId,
+                  const std::string& mapTaskId);
+
+ private:
+  void emit(SimTime t, const std::string& level, const std::string& message);
+  LogBuffer* buffer_;
+};
+
+/// Writer for a DataNode daemon's log.
+class DnLogWriter {
+ public:
+  explicit DnLogWriter(LogBuffer* buffer) : buffer_(buffer) {}
+
+  void servingBlock(SimTime t, long blockId, const std::string& clientIp);
+  void servedBlock(SimTime t, long blockId, const std::string& clientIp);
+  void receivingBlock(SimTime t, long blockId, const std::string& srcIp,
+                      const std::string& destIp);
+  void receivedBlock(SimTime t, long blockId, double sizeBytes,
+                     const std::string& srcIp);
+  void deletingBlock(SimTime t, long blockId);
+
+ private:
+  void emit(SimTime t, const std::string& level, const std::string& message);
+  LogBuffer* buffer_;
+};
+
+}  // namespace asdf::hadooplog

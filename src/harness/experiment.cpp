@@ -1,0 +1,183 @@
+#include "harness/experiment.h"
+
+#include <cassert>
+
+#include "common/logging.h"
+#include "core/fpt_core.h"
+#include "hadoop/cluster.h"
+#include "metrics/sadc.h"
+#include "modules/modules.h"
+#include "rpc/daemons.h"
+#include "sim/engine.h"
+#include "workload/gridmix.h"
+
+namespace asdf::harness {
+namespace {
+
+hadoop::HadoopParams hadoopParamsFor(const ExperimentSpec& spec) {
+  hadoop::HadoopParams p;
+  p.slaveCount = spec.slaves;
+  return p;
+}
+
+workload::GridMixParams gridmixParamsFor(const ExperimentSpec& spec) {
+  workload::GridMixParams g;
+  g.mixChangeTime = spec.mixChangeTime;
+  return g;
+}
+
+}  // namespace
+
+analysis::BlackBoxModel trainModel(const ExperimentSpec& spec) {
+  sim::SimEngine engine;
+  hadoop::Cluster cluster(hadoopParamsFor(spec), spec.seed * 7919 + 17,
+                          engine);
+  workload::GridMixGenerator gridmix(cluster, gridmixParamsFor(spec),
+                                     spec.seed * 104729 + 5);
+  cluster.start();
+  gridmix.start();
+
+  std::vector<std::vector<double>> training;
+  training.reserve(static_cast<std::size_t>(spec.trainDuration) *
+                   static_cast<std::size_t>(spec.slaves));
+  // Collect one flattened sadc vector per slave per second, after the
+  // tick (registered after cluster.start(), so it runs later at each
+  // timestamp).
+  engine.addPeriodic(1.0, [&] {
+    if (engine.now() < spec.trainWarmup) return;
+    for (hadoop::Node* node : cluster.slaveNodes()) {
+      training.push_back(metrics::flattenNodeVector(node->sadcCollect()));
+    }
+  }, 1.0);
+
+  engine.runUntil(spec.trainDuration);
+  assert(!training.empty());
+
+  Rng rng(spec.seed * 31337 + 271);
+  return analysis::trainBlackBoxModel(training, spec.centroids, rng);
+}
+
+ExperimentResult runExperiment(const ExperimentSpec& spec,
+                               const analysis::BlackBoxModel& model) {
+  sim::SimEngine engine;
+  hadoop::Cluster cluster(hadoopParamsFor(spec), spec.seed * 6151 + 3,
+                          engine);
+  workload::GridMixGenerator gridmix(cluster, gridmixParamsFor(spec),
+                                     spec.seed * 7411 + 1);
+  cluster.start();
+  gridmix.start();
+
+  rpc::RpcHub hub(cluster, /*attachTime=*/0.0);
+  modules::HadoopLogSync sync;
+
+  ExperimentResult result;
+
+  core::Environment env;
+  env.provide("rpc", &hub);
+  env.provide("bb_model", const_cast<analysis::BlackBoxModel*>(&model));
+  env.provide("hl_sync", &sync);
+  env.alarmSink = [&result](const core::Alarm& alarm) {
+    analysis::AlarmRecord record;
+    record.time = alarm.time;
+    record.flags = alarm.flags;
+    record.scores = alarm.scores;
+    if (alarm.channel == "BlackBoxAlarm") {
+      result.blackBox.push_back(std::move(record));
+    } else if (alarm.channel == "WhiteBoxAlarm") {
+      result.whiteBox.push_back(std::move(record));
+    }
+  };
+
+  core::FptCore fpt(engine, env);
+  PipelineParams pipeline = spec.pipeline;
+  pipeline.slaves = spec.slaves;
+  fpt.configureFromText(buildCombinedConfig(pipeline));
+
+  faults::FaultInjector injector(cluster, spec.fault);
+  injector.arm();
+
+  engine.runUntil(spec.duration);
+
+  // Ground truth.
+  result.truth.slaveIndex =
+      spec.fault.type == faults::FaultType::kNone ? -1 : spec.fault.node - 1;
+  result.truth.faultStart = spec.fault.startTime;
+  // A fault can end before the run does (a scheduled endTime, or the
+  // DiskHog completing its 20 GB write); windows after that are
+  // negatives.
+  result.truth.faultEnd =
+      injector.endedAt() != kNoTime ? injector.endedAt() : spec.fault.endTime;
+  result.simulatedSeconds = spec.duration;
+
+  // Table 3 accounting. CPU percentages are of one core, per node for
+  // the daemons (divide by slave count) and for the single control
+  // node for fpt-core, relative to the simulated wall-clock.
+  const double nodeSeconds = spec.duration * spec.slaves;
+  result.sadcRpcdCpuPct = 100.0 * hub.sadcCpuSeconds() / nodeSeconds;
+  result.hadoopLogRpcdCpuPct =
+      100.0 * hub.hadoopLogCpuSeconds() / nodeSeconds;
+  result.fptCoreCpuPct = 100.0 * fpt.cpuSeconds() / spec.duration;
+  result.sadcRpcdMemMb =
+      static_cast<double>(hub.sadcMemoryBytes()) / spec.slaves / 1.0e6;
+  result.hadoopLogRpcdMemMb =
+      static_cast<double>(hub.hadoopLogMemoryBytes()) / spec.slaves / 1.0e6;
+  result.fptCoreMemMb =
+      static_cast<double>(fpt.memoryFootprintBytes()) / 1.0e6;
+
+  // Table 4 accounting. Channels that never carried a call (e.g. the
+  // strace extension when its module is not configured) are omitted.
+  for (const rpc::RpcChannelStats* ch : hub.transports().channels()) {
+    if (ch->calls() == 0) continue;
+    RpcChannelReport report;
+    report.name = ch->name();
+    report.connects = ch->connects();
+    report.calls = ch->calls();
+    report.staticOverheadKb =
+        ch->connects() == 0
+            ? 0.0
+            : ch->staticOverheadBytes() / ch->connects() / 1024.0;
+    report.perIterationKbPerSec =
+        ch->totalCallBytes() / spec.slaves / spec.duration / 1024.0;
+    result.rpcChannels.push_back(report);
+  }
+
+  // Cluster health.
+  result.jobsSubmitted = cluster.jobTracker().jobsSubmitted();
+  result.jobsCompleted = cluster.jobTracker().jobsCompleted();
+  for (int i = 1; i <= spec.slaves; ++i) {
+    result.tasksCompleted += cluster.taskTracker(i).completedTasks();
+    result.tasksFailed += cluster.taskTracker(i).failedTasks();
+  }
+  result.speculativeLaunches = cluster.jobTracker().speculativeLaunches();
+  result.syncDroppedSeconds = sync.droppedSeconds();
+  return result;
+}
+
+ExperimentSummary summarize(const ExperimentResult& result) {
+  ExperimentSummary summary;
+  summary.blackBox.eval = analysis::evaluate(result.blackBox, result.truth);
+  summary.blackBox.latencySeconds =
+      analysis::fingerpointingLatency(result.blackBox, result.truth);
+  summary.whiteBox.eval = analysis::evaluate(result.whiteBox, result.truth);
+  summary.whiteBox.latencySeconds =
+      analysis::fingerpointingLatency(result.whiteBox, result.truth);
+  const analysis::AlarmSeries combined =
+      analysis::combineUnion(result.blackBox, result.whiteBox);
+  summary.combined.eval = analysis::evaluate(combined, result.truth);
+  summary.combined.latencySeconds =
+      analysis::fingerpointingLatency(combined, result.truth);
+  return summary;
+}
+
+ApproachSummary summarizeAtThreshold(const analysis::AlarmSeries& series,
+                                     const analysis::GroundTruth& truth,
+                                     double threshold) {
+  const analysis::AlarmSeries rethresholded =
+      analysis::applyThreshold(series, threshold);
+  ApproachSummary out;
+  out.eval = analysis::evaluate(rethresholded, truth);
+  out.latencySeconds = analysis::fingerpointingLatency(rethresholded, truth);
+  return out;
+}
+
+}  // namespace asdf::harness

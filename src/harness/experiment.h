@@ -1,0 +1,106 @@
+// End-to-end experiment runner.
+//
+// Reproduces the paper's experimental procedure (Section 4.7-4.9):
+//
+//   1. Train: run the GridMix workload fault-free and collect sadc
+//      vectors from every slave; fit the black-box model (per-metric
+//      log-sigmas + k-means centroids) offline.
+//   2. Run: fresh cluster + GridMix + the full ASDF deployment
+//      (fpt-core configured from generated text, sadc_rpcd and
+//      hadoop_log_rpcd per slave), with one fault injected on one
+//      slave mid-run. Alarms stream out of the print sinks.
+//   3. Evaluate: balanced accuracy, false-positive rate, and
+//      fingerpointing latency per approach (black-box, white-box,
+//      combined), plus the monitoring-cost numbers for Tables 3/4.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/bbmodel.h"
+#include "analysis/evaluation.h"
+#include "faults/faults.h"
+#include "harness/pipelines.h"
+
+namespace asdf::harness {
+
+struct ExperimentSpec {
+  int slaves = 16;
+  double duration = 1800.0;       // seconds of monitored run
+  double trainDuration = 600.0;   // seconds of fault-free training run
+  double trainWarmup = 90.0;      // discarded at the start of training
+  std::uint64_t seed = 42;
+  int centroids = 8;              // k for k-means
+
+  faults::FaultSpec fault;        // type kNone = fault-free run
+  PipelineParams pipeline;
+
+  /// When >= 0, the GridMix mix flips at this time (workload change).
+  double mixChangeTime = -1.0;
+};
+
+struct RpcChannelReport {
+  std::string name;
+  long connects = 0;
+  long calls = 0;
+  double staticOverheadKb = 0.0;   // per node
+  double perIterationKbPerSec = 0.0;  // per node
+};
+
+struct ExperimentResult {
+  analysis::AlarmSeries blackBox;
+  analysis::AlarmSeries whiteBox;
+  analysis::GroundTruth truth;
+  double simulatedSeconds = 0.0;
+
+  // Monitoring cost (Table 3).
+  double sadcRpcdCpuPct = 0.0;      // per node, % of one core
+  double hadoopLogRpcdCpuPct = 0.0; // per node
+  double fptCoreCpuPct = 0.0;       // control node
+  double sadcRpcdMemMb = 0.0;
+  double hadoopLogRpcdMemMb = 0.0;
+  double fptCoreMemMb = 0.0;
+
+  // Bandwidth (Table 4).
+  std::vector<RpcChannelReport> rpcChannels;
+
+  // Cluster health (sanity).
+  long jobsSubmitted = 0;
+  long jobsCompleted = 0;
+  long tasksCompleted = 0;
+  long tasksFailed = 0;
+  long speculativeLaunches = 0;
+  long syncDroppedSeconds = 0;
+};
+
+/// Per-approach evaluation of one experiment.
+struct ApproachSummary {
+  analysis::EvalResult eval;
+  double latencySeconds = -1.0;
+};
+
+struct ExperimentSummary {
+  ApproachSummary blackBox;
+  ApproachSummary whiteBox;
+  ApproachSummary combined;
+};
+
+/// Step 1: trains the black-box model on a fault-free run.
+analysis::BlackBoxModel trainModel(const ExperimentSpec& spec);
+
+/// Steps 2: runs the monitored experiment with the given model.
+ExperimentResult runExperiment(const ExperimentSpec& spec,
+                               const analysis::BlackBoxModel& model);
+
+/// Step 3: evaluates recorded alarms against the ground truth.
+ExperimentSummary summarize(const ExperimentResult& result);
+
+/// Re-evaluates at different thresholds using recorded scores
+/// (offline sweeps for Figures 6a/6b).
+ApproachSummary summarizeAtThreshold(const analysis::AlarmSeries& series,
+                                     const analysis::GroundTruth& truth,
+                                     double threshold);
+
+}  // namespace asdf::harness

@@ -1,0 +1,107 @@
+#include "harness/pipelines.h"
+
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace asdf::harness {
+namespace {
+
+void appendBlackBox(std::ostringstream& out, const PipelineParams& p) {
+  for (int i = 1; i <= p.slaves; ++i) {
+    out << strformat(
+        "[sadc]\n"
+        "id = sadc%d\n"
+        "node = %d\n"
+        "interval = 1\n\n",
+        i, i);
+    out << strformat(
+        "[knn]\n"
+        "id = onenn%d\n"
+        "k = 1\n"
+        "input[input] = sadc%d.output0\n\n",
+        i, i);
+    out << strformat(
+        "[ibuffer]\n"
+        "id = buf%d\n"
+        "input[input] = onenn%d.output0\n"
+        "size = %d\n"
+        "slide = %d\n\n",
+        i, i, p.windowSize, p.windowSlide);
+  }
+  out << strformat(
+      "[analysis_bb]\n"
+      "id = analysis_bb\n"
+      "threshold = %g\n"
+      "window = %d\n"
+      "slide = %d\n",
+      p.bbThreshold, p.windowSize, p.windowSlide);
+  for (int i = 1; i <= p.slaves; ++i) {
+    out << strformat("input[l%d] = buf%d.output0\n", i - 1, i);
+  }
+  out << strformat(
+      "\n[print]\n"
+      "id = BlackBoxAlarm\n"
+      "quiet = %d\n"
+      "input[a] = @analysis_bb\n\n",
+      p.quietPrint ? 1 : 0);
+}
+
+void appendWhiteBox(std::ostringstream& out, const PipelineParams& p) {
+  for (int i = 1; i <= p.slaves; ++i) {
+    out << strformat(
+        "[hadoop_log]\n"
+        "id = hl%d\n"
+        "node = %d\n"
+        "interval = 1\n\n",
+        i, i);
+    out << strformat(
+        "[mavgvec]\n"
+        "id = mavg%d\n"
+        "window = %d\n"
+        "slide = %d\n"
+        "input[input] = hl%d.output0\n\n",
+        i, p.windowSize, p.windowSlide, i);
+  }
+  out << strformat(
+      "[analysis_wb]\n"
+      "id = analysis_wb\n"
+      "k = %g\n",
+      p.wbK);
+  for (int i = 1; i <= p.slaves; ++i) {
+    out << strformat("input[a%d] = mavg%d.mean\n", i - 1, i);
+    out << strformat("input[d%d] = mavg%d.stddev\n", i - 1, i);
+  }
+  out << strformat(
+      "\n[print]\n"
+      "id = WhiteBoxAlarm\n"
+      "quiet = %d\n"
+      "input[a] = @analysis_wb\n\n",
+      p.quietPrint ? 1 : 0);
+}
+
+}  // namespace
+
+std::string buildBlackBoxConfig(const PipelineParams& params) {
+  std::ostringstream out;
+  out << "# ASDF black-box pipeline (generated)\n\n";
+  appendBlackBox(out, params);
+  return out.str();
+}
+
+std::string buildWhiteBoxConfig(const PipelineParams& params) {
+  std::ostringstream out;
+  out << "# ASDF white-box pipeline (generated)\n\n";
+  appendWhiteBox(out, params);
+  return out.str();
+}
+
+std::string buildCombinedConfig(const PipelineParams& params) {
+  std::ostringstream out;
+  out << "# ASDF combined black-box + white-box pipeline (generated)\n\n";
+  appendBlackBox(out, params);
+  appendWhiteBox(out, params);
+  return out.str();
+}
+
+}  // namespace asdf::harness

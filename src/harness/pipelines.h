@@ -1,0 +1,36 @@
+// fpt-core configuration builders for the Hadoop deployment.
+//
+// The harness does not wire modules programmatically: it emits the
+// same kind of configuration text a system administrator would write
+// (Figures 3 and 4 of the paper) and feeds it through the real parser
+// and DAG builder, so every experiment also exercises the
+// configuration path end to end.
+#pragma once
+
+#include <string>
+
+namespace asdf::harness {
+
+struct PipelineParams {
+  int slaves = 16;
+  int windowSize = 60;   // samples per analysis window
+  int windowSlide = 5;   // samples between windows
+  double bbThreshold = 60.0;
+  double wbK = 3.0;
+  bool quietPrint = true;
+};
+
+/// Black-box pipeline: per slave sadc -> knn -> ibuffer, then one
+/// analysis_bb across all slaves feeding a print sink named
+/// "BlackBoxAlarm".
+std::string buildBlackBoxConfig(const PipelineParams& params);
+
+/// White-box pipeline: per slave hadoop_log -> mavgvec, then one
+/// analysis_wb across all slaves feeding "WhiteBoxAlarm".
+std::string buildWhiteBoxConfig(const PipelineParams& params);
+
+/// Both pipelines in one DAG (the deployment of Figure 4, which runs
+/// black-box and white-box analyses in parallel).
+std::string buildCombinedConfig(const PipelineParams& params);
+
+}  // namespace asdf::harness

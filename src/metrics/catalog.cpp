@@ -1,0 +1,82 @@
+#include "metrics/catalog.h"
+
+namespace asdf::metrics {
+namespace {
+
+const std::array<const char*, kNodeMetricCount> kNodeNames = {
+    "cpu_user_pct",      "cpu_nice_pct",      "cpu_system_pct",
+    "cpu_iowait_pct",    "cpu_steal_pct",     "cpu_idle_pct",
+    "proc_per_s",        "cswch_per_s",       "intr_per_s",
+    "pswpin_per_s",      "pswpout_per_s",     "pgpgin_per_s",
+    "pgpgout_per_s",     "fault_per_s",       "majflt_per_s",
+    "pgfree_per_s",      "pgscank_per_s",     "pgscand_per_s",
+    "pgsteal_per_s",     "tps",               "rtps",
+    "wtps",              "bread_per_s",       "bwrtn_per_s",
+    "frmpg_per_s",       "bufpg_per_s",       "campg_per_s",
+    "kbmemfree",         "kbmemused",         "memused_pct",
+    "kbbuffers",         "kbcached",          "kbcommit",
+    "commit_pct",        "kbswpfree",         "kbswpused",
+    "swpused_pct",       "kbswpcad",          "kbhugfree",
+    "kbhugused",         "dentunusd",         "file_nr",
+    "inode_nr",          "pty_nr",            "runq_sz",
+    "plist_sz",          "ldavg_1",           "ldavg_5",
+    "ldavg_15",          "rcvin_per_s",       "xmtin_per_s",
+    "totsck",            "tcpsck",            "udpsck",
+    "rawsck",            "ip_frag",           "rxpck_total_per_s",
+    "txpck_total_per_s", "rxkb_total_per_s",  "txkb_total_per_s",
+    "nfs_call_per_s",    "nfs_retrans_per_s", "nfs_scall_per_s",
+    "nfs_badcall_per_s",
+};
+
+const std::array<const char*, kNicMetricCount> kNicNames = {
+    "rxpck_per_s", "txpck_per_s", "rxkb_per_s",  "txkb_per_s",
+    "rxcmp_per_s", "txcmp_per_s", "rxmcst_per_s", "rxerr_per_s",
+    "txerr_per_s", "coll_per_s",  "rxdrop_per_s", "txdrop_per_s",
+    "txcarr_per_s", "rxfram_per_s", "rxfifo_per_s", "txfifo_per_s",
+    "ifutil_pct",  "speed_mbps",
+};
+
+const std::array<const char*, kProcessMetricCount> kProcessNames = {
+    "pcpu_user",   "pcpu_system",  "pcpu_total",  "minflt_per_s",
+    "majflt_per_s", "vsz_kb",      "rss_kb",      "mem_pct",
+    "kb_rd_per_s", "kb_wr_per_s",  "kb_ccwr_per_s", "iodelay",
+    "cswch_per_s", "nvcswch_per_s", "threads",    "fds",
+    "prio",        "stime_ticks",  "utime_ticks",
+};
+
+template <std::size_t N>
+int indexOf(const std::array<const char*, N>& names,
+            const std::string& name) {
+  for (std::size_t i = 0; i < N; ++i) {
+    if (name == names[i]) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace
+
+const std::array<const char*, kNodeMetricCount>& nodeMetricNames() {
+  return kNodeNames;
+}
+
+const std::array<const char*, kNicMetricCount>& nicMetricNames() {
+  return kNicNames;
+}
+
+const std::array<const char*, kProcessMetricCount>& processMetricNames() {
+  return kProcessNames;
+}
+
+int nodeMetricIndex(const std::string& name) {
+  return indexOf(kNodeNames, name);
+}
+
+int nicMetricIndex(const std::string& name) {
+  return indexOf(kNicNames, name);
+}
+
+int processMetricIndex(const std::string& name) {
+  return indexOf(kProcessNames, name);
+}
+
+}  // namespace asdf::metrics

@@ -1,0 +1,27 @@
+#include "metrics/sadc.h"
+
+#include <cassert>
+
+namespace asdf::metrics {
+
+std::vector<double> flattenNodeVector(const SadcSnapshot& snap) {
+  assert(snap.node.size() == kNodeMetricCount);
+  assert(snap.nic.size() == kNicMetricCount);
+  std::vector<double> out;
+  out.reserve(kFlatNodeVectorSize);
+  out.insert(out.end(), snap.node.begin(), snap.node.end());
+  out.insert(out.end(), snap.nic.begin(), snap.nic.end());
+  return out;
+}
+
+std::vector<std::string> flattenedNodeVectorNames() {
+  std::vector<std::string> names;
+  names.reserve(kFlatNodeVectorSize);
+  for (const char* n : nodeMetricNames()) names.emplace_back(n);
+  for (const char* n : nicMetricNames()) {
+    names.emplace_back(std::string("eth0.") + n);
+  }
+  return names;
+}
+
+}  // namespace asdf::metrics

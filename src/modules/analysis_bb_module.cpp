@@ -1,0 +1,101 @@
+// [analysis_bb] — the black-box fingerpointer (Section 4.5).
+//
+// Consumes, per node, a windowed array of 1-NN state indices (from an
+// ibuffer downstream of knn), builds each node's StateVector (the
+// per-window histogram of workload states), computes the
+// component-wise median StateVector across nodes, and flags node j
+// when || StateVector_j - medianStateVector ||_1 exceeds a
+// pre-determined threshold.
+//
+// Parameters:
+//   threshold = <L1 distance threshold>  (default 60)
+//
+// Inputs:  l0..l(N-1) — one per monitored node, each one ibuffer array
+// Outputs: alarms — 0/1 per node;  scores — raw L1 distances (used by
+//          offline threshold sweeps, Figure 6a)
+#include <vector>
+
+#include "analysis/bbmodel.h"
+#include "analysis/peercompare.h"
+#include "common/error.h"
+#include "common/strings.h"
+#include "core/module.h"
+#include "modules/modules.h"
+
+namespace asdf::modules {
+
+class AnalysisBbModule final : public core::Module {
+ public:
+  void init(core::ModuleContext& ctx) override {
+    threshold_ = ctx.numParam("threshold", 60.0);
+    // Window/slide are properties of the upstream ibuffers; the values
+    // are accepted here for configuration compatibility (Figure 3).
+    (void)ctx.intParam("window", 60);
+    (void)ctx.intParam("slide", 5);
+
+    const analysis::BlackBoxModel& model =
+        ctx.env().require<analysis::BlackBoxModel>("bb_model");
+    numStates_ = model.states();
+
+    // Enumerate the per-node inputs l0..l(N-1).
+    for (int i = 0;; ++i) {
+      const std::string name = strformat("l%d", i);
+      const std::size_t width = ctx.inputWidth(name);
+      if (width == 0) break;
+      if (width != 1) {
+        throw ConfigError("[" + ctx.instanceId() + "] input '" + name +
+                          "' must bind exactly one output");
+      }
+      inputs_.push_back(name);
+    }
+    if (inputs_.size() < 3) {
+      throw ConfigError("[" + ctx.instanceId() +
+                        "] analysis_bb needs at least 3 node inputs "
+                        "(median peer comparison)");
+    }
+
+    std::string origins;
+    for (const auto& name : inputs_) {
+      if (!origins.empty()) origins += ";";
+      origins += ctx.inputOrigin(name, 0);
+    }
+    outAlarms_ = ctx.addOutput("alarms", origins);
+    outScores_ = ctx.addOutput("scores", origins);
+    ctx.setInputTrigger(static_cast<int>(inputs_.size()));
+  }
+
+  void run(core::ModuleContext& ctx, core::RunReason) override {
+    // Fire only when every node's window arrived (lockstep upstream).
+    for (const auto& name : inputs_) {
+      if (!ctx.inputHasData(name, 0) || !ctx.inputFresh(name, 0)) return;
+    }
+    std::vector<std::vector<double>> histograms;
+    histograms.reserve(inputs_.size());
+    for (const auto& name : inputs_) {
+      const core::Sample& sample = ctx.input(name, 0);
+      if (!core::isVector(sample.value)) {
+        throw ConfigError("analysis_bb expects array inputs");
+      }
+      histograms.push_back(analysis::stateHistogram(
+          core::asVector(sample.value), numStates_));
+    }
+    const analysis::PeerComparisonResult result =
+        analysis::blackBoxCompare(histograms, threshold_);
+    ctx.write(outAlarms_, result.flags);
+    ctx.write(outScores_, result.scores);
+  }
+
+ private:
+  double threshold_ = 60.0;
+  std::size_t numStates_ = 0;
+  std::vector<std::string> inputs_;
+  int outAlarms_ = -1;
+  int outScores_ = -1;
+};
+
+void registerAnalysisBbModule(core::ModuleRegistry& registry) {
+  registry.registerType(
+      "analysis_bb", [] { return std::make_unique<AnalysisBbModule>(); });
+}
+
+}  // namespace asdf::modules

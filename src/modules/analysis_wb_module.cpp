@@ -1,0 +1,101 @@
+// [analysis_wb] — the white-box fingerpointer (Section 4.4).
+//
+// Consumes, per node, the windowed mean and standard deviation of the
+// Hadoop state vector (from mavgvec), computes the cross-node median
+// of each metric's mean, and flags node i when some metric's
+// |mean_i - median| exceeds max(1, k * sigma_median), with
+// sigma_median the median of the nodes' window standard deviations
+// for that metric — the paper's guard against constant metrics whose
+// standard deviation is zero on most nodes.
+//
+// Parameters:
+//   k = <threshold multiplier>  (default 3)
+//
+// Inputs:  a0..a(N-1) — per-node window means
+//          d0..d(N-1) — per-node window standard deviations
+// Outputs: alarms — 0/1 per node;  scores — per-node critical k (used
+//          by offline k sweeps, Figure 6b)
+#include <vector>
+
+#include "analysis/peercompare.h"
+#include "common/error.h"
+#include "common/strings.h"
+#include "core/module.h"
+#include "modules/modules.h"
+
+namespace asdf::modules {
+
+class AnalysisWbModule final : public core::Module {
+ public:
+  void init(core::ModuleContext& ctx) override {
+    k_ = ctx.numParam("k", 3.0);
+    for (int i = 0;; ++i) {
+      const std::string meanName = strformat("a%d", i);
+      const std::string devName = strformat("d%d", i);
+      const std::size_t meanWidth = ctx.inputWidth(meanName);
+      const std::size_t devWidth = ctx.inputWidth(devName);
+      if (meanWidth == 0 && devWidth == 0) break;
+      if (meanWidth != 1 || devWidth != 1) {
+        throw ConfigError("[" + ctx.instanceId() + "] inputs '" + meanName +
+                          "'/'" + devName +
+                          "' must each bind exactly one output");
+      }
+      meanInputs_.push_back(meanName);
+      devInputs_.push_back(devName);
+    }
+    if (meanInputs_.size() < 3) {
+      throw ConfigError("[" + ctx.instanceId() +
+                        "] analysis_wb needs at least 3 node inputs "
+                        "(median peer comparison)");
+    }
+    std::string origins;
+    for (const auto& name : meanInputs_) {
+      if (!origins.empty()) origins += ";";
+      origins += ctx.inputOrigin(name, 0);
+    }
+    outAlarms_ = ctx.addOutput("alarms", origins);
+    outScores_ = ctx.addOutput("scores", origins);
+    ctx.setInputTrigger(static_cast<int>(meanInputs_.size() +
+                                         devInputs_.size()));
+  }
+
+  void run(core::ModuleContext& ctx, core::RunReason) override {
+    for (std::size_t i = 0; i < meanInputs_.size(); ++i) {
+      if (!ctx.inputHasData(meanInputs_[i], 0) ||
+          !ctx.inputHasData(devInputs_[i], 0)) {
+        return;
+      }
+    }
+    std::vector<std::vector<double>> means;
+    std::vector<std::vector<double>> stddevs;
+    means.reserve(meanInputs_.size());
+    stddevs.reserve(devInputs_.size());
+    for (std::size_t i = 0; i < meanInputs_.size(); ++i) {
+      const core::Sample& m = ctx.input(meanInputs_[i], 0);
+      const core::Sample& d = ctx.input(devInputs_[i], 0);
+      if (!core::isVector(m.value) || !core::isVector(d.value)) {
+        throw ConfigError("analysis_wb expects vector inputs");
+      }
+      means.push_back(core::asVector(m.value));
+      stddevs.push_back(core::asVector(d.value));
+    }
+    const analysis::PeerComparisonResult result =
+        analysis::whiteBoxCompare(means, stddevs, k_);
+    ctx.write(outAlarms_, result.flags);
+    ctx.write(outScores_, result.scores);
+  }
+
+ private:
+  double k_ = 3.0;
+  std::vector<std::string> meanInputs_;
+  std::vector<std::string> devInputs_;
+  int outAlarms_ = -1;
+  int outScores_ = -1;
+};
+
+void registerAnalysisWbModule(core::ModuleRegistry& registry) {
+  registry.registerType(
+      "analysis_wb", [] { return std::make_unique<AnalysisWbModule>(); });
+}
+
+}  // namespace asdf::modules

@@ -1,0 +1,74 @@
+// [csv_sink] — offline data logging (Section 2.1's "Offline and online
+// analyses" goal: "ASDF should support offline analyses ...
+// effectively turning itself into a data-collection and data-logging
+// engine in this scenario").
+//
+// Binds any number of outputs and appends one CSV row per fresh
+// sample: time, producing instance origin, port name, then the values.
+//
+// Parameters:
+//   file = <output path>   (required)
+#include <memory>
+
+#include "common/csv.h"
+#include "common/error.h"
+#include "common/strings.h"
+#include "core/module.h"
+#include "modules/modules.h"
+
+namespace asdf::modules {
+
+class CsvSinkModule final : public core::Module {
+ public:
+  void init(core::ModuleContext& ctx) override {
+    const std::string path = ctx.param("file");
+    if (path.empty()) {
+      throw ConfigError("[" + ctx.instanceId() +
+                        "] csv_sink requires a 'file' parameter");
+    }
+    if (ctx.inputNames().empty()) {
+      throw ConfigError("[" + ctx.instanceId() +
+                        "] csv_sink requires at least one input");
+    }
+    writer_ = std::make_unique<CsvWriter>(path);
+    writer_->header({"time", "origin", "port", "values..."});
+    ctx.setInputTrigger(1);
+  }
+
+  void run(core::ModuleContext& ctx, core::RunReason) override {
+    for (const auto& name : ctx.inputNames()) {
+      for (std::size_t i = 0; i < ctx.inputWidth(name); ++i) {
+        if (!ctx.inputHasData(name, i) || !ctx.inputFresh(name, i)) continue;
+        const core::Sample& sample = ctx.input(name, i);
+        std::vector<std::string> row = {
+            strformat("%.3f", sample.time),
+            ctx.inputOrigin(name, i),
+            ctx.inputPortName(name, i),
+        };
+        if (core::isScalar(sample.value)) {
+          row.push_back(strformat("%.9g", core::asScalar(sample.value)));
+        } else if (core::isVector(sample.value)) {
+          for (double v : core::asVector(sample.value)) {
+            row.push_back(strformat("%.9g", v));
+          }
+        } else {
+          row.push_back(std::get<std::string>(sample.value));
+        }
+        writer_->row(row);
+        ++rows_;
+      }
+    }
+    writer_->flush();
+  }
+
+ private:
+  std::unique_ptr<CsvWriter> writer_;
+  long rows_ = 0;
+};
+
+void registerCsvSinkModule(core::ModuleRegistry& registry) {
+  registry.registerType("csv_sink",
+                        [] { return std::make_unique<CsvSinkModule>(); });
+}
+
+}  // namespace asdf::modules

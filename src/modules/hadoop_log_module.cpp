@@ -1,0 +1,143 @@
+// [hadoop_log] — white-box data collection (Sections 3.7 / 4.4).
+//
+// Parameters:
+//   node     = <slave id, 1-based>      (required)
+//   interval = <seconds between polls>  (default 1)
+//
+// Outputs:
+//   output0  — the per-second white-box state vector for the node:
+//              5 TaskTracker states followed by 3 DataNode states,
+//              released only at cross-node-synchronized timestamps.
+//
+// Each poll asks the node's hadoop_log_rpcd for freshly finalized
+// TaskTracker and DataNode state vectors, zips the two by second, and
+// hands the merged row to the shared HadoopLogSync. The sync holds the
+// row until every monitored node produced the same second ("the
+// hadoop_log module waits for all nodes to reveal data with the same
+// timestamp before updating its outputs"); rows a node never fills in
+// are dropped. Each instance then writes whatever synchronized rows
+// are newly available for its node — typically one per poll, one or
+// two iterations behind real time, exactly like the original.
+#include <map>
+
+#include "common/error.h"
+#include "common/strings.h"
+#include "core/module.h"
+#include "hadooplog/states.h"
+#include "modules/modules.h"
+#include "rpc/daemons.h"
+
+namespace asdf::modules {
+
+class HadoopLogModule final : public core::Module {
+ public:
+  void init(core::ModuleContext& ctx) override {
+    node_ = static_cast<NodeId>(ctx.intParam("node", -1));
+    if (node_ < 1) {
+      throw ConfigError("[" + ctx.instanceId() +
+                        "] hadoop_log requires a 'node' parameter >= 1");
+    }
+    const double interval = ctx.numParam("interval", 1.0);
+    hub_ = &ctx.env().require<rpc::RpcHub>("rpc");
+    sync_ = &ctx.env().require<HadoopLogSync>("hl_sync");
+    sync_->registerNode(node_);
+    out_ = ctx.addOutput("output0", strformat("slave%d", node_));
+    ctx.requestPeriodic(interval);
+  }
+
+  void run(core::ModuleContext& ctx, core::RunReason) override {
+    const SimTime watermark = ctx.now();
+    for (const auto& s : hub_->hadoopLog(node_).fetchTt(watermark)) {
+      partial_[s.second].first = s.counts;
+      partialHasTt_[s.second] = true;
+      flushPartial();
+    }
+    for (const auto& s : hub_->hadoopLog(node_).fetchDn(watermark)) {
+      partial_[s.second].second = s.counts;
+      partialHasDn_[s.second] = true;
+      flushPartial();
+    }
+    for (auto& [second, wb] : sync_->drain(node_)) {
+      (void)second;  // Sample time is the write time; the row order is
+                     // the synchronized second order.
+      ctx.write(out_, std::move(wb));
+    }
+  }
+
+ private:
+  void flushPartial() {
+    // Push every second for which both halves arrived.
+    for (auto it = partial_.begin(); it != partial_.end();) {
+      const long second = it->first;
+      if (!partialHasTt_[second] || !partialHasDn_[second]) {
+        ++it;
+        continue;
+      }
+      std::vector<double> wb = it->second.first;
+      wb.insert(wb.end(), it->second.second.begin(),
+                it->second.second.end());
+      sync_->push(node_, second, std::move(wb));
+      partialHasTt_.erase(second);
+      partialHasDn_.erase(second);
+      it = partial_.erase(it);
+    }
+  }
+
+  NodeId node_ = kInvalidNode;
+  rpc::RpcHub* hub_ = nullptr;
+  HadoopLogSync* sync_ = nullptr;
+  int out_ = -1;
+  std::map<long, std::pair<std::vector<double>, std::vector<double>>>
+      partial_;
+  std::map<long, bool> partialHasTt_;
+  std::map<long, bool> partialHasDn_;
+};
+
+void registerHadoopLogModule(core::ModuleRegistry& registry) {
+  registry.registerType(
+      "hadoop_log", [] { return std::make_unique<HadoopLogModule>(); });
+}
+
+// ---------------------------------------------------------------------------
+// HadoopLogSync
+
+void HadoopLogSync::registerNode(NodeId node) {
+  nodes_.insert(node);
+  drainCursor_.emplace(node, released_.size());
+}
+
+void HadoopLogSync::push(NodeId node, long second, std::vector<double> wb) {
+  auto& row = pending_[second];
+  row[node] = std::move(wb);
+  if (row.size() < nodes_.size()) return;
+
+  // Complete: release this row and drop any older incomplete seconds —
+  // they can no longer complete in order.
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (it->first > second) break;
+    if (it->first < second) {
+      ++dropped_;
+      it = pending_.erase(it);
+      continue;
+    }
+    released_.push_back(ReleasedRow{it->first, std::move(it->second)});
+    it = pending_.erase(it);
+  }
+}
+
+std::vector<std::pair<long, std::vector<double>>> HadoopLogSync::drain(
+    NodeId node) {
+  std::vector<std::pair<long, std::vector<double>>> out;
+  auto& cursor = drainCursor_[node];
+  while (cursor < released_.size()) {
+    const ReleasedRow& row = released_[cursor];
+    const auto it = row.byNode.find(node);
+    if (it != row.byNode.end()) {
+      out.emplace_back(row.second, it->second);
+    }
+    ++cursor;
+  }
+  return out;
+}
+
+}  // namespace asdf::modules

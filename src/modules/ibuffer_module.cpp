@@ -1,0 +1,68 @@
+// [ibuffer] — rate-mismatch buffer (Section 3.7).
+//
+// "A buffer module (ibuffer) has been written to collect individual
+// data points from a data collection module output, and present the
+// data as an array of data points to an analysis module, which can
+// then process a larger data set more slowly."
+//
+// Parameters:
+//   size  = <window length in samples>   (default 10)
+//   slide = <samples between emissions>  (default 1)
+//
+// Inputs:  input  — a scalar stream (e.g. knn state indices)
+// Outputs: output0 — vector of the most recent `size` samples, emitted
+//          every `slide` samples once the buffer has filled.
+#include <deque>
+
+#include "common/error.h"
+#include "core/module.h"
+#include "modules/modules.h"
+
+namespace asdf::modules {
+
+class IBufferModule final : public core::Module {
+ public:
+  void init(core::ModuleContext& ctx) override {
+    size_ = static_cast<std::size_t>(ctx.intParam("size", 10));
+    slide_ = static_cast<std::size_t>(ctx.intParam("slide", 1));
+    if (size_ == 0 || slide_ == 0) {
+      throw ConfigError("[" + ctx.instanceId() +
+                        "] ibuffer size and slide must be >= 1");
+    }
+    if (ctx.inputWidth("input") != 1) {
+      throw ConfigError("[" + ctx.instanceId() +
+                        "] ibuffer requires exactly one 'input' connection");
+    }
+    out_ = ctx.addOutput("output0", ctx.inputOrigin("input", 0));
+    ctx.setInputTrigger(1);
+  }
+
+  void run(core::ModuleContext& ctx, core::RunReason) override {
+    if (!ctx.inputFresh("input", 0)) return;
+    const core::Sample& sample = ctx.input("input", 0);
+    if (!core::isScalar(sample.value)) {
+      throw ConfigError("ibuffer expects a scalar input stream");
+    }
+    buf_.push_back(core::asScalar(sample.value));
+    while (buf_.size() > size_) buf_.pop_front();
+    ++sinceEmit_;
+    if (buf_.size() == size_ && sinceEmit_ >= slide_) {
+      sinceEmit_ = 0;
+      ctx.write(out_, std::vector<double>(buf_.begin(), buf_.end()));
+    }
+  }
+
+ private:
+  std::size_t size_ = 10;
+  std::size_t slide_ = 1;
+  std::size_t sinceEmit_ = 0;
+  std::deque<double> buf_;
+  int out_ = -1;
+};
+
+void registerIBufferModule(core::ModuleRegistry& registry) {
+  registry.registerType("ibuffer",
+                        [] { return std::make_unique<IBufferModule>(); });
+}
+
+}  // namespace asdf::modules

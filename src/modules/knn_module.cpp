@@ -1,0 +1,100 @@
+// [knn] — workload-state matching (Section 3.6).
+//
+// "The knn (k-nearest neighbors) module is used to match sample
+// points with centroids corresponding to known system states ... For
+// each input sample s, a vector s' is computed as
+// s'_i = log(1 + s_i) / sigma_i and the Euclidean distance between s'
+// and each centroid is computed. The indices of the k nearest
+// centroids to s' are output."
+//
+// Parameters:
+//   k          = <how many nearest indices to output> (default 1)
+//   model_file = <path to a serialized BlackBoxModel>  (optional;
+//                falls back to the "bb_model" environment service,
+//                which is how the harness ships offline-trained
+//                centroids into the online pipeline)
+//
+// Inputs:  input    — the raw metric vector stream (from sadc)
+// Outputs: output0  — index of the nearest centroid (scalar)
+//          outputK (k > 1) — index of the (K+1)-th nearest centroid
+#include <fstream>
+#include <sstream>
+
+#include "analysis/bbmodel.h"
+#include "analysis/kmeans.h"
+#include "common/error.h"
+#include "common/strings.h"
+#include "core/module.h"
+#include "modules/modules.h"
+
+namespace asdf::modules {
+
+class KnnModule final : public core::Module {
+ public:
+  void init(core::ModuleContext& ctx) override {
+    k_ = static_cast<std::size_t>(ctx.intParam("k", 1));
+    if (k_ == 0) {
+      throw ConfigError("[" + ctx.instanceId() + "] knn k must be >= 1");
+    }
+    if (ctx.inputWidth("input") != 1) {
+      throw ConfigError("[" + ctx.instanceId() +
+                        "] knn requires exactly one 'input' connection");
+    }
+    const std::string modelFile = ctx.param("model_file");
+    if (!modelFile.empty()) {
+      std::ifstream in(modelFile);
+      if (!in) {
+        throw ConfigError("[" + ctx.instanceId() +
+                          "] cannot open model_file " + modelFile);
+      }
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      ownedModel_ = analysis::deserializeModel(buf.str());
+      model_ = &ownedModel_;
+    } else {
+      model_ = &ctx.env().require<analysis::BlackBoxModel>("bb_model");
+    }
+    if (k_ > model_->states()) {
+      throw ConfigError("[" + ctx.instanceId() +
+                        "] knn k exceeds the number of centroids");
+    }
+    const std::string origin = ctx.inputOrigin("input", 0);
+    for (std::size_t i = 0; i < k_; ++i) {
+      outs_.push_back(ctx.addOutput(strformat("output%zu", i), origin));
+    }
+    ctx.setInputTrigger(1);
+  }
+
+  void run(core::ModuleContext& ctx, core::RunReason) override {
+    if (!ctx.inputFresh("input", 0)) return;
+    const core::Sample& sample = ctx.input("input", 0);
+    if (!core::isVector(sample.value)) {
+      throw ConfigError("knn expects a vector input stream");
+    }
+    const auto& raw = core::asVector(sample.value);
+    if (raw.size() != model_->dims()) {
+      throw ConfigError(strformat(
+          "knn input dimension %zu does not match model dimension %zu",
+          raw.size(), model_->dims()));
+    }
+    const auto nearest =
+        analysis::nearestCentroids(model_->centroids, model_->transform(raw),
+                                   k_);
+    for (std::size_t i = 0; i < nearest.size(); ++i) {
+      ctx.write(outs_[i], static_cast<double>(nearest[i]));
+    }
+  }
+
+ private:
+  std::size_t k_ = 1;
+  const analysis::BlackBoxModel* model_ = nullptr;
+  analysis::BlackBoxModel ownedModel_;
+  std::vector<int> outs_;
+};
+
+void registerKnnModule(core::ModuleRegistry& registry) {
+  registry.registerType("knn",
+                        [] { return std::make_unique<KnnModule>(); });
+}
+
+}  // namespace asdf::modules

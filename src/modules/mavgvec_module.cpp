@@ -1,0 +1,90 @@
+// [mavgvec] — moving mean/variance of a vector stream (Section 3).
+//
+// "mavgvec computes arithmetic mean and variance of a vector input
+// over a sliding window of samples ... The sample vector size and
+// window width are configurable, as is the number of samples to slide
+// the window before generating new outputs."
+//
+// Parameters:
+//   window = <window length in samples>   (default 60)
+//   slide  = <samples between emissions>  (default 5)
+//
+// Inputs:  input — a vector stream
+// Outputs: mean, var, stddev — per-dimension window statistics,
+//          emitted every `slide` samples once the window has filled.
+#include <vector>
+
+#include "common/error.h"
+#include "common/stats.h"
+#include "core/module.h"
+#include "modules/modules.h"
+
+namespace asdf::modules {
+
+class MavgvecModule final : public core::Module {
+ public:
+  void init(core::ModuleContext& ctx) override {
+    window_ = static_cast<std::size_t>(ctx.intParam("window", 60));
+    slide_ = static_cast<std::size_t>(ctx.intParam("slide", 5));
+    if (window_ == 0 || slide_ == 0) {
+      throw ConfigError("[" + ctx.instanceId() +
+                        "] mavgvec window and slide must be >= 1");
+    }
+    if (ctx.inputWidth("input") != 1) {
+      throw ConfigError("[" + ctx.instanceId() +
+                        "] mavgvec requires exactly one 'input' connection");
+    }
+    const std::string origin = ctx.inputOrigin("input", 0);
+    outMean_ = ctx.addOutput("mean", origin);
+    outVar_ = ctx.addOutput("var", origin);
+    outStddev_ = ctx.addOutput("stddev", origin);
+    ctx.setInputTrigger(1);
+  }
+
+  void run(core::ModuleContext& ctx, core::RunReason) override {
+    if (!ctx.inputFresh("input", 0)) return;
+    const core::Sample& sample = ctx.input("input", 0);
+    if (!core::isVector(sample.value)) {
+      throw ConfigError("mavgvec expects a vector input stream");
+    }
+    const auto& vec = core::asVector(sample.value);
+    if (windows_.empty()) {
+      windows_.assign(vec.size(), SlidingWindow(window_));
+    }
+    if (vec.size() != windows_.size()) {
+      throw ConfigError("mavgvec input dimension changed mid-stream");
+    }
+    for (std::size_t d = 0; d < vec.size(); ++d) windows_[d].push(vec[d]);
+    ++sinceEmit_;
+    if (!windows_.front().full() || sinceEmit_ < slide_) return;
+    sinceEmit_ = 0;
+
+    std::vector<double> mean(windows_.size());
+    std::vector<double> var(windows_.size());
+    std::vector<double> stddev(windows_.size());
+    for (std::size_t d = 0; d < windows_.size(); ++d) {
+      mean[d] = windows_[d].mean();
+      var[d] = windows_[d].variance();
+      stddev[d] = windows_[d].stddev();
+    }
+    ctx.write(outMean_, std::move(mean));
+    ctx.write(outVar_, std::move(var));
+    ctx.write(outStddev_, std::move(stddev));
+  }
+
+ private:
+  std::size_t window_ = 60;
+  std::size_t slide_ = 5;
+  std::size_t sinceEmit_ = 0;
+  std::vector<SlidingWindow> windows_;
+  int outMean_ = -1;
+  int outVar_ = -1;
+  int outStddev_ = -1;
+};
+
+void registerMavgvecModule(core::ModuleRegistry& registry) {
+  registry.registerType("mavgvec",
+                        [] { return std::make_unique<MavgvecModule>(); });
+}
+
+}  // namespace asdf::modules

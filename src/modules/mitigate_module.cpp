@@ -1,0 +1,99 @@
+// [mitigate] — active mitigation (Section 5).
+//
+// "We also plan to equip ASDF with the ability to actively mitigate
+// the consequences of a performance problem once it is detected."
+//
+// Consumes an analysis instance's alarms; when the same node has been
+// fingerpointed in `consecutive` successive windows (alarm-confidence,
+// as in the paper's detection), it asks the environment's Mitigator
+// service to quarantine that node — the harness implementation
+// blacklists the TaskTracker at the JobTracker, so no further tasks
+// land on the sick node. Each node is quarantined at most once.
+//
+// Parameters:
+//   consecutive = <windows of confidence before acting>  (default 3)
+//
+// Inputs:  a — an analysis instance (binds its 'alarms' port)
+// Outputs: actions — cumulative count of quarantines issued
+#include <set>
+
+#include "common/error.h"
+#include "common/logging.h"
+#include "common/strings.h"
+#include "core/module.h"
+#include "modules/modules.h"
+
+namespace asdf::modules {
+
+class MitigateModule final : public core::Module {
+ public:
+  void init(core::ModuleContext& ctx) override {
+    consecutive_ = ctx.intParam("consecutive", 3);
+    if (consecutive_ < 1) {
+      throw ConfigError("[" + ctx.instanceId() +
+                        "] mitigate: consecutive must be >= 1");
+    }
+    mitigator_ = &ctx.env().require<Mitigator>("mitigator");
+    const auto names = ctx.inputNames();
+    if (names.empty()) {
+      throw ConfigError("[" + ctx.instanceId() +
+                        "] mitigate requires an input");
+    }
+    inputName_ = names.front();
+    alarmsIdx_ = -1;
+    for (std::size_t i = 0; i < ctx.inputWidth(inputName_); ++i) {
+      if (ctx.inputPortName(inputName_, i) == "alarms") {
+        alarmsIdx_ = static_cast<int>(i);
+      }
+    }
+    if (alarmsIdx_ < 0) {
+      throw ConfigError("[" + ctx.instanceId() +
+                        "] mitigate found no 'alarms' output to bind");
+    }
+    out_ = ctx.addOutput("actions");
+    ctx.setInputTrigger(1);
+  }
+
+  void run(core::ModuleContext& ctx, core::RunReason) override {
+    const auto a = static_cast<std::size_t>(alarmsIdx_);
+    if (!ctx.inputHasData(inputName_, a) || !ctx.inputFresh(inputName_, a)) {
+      return;
+    }
+    const core::Sample& sample = ctx.input(inputName_, a);
+    if (!core::isVector(sample.value)) return;
+    const auto& flags = core::asVector(sample.value);
+    const auto origins = split(ctx.inputOrigin(inputName_, a), ';');
+    streaks_.resize(flags.size(), 0);
+    for (std::size_t i = 0; i < flags.size(); ++i) {
+      streaks_[i] = flags[i] > 0.5 ? streaks_[i] + 1 : 0;
+      if (streaks_[i] < consecutive_) continue;
+      const std::string origin =
+          i < origins.size() ? origins[i] : strformat("#%zu", i);
+      if (!quarantined_.insert(origin).second) continue;
+      logWarn(strformat("[%s] quarantining %s after %ld consecutive "
+                        "anomalous windows",
+                        ctx.instanceId().c_str(), origin.c_str(),
+                        consecutive_));
+      mitigator_->quarantine(origin, ctx.now());
+      ++actions_;
+      ctx.write(out_, static_cast<double>(actions_));
+    }
+  }
+
+ private:
+  long consecutive_ = 3;
+  Mitigator* mitigator_ = nullptr;
+  std::string inputName_;
+  int alarmsIdx_ = -1;
+  int out_ = -1;
+  std::vector<long> streaks_;
+  std::set<std::string> quarantined_;
+  long actions_ = 0;
+};
+
+void registerMitigateModule(core::ModuleRegistry& registry) {
+  registry.registerType("mitigate",
+                        [] { return std::make_unique<MitigateModule>(); });
+}
+
+}  // namespace asdf::modules

@@ -1,0 +1,73 @@
+// The built-in ASDF module library.
+//
+// These are the module types the paper describes: the sadc and
+// hadoop_log data-collection modules, the mavgvec / knn / ibuffer
+// processing modules, the analysis_bb / analysis_wb fingerpointers,
+// and the print alarm sink. registerBuiltinModules() installs them in
+// a registry (static libraries would otherwise drop the registration
+// objects); call it once at startup.
+//
+// Environment services the modules look up:
+//   "rpc"       rpc::RpcHub            — sadc, hadoop_log
+//   "bb_model"  analysis::BlackBoxModel — knn, analysis_bb
+//   "hl_sync"   modules::HadoopLogSync  — hadoop_log (optional;
+//                                        created implicitly if absent)
+//   env.alarmSink                       — print
+#pragma once
+
+#include <deque>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/types.h"
+#include "core/registry.h"
+
+namespace asdf::modules {
+
+/// Installs every built-in module type into the registry (the global
+/// one by default). Idempotent.
+void registerBuiltinModules(core::ModuleRegistry* registry = nullptr);
+
+/// Service interface the [mitigate] module acts through (environment
+/// name "mitigator"): quarantine the node identified by an analysis
+/// origin label (e.g. "slave3").
+class Mitigator {
+ public:
+  virtual ~Mitigator() = default;
+  virtual void quarantine(const std::string& origin, SimTime when) = 0;
+};
+
+/// Cross-instance synchronization for the hadoop_log module
+/// (Section 3.7): per-second white-box rows are released only once
+/// every registered node has produced that second, so the analysis
+/// always sees rows from the same time point. Incomplete seconds that
+/// fall behind a completed one are dropped (and counted).
+class HadoopLogSync {
+ public:
+  void registerNode(NodeId node);
+
+  /// Adds node's white-box vector for `second`; may release rows.
+  void push(NodeId node, long second, std::vector<double> wb);
+
+  /// Released (second, vector) rows for this node that have not been
+  /// drained yet, in second order.
+  std::vector<std::pair<long, std::vector<double>>> drain(NodeId node);
+
+  long droppedSeconds() const { return dropped_; }
+  std::size_t registeredNodes() const { return nodes_.size(); }
+
+ private:
+  struct ReleasedRow {
+    long second;
+    std::map<NodeId, std::vector<double>> byNode;
+  };
+
+  std::set<NodeId> nodes_;
+  std::map<long, std::map<NodeId, std::vector<double>>> pending_;
+  std::vector<ReleasedRow> released_;
+  std::map<NodeId, std::size_t> drainCursor_;
+  long dropped_ = 0;
+};
+
+}  // namespace asdf::modules

@@ -1,0 +1,93 @@
+// [print] — alarm sink.
+//
+// Binds to an analysis instance's outputs (Figure 3:
+// "input[a] = @analysis"), logs fingerpointing alarms, and forwards
+// them to the environment's alarmSink so the embedding application
+// (the experiment harness, a dashboard, ...) can consume them.
+//
+// Parameters:
+//   quiet = 1 to suppress log lines (default 0)
+#include "common/error.h"
+#include "common/logging.h"
+#include "common/strings.h"
+#include "core/module.h"
+#include "modules/modules.h"
+
+namespace asdf::modules {
+
+class PrintModule final : public core::Module {
+ public:
+  void init(core::ModuleContext& ctx) override {
+    quiet_ = ctx.intParam("quiet", 0) != 0;
+    const auto names = ctx.inputNames();
+    if (names.empty()) {
+      throw ConfigError("[" + ctx.instanceId() +
+                        "] print requires at least one input");
+    }
+    inputName_ = names.front();
+    // Identify the alarms / scores connections by port name.
+    for (std::size_t i = 0; i < ctx.inputWidth(inputName_); ++i) {
+      const std::string& port = ctx.inputPortName(inputName_, i);
+      if (port == "alarms") alarmsIdx_ = static_cast<int>(i);
+      if (port == "scores") scoresIdx_ = static_cast<int>(i);
+    }
+    if (alarmsIdx_ < 0 && ctx.inputWidth(inputName_) == 1) {
+      alarmsIdx_ = 0;  // single unnamed stream: treat it as the alarms
+    }
+    if (alarmsIdx_ < 0) {
+      throw ConfigError("[" + ctx.instanceId() +
+                        "] print found no 'alarms' output to bind");
+    }
+    ctx.setInputTrigger(1);
+  }
+
+  void run(core::ModuleContext& ctx, core::RunReason) override {
+    const auto a = static_cast<std::size_t>(alarmsIdx_);
+    if (!ctx.inputHasData(inputName_, a) || !ctx.inputFresh(inputName_, a)) {
+      return;
+    }
+    const core::Sample& sample = ctx.input(inputName_, a);
+    if (!core::isVector(sample.value)) return;
+
+    core::Alarm alarm;
+    alarm.time = sample.time;
+    alarm.channel = ctx.instanceId();
+    alarm.flags = core::asVector(sample.value);
+    alarm.origins = split(ctx.inputOrigin(inputName_, a), ';');
+    if (scoresIdx_ >= 0 &&
+        ctx.inputHasData(inputName_, static_cast<std::size_t>(scoresIdx_))) {
+      const core::Sample& scores =
+          ctx.input(inputName_, static_cast<std::size_t>(scoresIdx_));
+      if (core::isVector(scores.value)) {
+        alarm.scores = core::asVector(scores.value);
+      }
+    }
+
+    if (!quiet_) {
+      std::string flagged;
+      for (std::size_t i = 0; i < alarm.flags.size(); ++i) {
+        if (alarm.flags[i] > 0.5) {
+          if (!flagged.empty()) flagged += ",";
+          flagged += i < alarm.origins.size() ? alarm.origins[i]
+                                              : strformat("#%zu", i);
+        }
+      }
+      logInfo(strformat("[%s] t=%.0f fingerpointed: %s", alarm.channel.c_str(),
+                        alarm.time, flagged.empty() ? "-" : flagged.c_str()));
+    }
+    if (ctx.env().alarmSink) ctx.env().alarmSink(alarm);
+  }
+
+ private:
+  bool quiet_ = false;
+  std::string inputName_;
+  int alarmsIdx_ = -1;
+  int scoresIdx_ = -1;
+};
+
+void registerPrintModule(core::ModuleRegistry& registry) {
+  registry.registerType("print",
+                        [] { return std::make_unique<PrintModule>(); });
+}
+
+}  // namespace asdf::modules

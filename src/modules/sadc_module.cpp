@@ -1,0 +1,49 @@
+// [sadc] — black-box data collection (Section 3.5).
+//
+// Parameters:
+//   node     = <slave id, 1-based>      (required)
+//   interval = <seconds between polls>  (default 1)
+//
+// Outputs:
+//   output0  — the flattened metric vector (64 node + 18 NIC metrics)
+//              fetched from the node's sadc_rpcd daemon.
+#include "common/error.h"
+#include "common/strings.h"
+#include "core/module.h"
+#include "metrics/sadc.h"
+#include "modules/modules.h"
+#include "rpc/daemons.h"
+
+namespace asdf::modules {
+
+class SadcModule final : public core::Module {
+ public:
+  void init(core::ModuleContext& ctx) override {
+    node_ = static_cast<NodeId>(ctx.intParam("node", -1));
+    if (node_ < 1) {
+      throw ConfigError("[" + ctx.instanceId() +
+                        "] sadc requires a 'node' parameter >= 1");
+    }
+    const double interval = ctx.numParam("interval", 1.0);
+    hub_ = &ctx.env().require<rpc::RpcHub>("rpc");
+    out_ = ctx.addOutput("output0", strformat("slave%d", node_));
+    ctx.requestPeriodic(interval);
+  }
+
+  void run(core::ModuleContext& ctx, core::RunReason) override {
+    const metrics::SadcSnapshot snap = hub_->sadc(node_).fetch();
+    ctx.write(out_, metrics::flattenNodeVector(snap));
+  }
+
+ private:
+  NodeId node_ = kInvalidNode;
+  rpc::RpcHub* hub_ = nullptr;
+  int out_ = -1;
+};
+
+void registerSadcModule(core::ModuleRegistry& registry) {
+  registry.registerType("sadc",
+                        [] { return std::make_unique<SadcModule>(); });
+}
+
+}  // namespace asdf::modules

@@ -1,0 +1,205 @@
+#include "rpc/daemons.h"
+
+#include "rpc/wire.h"
+
+namespace asdf::rpc {
+namespace {
+
+// Request payload for a parameterless "collect" call (object id +
+// operation name, ICE-style).
+constexpr std::size_t kCollectRequestBytes = 48;
+
+// The node-side cost of answering one poll: a sliver of CPU and the
+// response bytes on the NIC (this is the perturbation Table 3 bounds).
+void chargeNode(hadoop::Node& node, double cpuSeconds, double txBytes) {
+  node.addCpuSystem(cpuSeconds);
+  node.addNetTx(txBytes);
+  node.addNetRx(kCollectRequestBytes);
+}
+
+void encodeSnapshot(Encoder& enc, const metrics::SadcSnapshot& snap) {
+  enc.putDouble(snap.time);
+  enc.putDoubleVector(snap.node);
+  enc.putDoubleVector(snap.nic);
+  enc.putU32(static_cast<std::uint32_t>(snap.processes.size()));
+  for (const auto& [name, values] : snap.processes) {
+    enc.putString(name);
+    enc.putDoubleVector(values);
+  }
+}
+
+metrics::SadcSnapshot decodeSnapshot(Decoder& dec) {
+  metrics::SadcSnapshot snap;
+  snap.time = dec.getDouble();
+  snap.node = dec.getDoubleVector();
+  snap.nic = dec.getDoubleVector();
+  const std::uint32_t n = dec.getU32();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::string name = dec.getString();
+    std::vector<double> values = dec.getDoubleVector();
+    snap.processes.emplace_back(std::move(name), std::move(values));
+  }
+  return snap;
+}
+
+void encodeSamples(Encoder& enc,
+                   const std::vector<hadooplog::StateSample>& samples) {
+  enc.putU32(static_cast<std::uint32_t>(samples.size()));
+  for (const auto& s : samples) {
+    enc.putI64(s.second);
+    enc.putDoubleVector(s.counts);
+  }
+}
+
+std::vector<hadooplog::StateSample> decodeSamples(Decoder& dec) {
+  std::vector<hadooplog::StateSample> out;
+  const std::uint32_t n = dec.getU32();
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    hadooplog::StateSample s;
+    s.second = dec.getI64();
+    s.counts = dec.getDoubleVector();
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace
+
+SadcDaemon::SadcDaemon(hadoop::Node& node, TransportRegistry& transports)
+    : node_(node), channel_(transports.channel("sadc-tcp")) {
+  channel_.recordConnect();
+}
+
+metrics::SadcSnapshot SadcDaemon::fetch() {
+  CpuMeter::Scope scope(cpu_);
+  ++calls_;
+  Encoder enc;
+  encodeSnapshot(enc, node_.sadcCollect());
+  channel_.recordCall(kCollectRequestBytes, enc.size());
+  chargeNode(node_, 2.0e-5, static_cast<double>(enc.size()));
+  Decoder dec(enc.bytes());
+  return decodeSnapshot(dec);
+}
+
+std::size_t SadcDaemon::memoryFootprintBytes() const {
+  // libsadc keeps one snapshot-sized working buffer plus /proc read
+  // scratch; the daemon itself holds the encoder buffer.
+  return sizeof(SadcDaemon) +
+         (metrics::kNodeMetricCount + metrics::kNicMetricCount +
+          2 * metrics::kProcessMetricCount) *
+             sizeof(double) +
+         4096 /* /proc scratch */;
+}
+
+HadoopLogDaemon::HadoopLogDaemon(hadoop::Node& node,
+                                 TransportRegistry& transports,
+                                 SimTime attachTime)
+    : node_(node),
+      ttChannel_(transports.channel("hl-tt-tcp")),
+      dnChannel_(transports.channel("hl-dn-tcp")) {
+  ttChannel_.recordConnect();
+  dnChannel_.recordConnect();
+  ttParser_.startAt(static_cast<long>(attachTime));
+  dnParser_.startAt(static_cast<long>(attachTime));
+}
+
+std::vector<hadooplog::StateSample> HadoopLogDaemon::roundTrip(
+    RpcChannelStats& channel,
+    const std::vector<hadooplog::StateSample>& samples) {
+  Encoder enc;
+  encodeSamples(enc, samples);
+  channel.recordCall(kCollectRequestBytes, enc.size());
+  chargeNode(node_, 1.0e-5, static_cast<double>(enc.size()));
+  Decoder dec(enc.bytes());
+  return decodeSamples(dec);
+}
+
+std::vector<hadooplog::StateSample> HadoopLogDaemon::fetchTt(
+    SimTime watermark) {
+  CpuMeter::Scope scope(cpu_);
+  ++calls_;
+  ttParser_.consume(node_.ttLog().linesFrom(ttCursor_));
+  ttCursor_ = node_.ttLog().lineCount();
+  return roundTrip(ttChannel_, ttParser_.poll(watermark));
+}
+
+std::vector<hadooplog::StateSample> HadoopLogDaemon::fetchDn(
+    SimTime watermark) {
+  CpuMeter::Scope scope(cpu_);
+  ++calls_;
+  dnParser_.consume(node_.dnLog().linesFrom(dnCursor_));
+  dnCursor_ = node_.dnLog().lineCount();
+  return roundTrip(dnChannel_, dnParser_.poll(watermark));
+}
+
+std::size_t HadoopLogDaemon::memoryFootprintBytes() const {
+  // The parser "maintains state that has constant memory use": the
+  // open-task / open-transfer maps plus the per-second accumulators.
+  return sizeof(HadoopLogDaemon) + ttParser_.openTaskCount() * 96 +
+         dnParser_.openTransferCount() * 96 + 4096 /* line scratch */;
+}
+
+StraceDaemon::StraceDaemon(hadoop::Node& node,
+                           TransportRegistry& transports)
+    : node_(node), channel_(transports.channel("strace-tcp")) {
+  channel_.recordConnect();
+}
+
+syscalls::TraceSecond StraceDaemon::fetch() {
+  CpuMeter::Scope scope(cpu_);
+  ++calls_;
+  const syscalls::TraceSecond& trace = node_.lastSyscallTrace();
+  // Wire format: one byte per event plus a length prefix.
+  channel_.recordCall(kCollectRequestBytes, 4 + trace.size());
+  chargeNode(node_, 1.0e-5, static_cast<double>(trace.size()) + 4.0);
+  return trace;
+}
+
+RpcHub::RpcHub(hadoop::Cluster& cluster, SimTime attachTime) {
+  for (hadoop::Node* node : cluster.slaveNodes()) {
+    sadcDaemons_.emplace(node->id(),
+                         std::make_unique<SadcDaemon>(*node, transports_));
+    logDaemons_.emplace(node->id(), std::make_unique<HadoopLogDaemon>(
+                                        *node, transports_, attachTime));
+    straceDaemons_.emplace(node->id(),
+                           std::make_unique<StraceDaemon>(*node,
+                                                          transports_));
+  }
+}
+
+SadcDaemon& RpcHub::sadc(NodeId node) { return *sadcDaemons_.at(node); }
+
+HadoopLogDaemon& RpcHub::hadoopLog(NodeId node) {
+  return *logDaemons_.at(node);
+}
+
+StraceDaemon& RpcHub::strace(NodeId node) {
+  return *straceDaemons_.at(node);
+}
+
+double RpcHub::sadcCpuSeconds() const {
+  double total = 0.0;
+  for (const auto& [id, d] : sadcDaemons_) total += d->cpuSeconds();
+  return total;
+}
+
+double RpcHub::hadoopLogCpuSeconds() const {
+  double total = 0.0;
+  for (const auto& [id, d] : logDaemons_) total += d->cpuSeconds();
+  return total;
+}
+
+std::size_t RpcHub::sadcMemoryBytes() const {
+  std::size_t total = 0;
+  for (const auto& [id, d] : sadcDaemons_) total += d->memoryFootprintBytes();
+  return total;
+}
+
+std::size_t RpcHub::hadoopLogMemoryBytes() const {
+  std::size_t total = 0;
+  for (const auto& [id, d] : logDaemons_) total += d->memoryFootprintBytes();
+  return total;
+}
+
+}  // namespace asdf::rpc

@@ -1,0 +1,125 @@
+// The per-node collection daemons: sadc_rpcd and hadoop_log_rpcd.
+//
+// Exactly as in the paper (Section 4.3), each monitored slave runs two
+// daemons that the ASDF control node polls over RPC: sadc_rpcd wraps
+// libsadc and returns the current OS metric snapshot; hadoop_log_rpcd
+// wraps the log-parser library and returns the per-second Hadoop state
+// vectors derived from the TaskTracker and DataNode logs.
+//
+// Every fetch round-trips its payload through the wire codec (bytes
+// recorded per channel for Table 4), charges the host node a sliver of
+// CPU and network (the monitoring perturbation the paper measures in
+// Table 3), and accumulates the real CPU time this process spent
+// executing daemon code, which the Table 3 bench reports.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/cputime.h"
+#include "common/types.h"
+#include "hadoop/cluster.h"
+#include "hadooplog/parser.h"
+#include "metrics/os_model.h"
+#include "rpc/transport.h"
+
+namespace asdf::rpc {
+
+class SadcDaemon {
+ public:
+  SadcDaemon(hadoop::Node& node, TransportRegistry& transports);
+
+  /// One collection iteration: serialize the node's current snapshot,
+  /// account the bytes, decode and return it.
+  metrics::SadcSnapshot fetch();
+
+  double cpuSeconds() const { return cpu_.seconds(); }
+  std::size_t memoryFootprintBytes() const;
+  long calls() const { return calls_; }
+
+ private:
+  hadoop::Node& node_;
+  RpcChannelStats& channel_;
+  CpuMeter cpu_;
+  long calls_ = 0;
+};
+
+class HadoopLogDaemon {
+ public:
+  /// `attachTime` anchors the parsers' clocks (zero vectors are
+  /// reported for quiet seconds from that point on).
+  HadoopLogDaemon(hadoop::Node& node, TransportRegistry& transports,
+                  SimTime attachTime);
+
+  /// Parses any new TaskTracker log lines and returns the finalized
+  /// per-second TaskTracker state vectors.
+  std::vector<hadooplog::StateSample> fetchTt(SimTime watermark);
+
+  /// Same for the DataNode log.
+  std::vector<hadooplog::StateSample> fetchDn(SimTime watermark);
+
+  double cpuSeconds() const { return cpu_.seconds(); }
+  std::size_t memoryFootprintBytes() const;
+  long calls() const { return calls_; }
+
+ private:
+  std::vector<hadooplog::StateSample> roundTrip(
+      RpcChannelStats& channel,
+      const std::vector<hadooplog::StateSample>& samples);
+
+  hadoop::Node& node_;
+  RpcChannelStats& ttChannel_;
+  RpcChannelStats& dnChannel_;
+  hadooplog::TtLogParser ttParser_;
+  hadooplog::DnLogParser dnParser_;
+  std::size_t ttCursor_ = 0;
+  std::size_t dnCursor_ = 0;
+  CpuMeter cpu_;
+  long calls_ = 0;
+};
+
+/// strace_rpcd (Section 5 extension): ships the node's per-second
+/// syscall trace to the control node.
+class StraceDaemon {
+ public:
+  StraceDaemon(hadoop::Node& node, TransportRegistry& transports);
+
+  /// Returns the most recent tick's syscall trace.
+  syscalls::TraceSecond fetch();
+
+  double cpuSeconds() const { return cpu_.seconds(); }
+  long calls() const { return calls_; }
+
+ private:
+  hadoop::Node& node_;
+  RpcChannelStats& channel_;
+  CpuMeter cpu_;
+  long calls_ = 0;
+};
+
+/// One hub per monitored cluster: owns the per-node daemons, like the
+/// boot-time daemon start-up the paper requires on all monitored nodes.
+class RpcHub {
+ public:
+  RpcHub(hadoop::Cluster& cluster, SimTime attachTime);
+
+  SadcDaemon& sadc(NodeId node);
+  HadoopLogDaemon& hadoopLog(NodeId node);
+  StraceDaemon& strace(NodeId node);
+  TransportRegistry& transports() { return transports_; }
+
+  /// Aggregate daemon CPU seconds (Table 3).
+  double sadcCpuSeconds() const;
+  double hadoopLogCpuSeconds() const;
+  std::size_t sadcMemoryBytes() const;
+  std::size_t hadoopLogMemoryBytes() const;
+
+ private:
+  TransportRegistry transports_;
+  std::map<NodeId, std::unique_ptr<SadcDaemon>> sadcDaemons_;
+  std::map<NodeId, std::unique_ptr<HadoopLogDaemon>> logDaemons_;
+  std::map<NodeId, std::unique_ptr<StraceDaemon>> straceDaemons_;
+};
+
+}  // namespace asdf::rpc

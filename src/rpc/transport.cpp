@@ -1,0 +1,45 @@
+#include "rpc/transport.h"
+
+#include <utility>
+
+namespace asdf::rpc {
+
+RpcChannelStats::RpcChannelStats(std::string name, TransportCosts costs)
+    : name_(std::move(name)), costs_(costs) {}
+
+void RpcChannelStats::recordConnect() { ++connects_; }
+
+void RpcChannelStats::recordCall(std::size_t requestPayload,
+                                 std::size_t responsePayload) {
+  ++calls_;
+  payloadBytes_ += static_cast<double>(requestPayload) +
+                   static_cast<double>(responsePayload) +
+                   2.0 * costs_.perMessageOverheadBytes;
+}
+
+double RpcChannelStats::staticOverheadBytes() const {
+  return static_cast<double>(connects_) * costs_.connectBytes;
+}
+
+double RpcChannelStats::totalCallBytes() const { return payloadBytes_; }
+
+double RpcChannelStats::bytesPerCall() const {
+  return calls_ == 0 ? 0.0 : payloadBytes_ / static_cast<double>(calls_);
+}
+
+RpcChannelStats& TransportRegistry::channel(const std::string& name) {
+  auto it = channels_.find(name);
+  if (it == channels_.end()) {
+    it = channels_.emplace(name, RpcChannelStats(name, costs_)).first;
+  }
+  return it->second;
+}
+
+std::vector<const RpcChannelStats*> TransportRegistry::channels() const {
+  std::vector<const RpcChannelStats*> out;
+  out.reserve(channels_.size());
+  for (const auto& [name, ch] : channels_) out.push_back(&ch);
+  return out;
+}
+
+}  // namespace asdf::rpc

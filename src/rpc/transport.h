@@ -1,0 +1,64 @@
+// Channel-level transport accounting.
+//
+// Table 4 of the paper reports, per RPC type (sadc-tcp, hl-dn-tcp,
+// hl-tt-tcp), the static per-node connection overhead and the
+// per-iteration bandwidth. RpcChannelStats accumulates exactly those
+// quantities: connection setup bytes once per node, then request +
+// response payload (plus per-message framing) per call.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace asdf::rpc {
+
+/// Wire costs shared by all channels; modeled on a TCP connection
+/// carrying ICE-style RPC: 3-way handshake + protocol negotiation at
+/// connect, and per-message TCP/IP + RPC header overhead.
+struct TransportCosts {
+  double connectBytes = 2028.0;  // handshake + validation + proxy setup
+  double perMessageOverheadBytes = 78.0;  // TCP/IP + RPC header
+};
+
+class RpcChannelStats {
+ public:
+  RpcChannelStats(std::string name, TransportCosts costs);
+
+  /// Records a connection establishment (once per monitored node).
+  void recordConnect();
+
+  /// Records one call: request payload out, response payload back.
+  void recordCall(std::size_t requestPayload, std::size_t responsePayload);
+
+  const std::string& name() const { return name_; }
+  long connects() const { return connects_; }
+  long calls() const { return calls_; }
+  double staticOverheadBytes() const;   // total connect bytes
+  double totalCallBytes() const;        // all request+response traffic
+  double bytesPerCall() const;
+
+ private:
+  std::string name_;
+  TransportCosts costs_;
+  long connects_ = 0;
+  long calls_ = 0;
+  double payloadBytes_ = 0.0;
+};
+
+/// Registry of channels, keyed by RPC type name.
+class TransportRegistry {
+ public:
+  explicit TransportRegistry(TransportCosts costs = TransportCosts{})
+      : costs_(costs) {}
+
+  RpcChannelStats& channel(const std::string& name);
+  std::vector<const RpcChannelStats*> channels() const;
+
+ private:
+  TransportCosts costs_;
+  std::map<std::string, RpcChannelStats> channels_;
+};
+
+}  // namespace asdf::rpc

@@ -1,0 +1,91 @@
+#include "rpc/wire.h"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "common/error.h"
+
+namespace asdf::rpc {
+
+void Encoder::putU32(std::uint32_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v >> 24));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 16));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void Encoder::putI64(std::int64_t v) {
+  const auto u = static_cast<std::uint64_t>(v);
+  putU32(static_cast<std::uint32_t>(u >> 32));
+  putU32(static_cast<std::uint32_t>(u & 0xFFFFFFFFULL));
+}
+
+void Encoder::putDouble(double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  putI64(static_cast<std::int64_t>(bits));
+}
+
+void Encoder::putString(const std::string& s) {
+  putU32(static_cast<std::uint32_t>(s.size()));
+  for (char c : s) buf_.push_back(static_cast<std::uint8_t>(c));
+  while (buf_.size() % 4 != 0) buf_.push_back(0);  // XDR padding
+}
+
+void Encoder::putDoubleVector(const std::vector<double>& v) {
+  putU32(static_cast<std::uint32_t>(v.size()));
+  for (double d : v) putDouble(d);
+}
+
+void Decoder::need(std::size_t n) {
+  if (pos_ + n > buf_.size()) {
+    throw RpcError("wire decode: truncated message");
+  }
+}
+
+std::uint32_t Decoder::getU32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v = (v << 8) | buf_[pos_++];
+  }
+  return v;
+}
+
+std::int64_t Decoder::getI64() {
+  const std::uint64_t hi = getU32();
+  const std::uint64_t lo = getU32();
+  return static_cast<std::int64_t>((hi << 32) | lo);
+}
+
+double Decoder::getDouble() {
+  const auto bits = static_cast<std::uint64_t>(getI64());
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string Decoder::getString() {
+  const std::uint32_t len = getU32();
+  need(len);
+  std::string s(reinterpret_cast<const char*>(buf_.data()) +
+                    static_cast<long>(pos_),
+                len);
+  pos_ += len;
+  while (pos_ % 4 != 0) {
+    need(1);
+    ++pos_;
+  }
+  return s;
+}
+
+std::vector<double> Decoder::getDoubleVector() {
+  const std::uint32_t n = getU32();
+  std::vector<double> v;
+  v.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) v.push_back(getDouble());
+  return v;
+}
+
+}  // namespace asdf::rpc

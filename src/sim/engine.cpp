@@ -1,0 +1,66 @@
+#include "sim/engine.h"
+
+#include <cassert>
+#include <utility>
+
+namespace asdf::sim {
+
+void SimEngine::push(SimTime at, Callback fn, int periodicId) {
+  if (at < now_) at = now_;
+  queue_.push(Event{at, nextSeq_++, std::move(fn), periodicId});
+}
+
+void SimEngine::scheduleAt(SimTime at, Callback fn) {
+  push(at, std::move(fn), -1);
+}
+
+void SimEngine::scheduleAfter(SimTime delay, Callback fn) {
+  push(now_ + (delay < 0 ? 0 : delay), std::move(fn), -1);
+}
+
+int SimEngine::addPeriodic(SimTime interval, Callback fn, SimTime phase) {
+  assert(interval > 0);
+  const int id = static_cast<int>(periodics_.size());
+  periodics_.push_back(PeriodicTask{interval, std::move(fn), true});
+  const SimTime first = now_ + (phase >= 0 ? phase : interval);
+  // The queued event only holds the id; the callback lives in
+  // periodics_ so cancelPeriodic can drop future firings.
+  push(first, Callback{}, id);
+  return id;
+}
+
+void SimEngine::cancelPeriodic(int id) {
+  if (id >= 0 && static_cast<std::size_t>(id) < periodics_.size()) {
+    periodics_[static_cast<std::size_t>(id)].active = false;
+  }
+}
+
+bool SimEngine::step() {
+  if (queue_.empty()) return false;
+  Event ev = queue_.top();
+  queue_.pop();
+  assert(ev.at >= now_);
+  now_ = ev.at;
+  if (ev.periodicId >= 0) {
+    auto& task = periodics_[static_cast<std::size_t>(ev.periodicId)];
+    if (!task.active) return true;  // cancelled; swallow the firing
+    // Re-arm before running so the callback can cancel itself.
+    push(now_ + task.interval, Callback{}, ev.periodicId);
+    task.fn();
+  } else {
+    ev.fn();
+  }
+  return true;
+}
+
+std::size_t SimEngine::runUntil(SimTime until) {
+  std::size_t dispatched = 0;
+  while (!queue_.empty() && queue_.top().at <= until) {
+    if (!step()) break;
+    ++dispatched;
+  }
+  if (now_ < until) now_ = until;
+  return dispatched;
+}
+
+}  // namespace asdf::sim

@@ -1,0 +1,80 @@
+#include "sim/resources.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace asdf::sim {
+
+ShareResource::ShareResource(std::string name, double capacityPerTick)
+    : name_(std::move(name)), capacity_(capacityPerTick) {
+  assert(capacity_ > 0.0);
+}
+
+void ShareResource::beginTick() {
+  demands_.clear();
+  totalDemand_ = 0.0;
+  grantRatio_ = 1.0;
+  finalized_ = false;
+}
+
+int ShareResource::request(double amount) {
+  assert(!finalized_ && "request() after finalize()");
+  assert(amount >= 0.0);
+  demands_.push_back(amount);
+  totalDemand_ += amount;
+  return static_cast<int>(demands_.size()) - 1;
+}
+
+void ShareResource::finalize() {
+  finalized_ = true;
+  grantRatio_ =
+      totalDemand_ <= capacity_ ? 1.0 : capacity_ / totalDemand_;
+}
+
+double ShareResource::granted(int handle) const {
+  assert(finalized_ && "granted() before finalize()");
+  assert(handle >= 0 && static_cast<std::size_t>(handle) < demands_.size());
+  return demands_[static_cast<std::size_t>(handle)] * grantRatio_;
+}
+
+void ShareResource::setCapacity(double capacity) {
+  assert(capacity > 0.0);
+  capacity_ = capacity;
+}
+
+double ShareResource::totalGranted() const {
+  return std::min(totalDemand_, capacity_);
+}
+
+double ShareResource::utilization() const {
+  return std::min(1.0, totalDemand_ / capacity_);
+}
+
+NicResource::NicResource(double bytesPerSec) : line_("nic", bytesPerSec) {}
+
+void NicResource::beginTick() { line_.beginTick(); }
+
+int NicResource::request(double bytes) { return line_.request(bytes); }
+
+void NicResource::finalize() { line_.finalize(); }
+
+double NicResource::goodputFactor() const {
+  if (loss_ <= 0.0) return 1.0;
+  // TCP goodput collapses super-linearly with loss: each lost segment
+  // halves the congestion window and forces retransmission. The
+  // 1/(1 + 20 p) shape gives ~4.5% of line rate at p = 0.5 — the same
+  // order as the stalled block transfers HADOOP-2956 reports.
+  return (1.0 - loss_) / (1.0 + 20.0 * loss_);
+}
+
+double NicResource::granted(int handle) const {
+  return line_.granted(handle) * goodputFactor();
+}
+
+void NicResource::setLossRate(double loss) {
+  assert(loss >= 0.0 && loss < 1.0);
+  loss_ = loss;
+}
+
+}  // namespace asdf::sim

@@ -1,0 +1,113 @@
+// Per-node shared-resource models.
+//
+// The substrate advances in 1-second ticks. Within a tick every
+// consumer (map/reduce task phases, HDFS block transfers, daemons,
+// fault injectors) *requests* an amount of each resource it wants —
+// CPU-core-seconds, disk bytes, NIC bytes — and the resource then
+// *grants* either the full demand (when under capacity) or a
+// proportional share (when oversubscribed). This processor-sharing
+// model is what makes peer comparison meaningful: fault-free peers see
+// similar utilization, while a CPUHog / DiskHog / lossy NIC distorts
+// the grants (and therefore task progress and OS counters) on exactly
+// one node.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace asdf::sim {
+
+/// A capacity-per-tick resource with proportional sharing.
+class ShareResource {
+ public:
+  ShareResource(std::string name, double capacityPerTick);
+
+  /// Clears all demands at the start of a tick.
+  void beginTick();
+
+  /// Registers a demand; returns a handle valid until the next
+  /// beginTick(). Demands must be non-negative.
+  int request(double amount);
+
+  /// Computes grants; call once after all request()s for the tick.
+  void finalize();
+
+  /// The amount granted for the handle (<= the requested amount).
+  double granted(int handle) const;
+
+  /// Fraction of the demand that was granted (1 when under capacity).
+  double grantRatio() const { return grantRatio_; }
+
+  double capacity() const { return capacity_; }
+  void setCapacity(double capacity);
+
+  /// Total demand this tick.
+  double demand() const { return totalDemand_; }
+
+  /// Total granted this tick (== min(demand, capacity)).
+  double totalGranted() const;
+
+  /// Utilization in [0, 1].
+  double utilization() const;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  double capacity_;
+  double totalDemand_ = 0.0;
+  double grantRatio_ = 1.0;
+  bool finalized_ = false;
+  std::vector<double> demands_;
+};
+
+/// A node's CPU: `cores` core-seconds available per tick. The paper's
+/// EC2 Large instances have two dual-core CPUs, so the default is 4.
+class CpuResource : public ShareResource {
+ public:
+  explicit CpuResource(double cores = 4.0)
+      : ShareResource("cpu", cores) {}
+  double cores() const { return capacity(); }
+};
+
+/// A node's disk, in bytes per second, shared between reads and
+/// writes. Sequential-scan HDFS traffic and log appends both land
+/// here; the DiskHog fault saturates it.
+class DiskResource : public ShareResource {
+ public:
+  explicit DiskResource(double bytesPerSec = 80.0e6)
+      : ShareResource("disk", bytesPerSec) {}
+};
+
+/// A node's NIC, in payload bytes per second. Packet loss (the
+/// PacketLoss fault) multiplies effective goodput by a TCP-collapse
+/// factor: at 50% loss the achievable goodput is a few percent of
+/// line rate, matching the "long block transfer times" of HADOOP-2956.
+class NicResource {
+ public:
+  explicit NicResource(double bytesPerSec = 100.0e6);
+
+  void beginTick();
+  int request(double bytes);
+  void finalize();
+  double granted(int handle) const;
+
+  /// Sets the packet-loss probability in [0, 1); 0 disables the fault.
+  void setLossRate(double loss);
+  double lossRate() const { return loss_; }
+
+  /// Goodput multiplier implied by the current loss rate.
+  double goodputFactor() const;
+
+  double lineRate() const { return line_.capacity(); }
+  double utilization() const { return line_.utilization(); }
+  double demand() const { return line_.demand(); }
+  double totalGranted() const { return line_.totalGranted(); }
+
+ private:
+  ShareResource line_;
+  double loss_ = 0.0;
+};
+
+}  // namespace asdf::sim

@@ -1,0 +1,77 @@
+#include "syscalls/markov.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace asdf::syscalls {
+namespace {
+
+constexpr double kLaplace = 0.5;  // add-half smoothing
+
+}  // namespace
+
+MarkovModel::MarkovModel()
+    : counts_(kSyscallKinds * kSyscallKinds, 0) {}
+
+void MarkovModel::train(const TraceSecond& trace) {
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    const std::size_t from = trace[i - 1];
+    const std::size_t to = trace[i];
+    assert(from < kSyscallKinds && to < kSyscallKinds);
+    ++counts_[from * kSyscallKinds + to];
+    ++trained_;
+  }
+}
+
+double MarkovModel::rowTotal(std::size_t from) const {
+  long total = 0;
+  for (std::size_t to = 0; to < kSyscallKinds; ++to) {
+    total += counts_[from * kSyscallKinds + to];
+  }
+  return static_cast<double>(total);
+}
+
+double MarkovModel::transitionProbability(std::uint8_t from,
+                                          std::uint8_t to) const {
+  const double row = rowTotal(from);
+  const double count =
+      static_cast<double>(counts_[static_cast<std::size_t>(from) *
+                                      kSyscallKinds +
+                                  to]);
+  return (count + kLaplace) / (row + kLaplace * kSyscallKinds);
+}
+
+double MarkovModel::negLogLikelihood(const TraceSecond& trace) const {
+  if (trace.size() < 2) return entropyBaseline();
+  double nll = 0.0;
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    nll -= std::log(transitionProbability(trace[i - 1], trace[i]));
+  }
+  return nll / static_cast<double>(trace.size() - 1);
+}
+
+double MarkovModel::entropyBaseline() const {
+  // Expected NLL under the model itself: sum over rows of the row's
+  // stationary weight times its entropy. Approximated with empirical
+  // row weights.
+  double total = 0.0;
+  for (std::size_t from = 0; from < kSyscallKinds; ++from) {
+    total += rowTotal(from);
+  }
+  if (total <= 0.0) return std::log(static_cast<double>(kSyscallKinds));
+  double h = 0.0;
+  for (std::size_t from = 0; from < kSyscallKinds; ++from) {
+    const double weight = rowTotal(from) / total;
+    if (weight <= 0.0) continue;
+    double rowH = 0.0;
+    for (std::size_t to = 0; to < kSyscallKinds; ++to) {
+      const double p = transitionProbability(static_cast<std::uint8_t>(from),
+                                             static_cast<std::uint8_t>(to));
+      rowH -= p * std::log(p);
+    }
+    h += weight * rowH;
+  }
+  return h;
+}
+
+}  // namespace asdf::syscalls

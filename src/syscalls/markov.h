@@ -1,0 +1,46 @@
+// First-order Markov model over syscall categories.
+//
+// The strace analysis trains on fault-free traffic, then scores fresh
+// trace seconds by their average negative log-likelihood under the
+// learned transition matrix. A hung task (futex/nanosleep loop) or a
+// spinning task (near-empty trace) drags the per-second score away
+// from what the model expects, and peer comparison localizes the node.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "syscalls/trace_model.h"
+
+namespace asdf::syscalls {
+
+class MarkovModel {
+ public:
+  MarkovModel();
+
+  /// Accumulates transition counts from a trace second.
+  void train(const TraceSecond& trace);
+
+  /// Total transitions observed during training.
+  long trainedTransitions() const { return trained_; }
+
+  /// Average negative log-likelihood per transition of a trace under
+  /// the model (Laplace-smoothed). Empty/one-event traces score the
+  /// model's entropy baseline (no evidence either way).
+  double negLogLikelihood(const TraceSecond& trace) const;
+
+  /// The model's own average NLL over its training distribution — a
+  /// baseline to compare scores against.
+  double entropyBaseline() const;
+
+  /// Transition probability (for tests / introspection).
+  double transitionProbability(std::uint8_t from, std::uint8_t to) const;
+
+ private:
+  double rowTotal(std::size_t from) const;
+
+  std::vector<long> counts_;  // kSyscallKinds x kSyscallKinds
+  long trained_ = 0;
+};
+
+}  // namespace asdf::syscalls

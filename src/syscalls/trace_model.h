@@ -1,0 +1,70 @@
+// System-call trace substrate — the paper's Section 5 extension:
+// "We are currently developing new ASDF modules, including a strace
+// module that tracks all of the system calls made by a given process.
+// We envision using this module to detect and diagnose anomalies by
+// building a probabilistic model of the order and timing of system
+// calls and checking for patterns that correspond to problems."
+//
+// Since no live processes exist here, the substrate synthesizes the
+// per-second syscall stream a TaskTracker's task JVMs would emit,
+// driven by the same node activity that drives the OS counters: CPU
+// work produces long stretches of userland (few syscalls), disk work
+// produces read/write/fsync bursts, network work produces
+// socket/epoll chatter, idle and hung processes sit in futex/nanosleep
+// loops. Faults therefore reshape the *sequence statistics* in
+// characteristic ways — exactly the signal the strace analysis models.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "metrics/os_model.h"
+
+namespace asdf::syscalls {
+
+/// Coarse syscall categories (what an strace-based monitor would
+/// bucket the raw calls into).
+enum class Syscall : std::uint8_t {
+  kRead = 0,
+  kWrite,
+  kFsync,
+  kSocketSend,
+  kSocketRecv,
+  kEpollWait,
+  kFutex,
+  kNanosleep,
+  kMmap,
+  kClone,
+};
+inline constexpr std::size_t kSyscallKinds = 10;
+
+const char* syscallName(Syscall s);
+
+/// One second of traced syscalls (category ids, in emission order).
+using TraceSecond = std::vector<std::uint8_t>;
+
+/// Generates per-second syscall traces from node activity.
+class SyscallTraceModel {
+ public:
+  struct Params {
+    /// Upper bound on events recorded per second (strace buffers are
+    /// sampled in production to bound overhead).
+    std::size_t maxEventsPerSecond = 256;
+  };
+
+  SyscallTraceModel(Params params, Rng rng);
+
+  /// Produces the trace for one second of the given activity.
+  /// `hungTasks` injects the futex/nanosleep signature of a wedged
+  /// process; `spinningTasks` the no-syscall signature of a CPU spin.
+  TraceSecond tick(const metrics::NodeActivity& activity, int hungTasks = 0,
+                   int spinningTasks = 0);
+
+ private:
+  Params params_;
+  Rng rng_;
+};
+
+}  // namespace asdf::syscalls

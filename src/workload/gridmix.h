@@ -1,0 +1,69 @@
+// GridMix-like workload generator (Section 4.7).
+//
+// "GridMix models the mixture of jobs seen on a typical shared Hadoop
+// cluster by generating random input data and submitting MapReduce
+// jobs in a manner that mimics observed data-access patterns ...
+// GridMix comprises 5 different job types, ranging from an
+// interactive workload that samples a large dataset, to a large sort
+// of uncompressed data that accesses an entire dataset."
+//
+// The generator keeps a target number of concurrent jobs in flight,
+// drawing types from a weighted mix and sizes from per-type ranges
+// scaled to the cluster size (the paper scaled its dataset down to
+// 200 MB for 50 nodes "to ensure timely completion"). An optional
+// mid-run mix change exercises the analyses' robustness to workload
+// changes — the false-positive hazard the paper calls out.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "hadoop/cluster.h"
+#include "hadoop/job.h"
+
+namespace asdf::workload {
+
+struct GridMixParams {
+  /// Jobs arrive in waves (a burst of submissions, then a drain
+  /// period), the way users hit a shared cluster. The troughs between
+  /// waves matter for diagnosis realism: a healthy slave drains to
+  /// idle while a hung task keeps its node's states pinned.
+  double waveGapMean = 150.0;  // seconds between waves
+  int burstMin = 2;            // jobs per wave
+  int burstMax = 4;
+  int maxActiveJobs = 6;       // admission cap
+  double sizeScale = 1.0;      // multiplies per-type input sizes
+  /// When >= 0, the type mix flips at this time (sort-heavy ->
+  /// sample/combiner-heavy) to create a workload change.
+  double mixChangeTime = -1.0;
+};
+
+class GridMixGenerator {
+ public:
+  GridMixGenerator(hadoop::Cluster& cluster, GridMixParams params,
+                   std::uint64_t seed);
+
+  /// Submits the initial jobs and registers the arrival process.
+  void start();
+
+  /// Random spec for the given type, scaled to the cluster.
+  hadoop::JobSpec makeSpec(hadoop::JobType type);
+
+  /// Draws a type from the current mix and builds its spec.
+  hadoop::JobSpec randomSpec();
+
+  long submitted() const { return submitted_; }
+
+ private:
+  void maybeSubmit();
+  void wave();
+  void scheduleNextWave();
+  const std::vector<double>& currentMix() const;
+
+  hadoop::Cluster& cluster_;
+  GridMixParams params_;
+  Rng rng_;
+  long submitted_ = 0;
+};
+
+}  // namespace asdf::workload

@@ -1,0 +1,85 @@
+// Parameterized end-to-end sweep: every Table 2 fault, injected on one
+// slave, must be fingerpointed by the combined analysis with balanced
+// accuracy meaningfully above chance and without flooding false
+// positives on the healthy peers. This is the repository's headline
+// regression test: it pins the paper's central result.
+#include <gtest/gtest.h>
+
+#include "faults/faults.h"
+#include "harness/experiment.h"
+#include "modules/modules.h"
+
+namespace asdf::harness {
+namespace {
+
+class AllFaultsTest : public ::testing::TestWithParam<faults::FaultType> {
+ protected:
+  static void SetUpTestSuite() {
+    modules::registerBuiltinModules();
+    model_ = new analysis::BlackBoxModel(trainModel(baseSpec()));
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    model_ = nullptr;
+  }
+
+  static ExperimentSpec baseSpec() {
+    ExperimentSpec spec;
+    spec.slaves = 8;
+    spec.duration = 1200.0;
+    spec.trainDuration = 400.0;
+    spec.seed = 42;
+    spec.fault.node = 3;
+    spec.fault.startTime = 400.0;
+    return spec;
+  }
+
+  static analysis::BlackBoxModel* model_;
+};
+
+analysis::BlackBoxModel* AllFaultsTest::model_ = nullptr;
+
+TEST_P(AllFaultsTest, CombinedAnalysisLocalizesTheCulprit) {
+  ExperimentSpec spec = baseSpec();
+  spec.fault.type = GetParam();
+  const ExperimentResult result = runExperiment(spec, *model_);
+  const ExperimentSummary summary = summarize(result);
+
+  // The culprit is eventually fingerpointed...
+  EXPECT_GE(summary.combined.latencySeconds, 0.0)
+      << faults::faultName(GetParam());
+  // ...with above-chance balanced accuracy (the dormant reduce-side
+  // bugs legitimately score lower — the paper reports the same)...
+  const bool dormantFault = GetParam() == faults::FaultType::kHadoop1152;
+  EXPECT_GT(summary.combined.eval.balancedAccuracyPct(),
+            dormantFault ? 55.0 : 70.0)
+      << faults::faultName(GetParam());
+  // ...and healthy peers stay mostly quiet.
+  EXPECT_GT(summary.combined.eval.trueNegativeRate(), 0.60)
+      << faults::faultName(GetParam());
+}
+
+TEST_P(AllFaultsTest, BothAnalysesKeepEmittingThroughTheFault) {
+  ExperimentSpec spec = baseSpec();
+  spec.duration = 800.0;
+  spec.fault.type = GetParam();
+  const ExperimentResult result = runExperiment(spec, *model_);
+  // Monitoring must not stall under any fault (the lockstep white-box
+  // synchronization is the risky path here).
+  EXPECT_GT(result.blackBox.size(), 100u) << faults::faultName(GetParam());
+  EXPECT_GT(result.whiteBox.size(), 100u) << faults::faultName(GetParam());
+  EXPECT_EQ(result.syncDroppedSeconds, 0) << faults::faultName(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table2, AllFaultsTest, ::testing::ValuesIn(faults::allFaults()),
+    [](const ::testing::TestParamInfo<faults::FaultType>& info) {
+      std::string name = faults::faultName(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace asdf::harness

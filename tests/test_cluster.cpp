@@ -1,0 +1,222 @@
+// Integration tests of the Hadoop substrate: jobs actually run to
+// completion, logs get written, metrics respond, fault-tolerance
+// machinery (retries, speculation) engages.
+#include "hadoop/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include "common/strings.h"
+#include "hadooplog/parser.h"
+#include "metrics/catalog.h"
+#include "sim/engine.h"
+
+namespace asdf::hadoop {
+namespace {
+
+HadoopParams smallParams(int slaves = 4) {
+  HadoopParams p;
+  p.slaveCount = slaves;
+  return p;
+}
+
+JobSpec smallJob() {
+  JobSpec spec;
+  spec.inputBytes = 64.0e6;  // 4 blocks
+  spec.numReduces = 2;
+  spec.mapCpuPerByte = 5.0e-7;
+  spec.mapOutputRatio = 0.5;
+  spec.reduceCpuPerByte = 2.0e-7;
+  spec.outputRatio = 0.25;
+  return spec;
+}
+
+TEST(Cluster, RunsOneJobToCompletion) {
+  sim::SimEngine engine;
+  Cluster cluster(smallParams(), 1, engine);
+  cluster.start();
+  cluster.jobTracker().submit(smallJob(), 0.0);
+  engine.runUntil(600.0);
+  EXPECT_EQ(cluster.jobTracker().jobsCompleted(), 1);
+  EXPECT_TRUE(cluster.jobTracker().activeJobs().empty());
+  const Job& job = *cluster.jobTracker().completedJobs().front();
+  EXPECT_TRUE(job.complete());
+  EXPECT_GT(job.finishTime, job.submitTime);
+}
+
+TEST(Cluster, JobCompletionCallbackFires) {
+  sim::SimEngine engine;
+  Cluster cluster(smallParams(), 2, engine);
+  int completions = 0;
+  cluster.onJobComplete = [&](Job&, SimTime) { ++completions; };
+  cluster.start();
+  cluster.jobTracker().submit(smallJob(), 0.0);
+  engine.runUntil(600.0);
+  EXPECT_EQ(completions, 1);
+}
+
+TEST(Cluster, TaskLogsAreWritten) {
+  sim::SimEngine engine;
+  Cluster cluster(smallParams(), 3, engine);
+  cluster.start();
+  cluster.jobTracker().submit(smallJob(), 0.0);
+  engine.runUntil(600.0);
+  std::size_t ttLines = 0;
+  std::size_t dnLines = 0;
+  bool sawLaunch = false;
+  bool sawDone = false;
+  for (Node* node : cluster.slaveNodes()) {
+    ttLines += node->ttLog().lineCount();
+    dnLines += node->dnLog().lineCount();
+    for (std::size_t i = 0; i < node->ttLog().lineCount(); ++i) {
+      if (contains(node->ttLog().line(i), "LaunchTaskAction")) sawLaunch = true;
+      if (contains(node->ttLog().line(i), "is done")) sawDone = true;
+    }
+  }
+  EXPECT_GT(ttLines, 10u);
+  EXPECT_GT(dnLines, 4u);  // input block reads at minimum
+  EXPECT_TRUE(sawLaunch);
+  EXPECT_TRUE(sawDone);
+}
+
+TEST(Cluster, LogsParseBackToConsistentStates) {
+  sim::SimEngine engine;
+  Cluster cluster(smallParams(), 4, engine);
+  cluster.start();
+  cluster.jobTracker().submit(smallJob(), 0.0);
+  engine.runUntil(600.0);
+  for (Node* node : cluster.slaveNodes()) {
+    hadooplog::TtLogParser parser;
+    parser.startAt(0);
+    parser.consume(node->ttLog().linesFrom(0));
+    parser.poll(600.0);
+    // All launched tasks completed: no task should remain open.
+    EXPECT_EQ(parser.openTaskCount(), 0u) << "node " << node->id();
+    EXPECT_EQ(parser.ignoredLineCount(), 0u) << "node " << node->id();
+  }
+}
+
+TEST(Cluster, MetricsRespondToLoad) {
+  sim::SimEngine engine;
+  Cluster cluster(smallParams(), 5, engine);
+  cluster.start();
+  // Warm up idle, snapshot, then load the cluster and compare.
+  engine.runUntil(30.0);
+  double idleCpu = 0.0;
+  for (Node* node : cluster.slaveNodes()) {
+    idleCpu += node->sadcCollect().node[metrics::kCpuUserPct];
+  }
+  JobSpec heavy = smallJob();
+  heavy.inputBytes = 512.0e6;
+  heavy.mapCpuPerByte = 2.0e-6;
+  cluster.jobTracker().submit(heavy, engine.now());
+  engine.runUntil(70.0);  // sample mid-execution
+  double busyCpu = 0.0;
+  for (Node* node : cluster.slaveNodes()) {
+    busyCpu += node->sadcCollect().node[metrics::kCpuUserPct];
+  }
+  EXPECT_GT(busyCpu, idleCpu + 50.0);
+}
+
+TEST(Cluster, SnapshotsAdvanceEverySecond) {
+  sim::SimEngine engine;
+  Cluster cluster(smallParams(), 6, engine);
+  cluster.start();
+  engine.runUntil(10.0);
+  for (Node* node : cluster.slaveNodes()) {
+    EXPECT_DOUBLE_EQ(node->lastSnapshotTime(), 10.0);
+  }
+}
+
+TEST(Cluster, MultipleJobsShareTheCluster) {
+  sim::SimEngine engine;
+  Cluster cluster(smallParams(8), 7, engine);
+  cluster.start();
+  for (int i = 0; i < 3; ++i) {
+    cluster.jobTracker().submit(smallJob(), 0.0);
+  }
+  engine.runUntil(900.0);
+  EXPECT_EQ(cluster.jobTracker().jobsCompleted(), 3);
+}
+
+TEST(Cluster, HungMapTriggersSpeculationAndKill) {
+  sim::SimEngine engine;
+  HadoopParams params = smallParams();
+  Cluster cluster(params, 8, engine);
+  cluster.start();
+  // Every map on slave 2 hangs from the start. The job is big enough
+  // (32 maps over 4 slaves) that slave 2 certainly hosts some.
+  cluster.node(2).faults().mapHang = true;
+  JobSpec spec = smallJob();
+  spec.inputBytes = 512.0e6;
+  cluster.jobTracker().submit(spec, 0.0);
+  engine.runUntil(1500.0);
+  // Speculative backups rescue the job despite the hangs.
+  EXPECT_EQ(cluster.jobTracker().jobsCompleted(), 1);
+  EXPECT_GT(cluster.jobTracker().speculativeLaunches(), 0);
+  // The kill shows up in slave 2's TaskTracker log.
+  bool sawKill = false;
+  for (std::size_t i = 0; i < cluster.node(2).ttLog().lineCount(); ++i) {
+    if (contains(cluster.node(2).ttLog().line(i), "KillTaskAction")) {
+      sawKill = true;
+    }
+  }
+  EXPECT_TRUE(sawKill);
+}
+
+TEST(Cluster, CleanupEmitsDeleteBlockEvents) {
+  sim::SimEngine engine;
+  HadoopParams params = smallParams();
+  params.outputDeleteDelay = 30.0;
+  Cluster cluster(params, 9, engine);
+  cluster.start();
+  cluster.jobTracker().submit(smallJob(), 0.0);
+  engine.runUntil(900.0);
+  bool sawDelete = false;
+  for (Node* node : cluster.slaveNodes()) {
+    for (std::size_t i = 0; i < node->dnLog().lineCount(); ++i) {
+      if (contains(node->dnLog().line(i), "Deleting block")) sawDelete = true;
+    }
+  }
+  EXPECT_TRUE(sawDelete);
+}
+
+TEST(Cluster, DeterministicAcrossIdenticalRuns) {
+  auto run = [](std::uint64_t seed) {
+    sim::SimEngine engine;
+    Cluster cluster(smallParams(), seed, engine);
+    cluster.start();
+    cluster.jobTracker().submit(smallJob(), 0.0);
+    engine.runUntil(400.0);
+    std::string logs;
+    for (Node* node : cluster.slaveNodes()) {
+      for (std::size_t i = 0; i < node->ttLog().lineCount(); ++i) {
+        logs += node->ttLog().line(i);
+        logs += '\n';
+      }
+    }
+    return logs;
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));
+}
+
+TEST(Cluster, TickCountMatchesDuration) {
+  sim::SimEngine engine;
+  Cluster cluster(smallParams(), 10, engine);
+  cluster.start();
+  engine.runUntil(25.0);
+  EXPECT_EQ(cluster.tickCount(), 25);
+}
+
+TEST(Cluster, SlaveAccessors) {
+  sim::SimEngine engine;
+  Cluster cluster(smallParams(), 11, engine);
+  EXPECT_EQ(cluster.slaveNodes().size(), 4u);
+  EXPECT_TRUE(cluster.node(0).isMaster());
+  EXPECT_FALSE(cluster.node(1).isMaster());
+  EXPECT_EQ(cluster.node(3).ip(), "10.250.0.4");
+  EXPECT_EQ(cluster.taskTracker(2).nodeId(), 2);
+}
+
+}  // namespace
+}  // namespace asdf::hadoop

@@ -1,0 +1,155 @@
+#include "sim/engine.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace asdf::sim {
+namespace {
+
+TEST(SimEngine, StartsAtZeroAndIdle) {
+  SimEngine engine;
+  EXPECT_DOUBLE_EQ(engine.now(), 0.0);
+  EXPECT_TRUE(engine.idle());
+  EXPECT_FALSE(engine.step());
+}
+
+TEST(SimEngine, RunsEventsInTimeOrder) {
+  SimEngine engine;
+  std::vector<int> order;
+  engine.scheduleAt(3.0, [&] { order.push_back(3); });
+  engine.scheduleAt(1.0, [&] { order.push_back(1); });
+  engine.scheduleAt(2.0, [&] { order.push_back(2); });
+  engine.runUntil(10.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(engine.now(), 10.0);
+}
+
+TEST(SimEngine, TiesBreakByScheduleOrder) {
+  SimEngine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    engine.scheduleAt(5.0, [&order, i] { order.push_back(i); });
+  }
+  engine.runUntil(5.0);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(SimEngine, PastEventsClampToNow) {
+  SimEngine engine;
+  engine.runUntil(10.0);
+  bool ran = false;
+  engine.scheduleAt(2.0, [&] {
+    ran = true;
+    EXPECT_DOUBLE_EQ(engine.now(), 10.0);
+  });
+  engine.runUntil(10.0);
+  EXPECT_TRUE(ran);
+}
+
+TEST(SimEngine, ScheduleAfterUsesRelativeDelay) {
+  SimEngine engine;
+  double firedAt = -1.0;
+  engine.scheduleAt(4.0, [&] {
+    engine.scheduleAfter(2.5, [&] { firedAt = engine.now(); });
+  });
+  engine.runUntil(10.0);
+  EXPECT_DOUBLE_EQ(firedAt, 6.5);
+}
+
+TEST(SimEngine, RunUntilInclusiveOfBoundary) {
+  SimEngine engine;
+  bool ran = false;
+  engine.scheduleAt(5.0, [&] { ran = true; });
+  engine.runUntil(5.0);
+  EXPECT_TRUE(ran);
+}
+
+TEST(SimEngine, RunUntilStopsBeforeLaterEvents) {
+  SimEngine engine;
+  bool ran = false;
+  engine.scheduleAt(5.1, [&] { ran = true; });
+  engine.runUntil(5.0);
+  EXPECT_FALSE(ran);
+  EXPECT_DOUBLE_EQ(engine.now(), 5.0);
+  engine.runUntil(6.0);
+  EXPECT_TRUE(ran);
+}
+
+TEST(SimEngine, PeriodicFiresAtInterval) {
+  SimEngine engine;
+  std::vector<double> times;
+  engine.addPeriodic(2.0, [&] { times.push_back(engine.now()); });
+  engine.runUntil(7.0);
+  ASSERT_EQ(times.size(), 3u);
+  EXPECT_DOUBLE_EQ(times[0], 2.0);
+  EXPECT_DOUBLE_EQ(times[1], 4.0);
+  EXPECT_DOUBLE_EQ(times[2], 6.0);
+}
+
+TEST(SimEngine, PeriodicCustomPhase) {
+  SimEngine engine;
+  std::vector<double> times;
+  engine.addPeriodic(2.0, [&] { times.push_back(engine.now()); }, 0.5);
+  engine.runUntil(5.0);
+  ASSERT_EQ(times.size(), 3u);
+  EXPECT_DOUBLE_EQ(times[0], 0.5);
+  EXPECT_DOUBLE_EQ(times[1], 2.5);
+}
+
+TEST(SimEngine, CancelPeriodicStopsFirings) {
+  SimEngine engine;
+  int count = 0;
+  const int id = engine.addPeriodic(1.0, [&] { ++count; });
+  engine.runUntil(3.0);
+  EXPECT_EQ(count, 3);
+  engine.cancelPeriodic(id);
+  engine.runUntil(10.0);
+  EXPECT_EQ(count, 3);
+}
+
+TEST(SimEngine, PeriodicCanCancelItself) {
+  SimEngine engine;
+  int count = 0;
+  int id = -1;
+  id = engine.addPeriodic(1.0, [&] {
+    ++count;
+    if (count == 2) engine.cancelPeriodic(id);
+  });
+  engine.runUntil(10.0);
+  EXPECT_EQ(count, 2);
+}
+
+TEST(SimEngine, TwoPeriodicsKeepRegistrationOrderOnTies) {
+  SimEngine engine;
+  std::vector<char> order;
+  engine.addPeriodic(1.0, [&] { order.push_back('a'); });
+  engine.addPeriodic(1.0, [&] { order.push_back('b'); });
+  engine.runUntil(3.0);
+  ASSERT_EQ(order.size(), 6u);
+  for (std::size_t i = 0; i < order.size(); i += 2) {
+    EXPECT_EQ(order[i], 'a');
+    EXPECT_EQ(order[i + 1], 'b');
+  }
+}
+
+TEST(SimEngine, EventCountReported) {
+  SimEngine engine;
+  for (int i = 0; i < 5; ++i) engine.scheduleAt(i, [] {});
+  EXPECT_EQ(engine.runUntil(10.0), 5u);
+}
+
+TEST(SimEngine, NestedSchedulingWithinEvent) {
+  SimEngine engine;
+  std::vector<int> order;
+  engine.scheduleAt(1.0, [&] {
+    order.push_back(1);
+    engine.scheduleAfter(0.0, [&] { order.push_back(2); });
+    engine.scheduleAfter(1.0, [&] { order.push_back(3); });
+  });
+  engine.runUntil(5.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace asdf::sim

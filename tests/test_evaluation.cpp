@@ -1,0 +1,200 @@
+#include "analysis/evaluation.h"
+
+#include <gtest/gtest.h>
+
+namespace asdf::analysis {
+namespace {
+
+AlarmRecord record(SimTime t, std::vector<double> flags,
+                   std::vector<double> scores = {}) {
+  AlarmRecord r;
+  r.time = t;
+  r.flags = std::move(flags);
+  r.scores = std::move(scores);
+  return r;
+}
+
+TEST(GroundTruth, ActiveWindow) {
+  GroundTruth truth;
+  truth.slaveIndex = 2;
+  truth.faultStart = 100.0;
+  truth.faultEnd = 200.0;
+  EXPECT_FALSE(truth.activeAt(99.0));
+  EXPECT_TRUE(truth.activeAt(100.0));
+  EXPECT_TRUE(truth.activeAt(200.0));
+  EXPECT_FALSE(truth.activeAt(201.0));
+}
+
+TEST(GroundTruth, OpenEndedFault) {
+  GroundTruth truth;
+  truth.slaveIndex = 0;
+  truth.faultStart = 50.0;
+  EXPECT_TRUE(truth.activeAt(1.0e9));
+}
+
+TEST(GroundTruth, FaultFreeNeverActive) {
+  GroundTruth truth;  // slaveIndex -1
+  EXPECT_FALSE(truth.activeAt(100.0));
+}
+
+TEST(Evaluate, PerfectDetector) {
+  GroundTruth truth;
+  truth.slaveIndex = 1;
+  truth.faultStart = 10.0;
+  AlarmSeries series = {
+      record(5.0, {0, 0, 0}),
+      record(15.0, {0, 1, 0}),
+      record(25.0, {0, 1, 0}),
+  };
+  const EvalResult r = evaluate(series, truth);
+  EXPECT_EQ(r.tp, 2);
+  EXPECT_EQ(r.fn, 0);
+  EXPECT_EQ(r.fp, 0);
+  EXPECT_EQ(r.tn, 7);
+  EXPECT_DOUBLE_EQ(r.balancedAccuracyPct(), 100.0);
+  EXPECT_DOUBLE_EQ(r.falsePositiveRatePct(), 0.0);
+}
+
+TEST(Evaluate, BlindDetectorScoresFiftyPercent) {
+  GroundTruth truth;
+  truth.slaveIndex = 0;
+  truth.faultStart = 0.0;
+  AlarmSeries series = {record(1.0, {0, 0}), record(2.0, {0, 0})};
+  const EvalResult r = evaluate(series, truth);
+  EXPECT_DOUBLE_EQ(r.balancedAccuracyPct(), 50.0);
+}
+
+TEST(Evaluate, WrongNodeIsBothFnAndFp) {
+  GroundTruth truth;
+  truth.slaveIndex = 0;
+  truth.faultStart = 0.0;
+  AlarmSeries series = {record(1.0, {0, 1})};
+  const EvalResult r = evaluate(series, truth);
+  EXPECT_EQ(r.fn, 1);
+  EXPECT_EQ(r.fp, 1);
+  EXPECT_EQ(r.tp, 0);
+  EXPECT_EQ(r.tn, 0);
+}
+
+TEST(Evaluate, FaultFreeFalsePositiveRate) {
+  GroundTruth truth;  // no fault
+  AlarmSeries series = {
+      record(1.0, {0, 0, 0, 1}),
+      record(2.0, {0, 0, 0, 0}),
+  };
+  const EvalResult r = evaluate(series, truth);
+  EXPECT_EQ(r.fp, 1);
+  EXPECT_EQ(r.tn, 7);
+  EXPECT_DOUBLE_EQ(r.falsePositiveRatePct(), 12.5);
+  EXPECT_DOUBLE_EQ(flaggedFractionPct(series), 12.5);
+}
+
+TEST(Latency, FirstCorrectAlarmAfterInjection) {
+  GroundTruth truth;
+  truth.slaveIndex = 1;
+  truth.faultStart = 100.0;
+  AlarmSeries series = {
+      record(50.0, {0, 1}),   // pre-fault alarms don't count
+      record(110.0, {0, 0}),
+      record(160.0, {0, 1}),
+  };
+  EXPECT_DOUBLE_EQ(fingerpointingLatency(series, truth), 60.0);
+}
+
+TEST(Latency, NeverDetectedIsNegative) {
+  GroundTruth truth;
+  truth.slaveIndex = 0;
+  truth.faultStart = 10.0;
+  AlarmSeries series = {record(20.0, {0, 1})};
+  EXPECT_LT(fingerpointingLatency(series, truth), 0.0);
+}
+
+TEST(Latency, FaultFreeIsNegative) {
+  GroundTruth truth;
+  EXPECT_LT(fingerpointingLatency({record(1.0, {1})}, truth), 0.0);
+}
+
+TEST(ApplyThreshold, RethresholdsFromScores) {
+  AlarmSeries series = {record(1.0, {0, 0}, {10.0, 70.0})};
+  const AlarmSeries at60 = applyThreshold(series, 60.0);
+  EXPECT_DOUBLE_EQ(at60[0].flags[0], 0.0);
+  EXPECT_DOUBLE_EQ(at60[0].flags[1], 1.0);
+  const AlarmSeries at5 = applyThreshold(series, 5.0);
+  EXPECT_DOUBLE_EQ(at5[0].flags[0], 1.0);
+}
+
+TEST(ApplyThreshold, MonotoneInThreshold) {
+  AlarmSeries series = {record(1.0, {}, {10.0, 35.0, 70.0, 95.0})};
+  long prev = 100;
+  for (double threshold : {0.0, 20.0, 50.0, 80.0, 120.0}) {
+    const auto out = applyThreshold(series, threshold);
+    long flagged = 0;
+    for (double f : out[0].flags) flagged += f > 0.5 ? 1 : 0;
+    EXPECT_LE(flagged, prev);
+    prev = flagged;
+  }
+}
+
+TEST(RequireConsecutive, SuppressesShortStreaks) {
+  AlarmSeries series = {
+      record(1.0, {1}), record(2.0, {0}), record(3.0, {1}),
+      record(4.0, {1}), record(5.0, {1}), record(6.0, {0}),
+  };
+  const AlarmSeries filtered = requireConsecutive(series, 3);
+  EXPECT_DOUBLE_EQ(filtered[0].flags[0], 0.0);
+  EXPECT_DOUBLE_EQ(filtered[2].flags[0], 0.0);
+  EXPECT_DOUBLE_EQ(filtered[3].flags[0], 0.0);
+  EXPECT_DOUBLE_EQ(filtered[4].flags[0], 1.0);  // 3rd consecutive
+  EXPECT_DOUBLE_EQ(filtered[5].flags[0], 0.0);
+}
+
+TEST(RequireConsecutive, OneIsIdentity) {
+  AlarmSeries series = {record(1.0, {1, 0}), record(2.0, {0, 1})};
+  const AlarmSeries filtered = requireConsecutive(series, 1);
+  EXPECT_DOUBLE_EQ(filtered[0].flags[0], 1.0);
+  EXPECT_DOUBLE_EQ(filtered[1].flags[1], 1.0);
+}
+
+TEST(RequireConsecutive, PerNodeStreaks) {
+  AlarmSeries series = {
+      record(1.0, {1, 1}), record(2.0, {1, 0}), record(3.0, {1, 1})};
+  const AlarmSeries filtered = requireConsecutive(series, 2);
+  EXPECT_DOUBLE_EQ(filtered[1].flags[0], 1.0);  // node 0: 2 in a row
+  EXPECT_DOUBLE_EQ(filtered[2].flags[1], 0.0);  // node 1's streak broke
+}
+
+TEST(CombineUnion, MatchesWindowsWithinSlack) {
+  AlarmSeries a = {record(10.0, {1, 0}), record(20.0, {0, 0})};
+  AlarmSeries b = {record(11.0, {0, 1}), record(21.0, {0, 1})};
+  const AlarmSeries combined = combineUnion(a, b, 5.0);
+  ASSERT_EQ(combined.size(), 2u);
+  EXPECT_DOUBLE_EQ(combined[0].flags[0], 1.0);
+  EXPECT_DOUBLE_EQ(combined[0].flags[1], 1.0);
+  EXPECT_DOUBLE_EQ(combined[1].flags[1], 1.0);
+}
+
+TEST(CombineUnion, UnmatchedWindowsSurvive) {
+  AlarmSeries a = {record(10.0, {1})};
+  AlarmSeries b = {record(100.0, {1})};
+  const AlarmSeries combined = combineUnion(a, b, 5.0);
+  ASSERT_EQ(combined.size(), 2u);
+  EXPECT_DOUBLE_EQ(combined[0].time, 10.0);
+  EXPECT_DOUBLE_EQ(combined[1].time, 100.0);
+}
+
+TEST(CombineUnion, EmptySeries) {
+  AlarmSeries a = {record(10.0, {1})};
+  EXPECT_EQ(combineUnion(a, {}).size(), 1u);
+  EXPECT_EQ(combineUnion({}, a).size(), 1u);
+  EXPECT_TRUE(combineUnion({}, {}).empty());
+}
+
+TEST(EvalResult, DegenerateCountsAreSafe) {
+  EvalResult r;  // all zero
+  EXPECT_DOUBLE_EQ(r.truePositiveRate(), 1.0);
+  EXPECT_DOUBLE_EQ(r.trueNegativeRate(), 1.0);
+  EXPECT_DOUBLE_EQ(r.falsePositiveRatePct(), 0.0);
+}
+
+}  // namespace
+}  // namespace asdf::analysis

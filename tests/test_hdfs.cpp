@@ -1,0 +1,180 @@
+#include "hadoop/hdfs.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "hadoop/config.h"
+#include "hadoop/node.h"
+
+namespace asdf::hadoop {
+namespace {
+
+class HdfsTest : public ::testing::Test {
+ protected:
+  HdfsTest() : params_(), rng_(7) {
+    params_.slaveCount = 8;
+    for (NodeId id = 0; id <= params_.slaveCount; ++id) {
+      nodes_.push_back(std::make_unique<Node>(id, params_, rng_.split()));
+    }
+  }
+
+  Node& node(NodeId id) { return *nodes_[static_cast<std::size_t>(id)]; }
+
+  void tickBegin() {
+    for (auto& n : nodes_) n->beginTick();
+  }
+  void tickFinalize() {
+    for (auto& n : nodes_) n->finalizeResources();
+  }
+
+  HadoopParams params_;
+  Rng rng_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+TEST_F(HdfsTest, CreateFileProducesCorrectBlockCount) {
+  NameNode nn(8, 3);
+  Rng rng(1);
+  EXPECT_EQ(nn.createFile(64.0e6, 16.0e6, rng).size(), 4u);
+  EXPECT_EQ(nn.createFile(65.0e6, 16.0e6, rng).size(), 5u);  // ceil
+  EXPECT_EQ(nn.createFile(1.0, 16.0e6, rng).size(), 1u);     // min 1
+}
+
+TEST_F(HdfsTest, ReplicasAreDistinctSlaves) {
+  NameNode nn(8, 3);
+  Rng rng(2);
+  const auto blocks = nn.createFile(320.0e6, 16.0e6, rng);
+  for (long b : blocks) {
+    const auto& reps = nn.replicas(b);
+    ASSERT_EQ(reps.size(), 3u);
+    std::set<NodeId> unique(reps.begin(), reps.end());
+    EXPECT_EQ(unique.size(), 3u);
+    for (NodeId r : reps) {
+      EXPECT_GE(r, 1);
+      EXPECT_LE(r, 8);
+    }
+  }
+}
+
+TEST_F(HdfsTest, ReplicationCappedBySlaveCount) {
+  NameNode nn(2, 3);
+  Rng rng(3);
+  const long b = nn.createBlock(kInvalidNode, rng);
+  EXPECT_EQ(nn.replicas(b).size(), 2u);
+}
+
+TEST_F(HdfsTest, CreateBlockHonorsPreferredFirstReplica) {
+  NameNode nn(8, 3);
+  Rng rng(4);
+  for (int i = 0; i < 20; ++i) {
+    const long b = nn.createBlock(5, rng);
+    ASSERT_FALSE(nn.replicas(b).empty());
+    EXPECT_EQ(nn.replicas(b)[0], 5);
+  }
+}
+
+TEST_F(HdfsTest, DeleteBlockReturnsReplicasThenForgets) {
+  NameNode nn(8, 3);
+  Rng rng(5);
+  const long b = nn.createBlock(2, rng);
+  const auto where = nn.deleteBlock(b);
+  EXPECT_EQ(where.size(), 3u);
+  EXPECT_TRUE(nn.replicas(b).empty());
+  EXPECT_TRUE(nn.deleteBlock(b).empty());  // idempotent
+}
+
+TEST_F(HdfsTest, BlockIdsAreUnique) {
+  NameNode nn(8, 3);
+  Rng rng(6);
+  std::set<long> ids;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(ids.insert(nn.createBlock(kInvalidNode, rng)).second);
+  }
+}
+
+TEST_F(HdfsTest, LocalTransferUsesDiskOnly) {
+  BlockTransfer t(&node(1), &node(1), 16.0e6, /*readsSrcDisk=*/true);
+  double moved = 0.0;
+  for (int i = 0; i < 10 && !t.complete(); ++i) {
+    tickBegin();
+    t.requestResources();
+    tickFinalize();
+    moved += t.advance(1.0);
+  }
+  EXPECT_TRUE(t.complete());
+  EXPECT_NEAR(moved, 16.0e6, 1.0);
+}
+
+TEST_F(HdfsTest, RemoteTransferBoundedByNic) {
+  // 200 MB across a 125 MB/s NIC takes at least 2 ticks.
+  BlockTransfer t(&node(1), &node(2), 200.0e6, /*readsSrcDisk=*/false);
+  int ticks = 0;
+  while (!t.complete() && ticks < 20) {
+    tickBegin();
+    t.requestResources();
+    tickFinalize();
+    t.advance(1.0);
+    ++ticks;
+  }
+  EXPECT_TRUE(t.complete());
+  EXPECT_GE(ticks, 2);
+}
+
+TEST_F(HdfsTest, LossOnEitherEndThrottlesTransfer) {
+  node(2).nic().setLossRate(0.5);
+  BlockTransfer t(&node(1), &node(2), 16.0e6, /*readsSrcDisk=*/false);
+  tickBegin();
+  t.requestResources();
+  tickFinalize();
+  const double moved = t.advance(1.0);
+  // At 50% loss goodput collapses to a few percent of line rate.
+  EXPECT_LT(moved, 0.10 * 125.0e6);
+  EXPECT_GT(moved, 0.0);
+}
+
+TEST_F(HdfsTest, ConsumerThrottleScalesProgressAndResets) {
+  BlockTransfer t(&node(1), &node(2), 1000.0e6, /*readsSrcDisk=*/false);
+  tickBegin();
+  t.requestResources();
+  tickFinalize();
+  t.setConsumerThrottle(0.5);
+  const double throttled = t.advance(1.0);
+
+  tickBegin();
+  t.requestResources();
+  tickFinalize();
+  const double full = t.advance(1.0);
+  EXPECT_NEAR(throttled, 0.5 * full, full * 0.05);
+}
+
+TEST_F(HdfsTest, TransferRecordsActivityOnBothNodes) {
+  BlockTransfer t(&node(1), &node(2), 16.0e6, /*readsSrcDisk=*/true);
+  tickBegin();
+  t.requestResources();
+  tickFinalize();
+  const double moved = t.advance(1.0);
+  ASSERT_GT(moved, 0.0);
+  // endTick() consumes the accumulated activity into the OS model.
+  node(1).endTick(1.0);
+  node(2).endTick(1.0);
+  const auto src = node(1).sadcCollect();
+  const auto dst = node(2).sadcCollect();
+  EXPECT_GT(src.node[metrics::kIoReadBlocksPerSec], 0.0);
+  EXPECT_GT(src.nic[metrics::kNicTxKbPerSec], 0.0);
+  EXPECT_GT(dst.nic[metrics::kNicRxKbPerSec], 0.0);
+}
+
+TEST_F(HdfsTest, LossyTransferReportsDrops) {
+  node(1).nic().setLossRate(0.5);
+  BlockTransfer t(&node(1), &node(2), 16.0e6, /*readsSrcDisk=*/false);
+  tickBegin();
+  t.requestResources();
+  tickFinalize();
+  t.advance(1.0);
+  node(1).endTick(1.0);
+  EXPECT_GT(node(1).sadcCollect().nic[metrics::kNicTxDropPerSec], 0.0);
+}
+
+}  // namespace
+}  // namespace asdf::hadoop

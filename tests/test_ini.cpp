@@ -1,0 +1,123 @@
+#include "common/ini.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace asdf {
+namespace {
+
+TEST(Ini, ParsesFigure3Snippet) {
+  // The exact shape of the paper's Figure 3 configuration.
+  const char* config = R"(
+[ibuffer]
+id = buf1
+input[input] = onenn0.output0
+size = 10
+
+[analysis_bb]
+id = analysis
+threshold = 5
+window = 15
+slide = 5
+input[l0] = @buf0
+input[l1] = @buf1
+
+[print]
+id = BlackBoxAlarm
+input[a] = @analysis
+)";
+  const IniFile file = parseIni(config);
+  ASSERT_EQ(file.sections.size(), 3u);
+  EXPECT_EQ(file.sections[0].name, "ibuffer");
+  EXPECT_EQ(file.sections[0].get("id"), "buf1");
+  EXPECT_EQ(file.sections[0].get("size"), "10");
+  EXPECT_EQ(file.sections[1].get("threshold"), "5");
+  const auto inputs = file.sections[1].getAll("input[l0]");
+  ASSERT_EQ(inputs.size(), 1u);
+  EXPECT_EQ(inputs[0], "@buf0");
+  EXPECT_EQ(file.sections[2].name, "print");
+}
+
+TEST(Ini, PreservesSectionOrderWithRepeatedNames) {
+  const IniFile file = parseIni("[m]\nid = a\n[m]\nid = b\n[m]\nid = c\n");
+  ASSERT_EQ(file.sections.size(), 3u);
+  EXPECT_EQ(file.sections[0].get("id"), "a");
+  EXPECT_EQ(file.sections[1].get("id"), "b");
+  EXPECT_EQ(file.sections[2].get("id"), "c");
+}
+
+TEST(Ini, RepeatedKeysKeptInOrder) {
+  const IniFile file =
+      parseIni("[m]\ninput[x] = a.o\ninput[x] = b.o\ninput[x] = c.o\n");
+  const auto all = file.sections[0].getAll("input[x]");
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0], "a.o");
+  EXPECT_EQ(all[2], "c.o");
+  // get() returns the first.
+  EXPECT_EQ(file.sections[0].get("input[x]"), "a.o");
+}
+
+TEST(Ini, CommentsAndBlankLinesIgnored) {
+  const IniFile file = parseIni(
+      "# leading comment\n\n[m]\n; semicolon comment\nkey = value\n\n");
+  ASSERT_EQ(file.sections.size(), 1u);
+  ASSERT_EQ(file.sections[0].assignments.size(), 1u);
+  EXPECT_EQ(file.sections[0].get("key"), "value");
+}
+
+TEST(Ini, TrimsKeysAndValues) {
+  const IniFile file = parseIni("[m]\n  key   =   spaced value  \n");
+  EXPECT_EQ(file.sections[0].get("key"), "spaced value");
+}
+
+TEST(Ini, ValueMayContainEquals) {
+  const IniFile file = parseIni("[m]\nexpr = a=b\n");
+  EXPECT_EQ(file.sections[0].get("expr"), "a=b");
+}
+
+TEST(Ini, GetFallback) {
+  const IniFile file = parseIni("[m]\nkey = v\n");
+  EXPECT_EQ(file.sections[0].get("missing", "dflt"), "dflt");
+  EXPECT_TRUE(file.sections[0].has("key"));
+  EXPECT_FALSE(file.sections[0].has("missing"));
+}
+
+TEST(Ini, ErrorOnAssignmentBeforeSection) {
+  EXPECT_THROW(parseIni("key = value\n"), ConfigError);
+}
+
+TEST(Ini, ErrorOnMalformedSectionHeader) {
+  EXPECT_THROW(parseIni("[unterminated\n"), ConfigError);
+  EXPECT_THROW(parseIni("[]\n"), ConfigError);
+}
+
+TEST(Ini, ErrorOnLineWithoutEquals) {
+  EXPECT_THROW(parseIni("[m]\nnot an assignment\n"), ConfigError);
+}
+
+TEST(Ini, ErrorOnEmptyKey) {
+  EXPECT_THROW(parseIni("[m]\n = value\n"), ConfigError);
+}
+
+TEST(Ini, ErrorMessagesCarryLineNumbers) {
+  try {
+    parseIni("[m]\nok = 1\nbroken line\n");
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(Ini, MissingFileThrows) {
+  EXPECT_THROW(parseIniFile("/nonexistent/path/config.ini"), ConfigError);
+}
+
+TEST(Ini, TracksSourceLines) {
+  const IniFile file = parseIni("\n[m]\nkey = v\n");
+  EXPECT_EQ(file.sections[0].line, 2);
+  EXPECT_EQ(file.sections[0].assignments[0].line, 3);
+}
+
+}  // namespace
+}  // namespace asdf

@@ -1,0 +1,121 @@
+#include "hadoop/job.h"
+
+#include <gtest/gtest.h>
+
+namespace asdf::hadoop {
+namespace {
+
+class JobTest : public ::testing::Test {
+ protected:
+  JobTest() : nameNode_(8, 3), rng_(11) {}
+
+  JobSpec spec(double inputBytes = 64.0e6, int reduces = 4) {
+    JobSpec s;
+    s.inputBytes = inputBytes;
+    s.numReduces = reduces;
+    s.mapOutputRatio = 0.5;
+    s.outputRatio = 0.25;
+    return s;
+  }
+
+  NameNode nameNode_;
+  Rng rng_;
+};
+
+TEST_F(JobTest, MapsMatchBlockCount) {
+  Job job(1, spec(64.0e6), 16.0e6, nameNode_, 8, rng_);
+  EXPECT_EQ(job.numMaps(), 4);
+  EXPECT_EQ(job.numReduces(), 4);
+  EXPECT_EQ(job.pendingMaps().size(), 4u);
+  EXPECT_EQ(job.pendingReduces().size(), 4u);
+  EXPECT_FALSE(job.complete());
+}
+
+TEST_F(JobTest, ShuffleArithmetic) {
+  Job job(1, spec(64.0e6, 4), 16.0e6, nameNode_, 8, rng_);
+  // map output = 64 MB * 0.5 = 32 MB over 4 maps and 4 reduces.
+  EXPECT_NEAR(job.mapOutputPerReducePerMap(), 32.0e6 / 4 / 4, 1.0);
+  EXPECT_NEAR(job.shuffleBytesPerReduce(), 32.0e6 / 4, 1.0);
+  EXPECT_NEAR(job.outputBytesPerReduce(), 64.0e6 * 0.25 / 4, 1.0);
+}
+
+TEST_F(JobTest, CompleteMapPublishesShuffleOutput) {
+  Job job(1, spec(64.0e6, 4), 16.0e6, nameNode_, 8, rng_);
+  EXPECT_DOUBLE_EQ(job.shuffleAvailable(3), 0.0);
+  EXPECT_TRUE(job.completeMap(0, 3, 12.0));
+  EXPECT_NEAR(job.shuffleAvailable(3), job.mapOutputPerReducePerMap(), 1e-9);
+  EXPECT_EQ(job.completedMaps(), 1);
+  EXPECT_TRUE(job.mapDone(0));
+}
+
+TEST_F(JobTest, DuplicateCompletionIgnored) {
+  Job job(1, spec(), 16.0e6, nameNode_, 8, rng_);
+  EXPECT_TRUE(job.completeMap(0, 1, 10.0));
+  EXPECT_FALSE(job.completeMap(0, 2, 11.0));  // speculative loser
+  EXPECT_EQ(job.completedMaps(), 1);
+  EXPECT_NEAR(job.shuffleAvailable(2), 0.0, 1e-9);
+}
+
+TEST_F(JobTest, CompletesWhenAllTasksDone) {
+  Job job(1, spec(32.0e6, 2), 16.0e6, nameNode_, 8, rng_);
+  job.completeMap(0, 1, 5.0);
+  job.completeMap(1, 2, 6.0);
+  EXPECT_TRUE(job.mapsComplete());
+  EXPECT_FALSE(job.complete());
+  job.completeReduce(0, 30.0);
+  job.completeReduce(1, 31.0);
+  EXPECT_TRUE(job.complete());
+}
+
+TEST_F(JobTest, AttemptBookkeeping) {
+  Job job(1, spec(), 16.0e6, nameNode_, 8, rng_);
+  EXPECT_EQ(job.runningAttempts(true, 0), 0);
+  job.noteAttemptStarted(true, 0);
+  job.noteAttemptStarted(true, 0);  // speculative backup
+  EXPECT_EQ(job.runningAttempts(true, 0), 2);
+  job.noteAttemptEnded(true, 0);
+  EXPECT_EQ(job.runningAttempts(true, 0), 1);
+}
+
+TEST_F(JobTest, AttemptSerialsIncrement) {
+  Job job(1, spec(), 16.0e6, nameNode_, 8, rng_);
+  EXPECT_EQ(job.nextAttemptSerial(false, 1), 0);
+  EXPECT_EQ(job.nextAttemptSerial(false, 1), 1);
+  EXPECT_EQ(job.nextAttemptSerial(false, 2), 0);
+}
+
+TEST_F(JobTest, FailureCounting) {
+  Job job(1, spec(), 16.0e6, nameNode_, 8, rng_);
+  EXPECT_EQ(job.failureCount(false, 0), 0);
+  job.noteFailure(false, 0);
+  job.noteFailure(false, 0);
+  EXPECT_EQ(job.failureCount(false, 0), 2);
+  EXPECT_EQ(job.failureCount(true, 0), 0);
+}
+
+TEST_F(JobTest, DurationsRecorded) {
+  Job job(1, spec(32.0e6, 2), 16.0e6, nameNode_, 8, rng_);
+  job.completeMap(0, 1, 5.0);
+  job.completeMap(1, 1, 9.0);
+  ASSERT_EQ(job.completedMapDurations().size(), 2u);
+  EXPECT_DOUBLE_EQ(job.completedMapDurations()[1], 9.0);
+}
+
+TEST_F(JobTest, OutputBlocksRecorded) {
+  Job job(1, spec(), 16.0e6, nameNode_, 8, rng_);
+  job.addOutputBlock(1001);
+  job.addOutputBlock(1002);
+  EXPECT_EQ(job.outputBlocks().size(), 2u);
+  EXPECT_EQ(job.inputBlocks().size(), 4u);
+}
+
+TEST(JobType, NamesRoundTrip) {
+  EXPECT_STREQ(jobTypeName(JobType::kWebdataSample), "webdataSample");
+  EXPECT_STREQ(jobTypeName(JobType::kMonsterQuery), "monsterQuery");
+  EXPECT_STREQ(jobTypeName(JobType::kWebdataSort), "webdataSort");
+  EXPECT_STREQ(jobTypeName(JobType::kStreamingSort), "streamingSort");
+  EXPECT_STREQ(jobTypeName(JobType::kCombiner), "combiner");
+}
+
+}  // namespace
+}  // namespace asdf::hadoop

@@ -1,0 +1,125 @@
+#include "hadooplog/writer.h"
+
+#include <gtest/gtest.h>
+
+#include "common/strings.h"
+#include "hadooplog/log_buffer.h"
+
+namespace asdf::hadooplog {
+namespace {
+
+TEST(TaskAttemptId, MatchesFigure5Format) {
+  EXPECT_EQ(makeTaskAttemptId(1, true, 96, 0), "task_0001_m_000096_0");
+  EXPECT_EQ(makeTaskAttemptId(1, false, 3, 0), "task_0001_r_000003_0");
+  EXPECT_EQ(makeTaskAttemptId(123, true, 7, 2), "task_0123_m_000007_2");
+}
+
+TEST(LogBuffer, AppendsAndCounts) {
+  LogBuffer buf;
+  EXPECT_EQ(buf.lineCount(), 0u);
+  buf.append("line one");
+  buf.append("line two");
+  EXPECT_EQ(buf.lineCount(), 2u);
+  EXPECT_EQ(buf.line(0), "line one");
+  EXPECT_EQ(buf.line(1), "line two");
+}
+
+TEST(LogBuffer, LinesFromCursor) {
+  LogBuffer buf;
+  buf.append("a");
+  buf.append("b");
+  buf.append("c");
+  const auto tail = buf.linesFrom(1);
+  ASSERT_EQ(tail.size(), 2u);
+  EXPECT_EQ(tail[0], "b");
+  EXPECT_EQ(tail[1], "c");
+  EXPECT_TRUE(buf.linesFrom(3).empty());
+  EXPECT_TRUE(buf.linesFrom(999).empty());
+}
+
+TEST(LogBuffer, ByteAccountingWithDrain) {
+  LogBuffer buf;
+  buf.append("12345");  // +1 for newline
+  EXPECT_DOUBLE_EQ(buf.totalBytes(), 6.0);
+  EXPECT_DOUBLE_EQ(buf.drainNewBytes(), 6.0);
+  EXPECT_DOUBLE_EQ(buf.drainNewBytes(), 0.0);
+  buf.append("xy");
+  EXPECT_DOUBLE_EQ(buf.drainNewBytes(), 3.0);
+}
+
+TEST(TtLogWriter, LaunchLineMatchesFigure5) {
+  LogBuffer buf;
+  TtLogWriter writer(&buf);
+  writer.launchTask(75.324, "task_0001_m_000096_0");
+  ASSERT_EQ(buf.lineCount(), 1u);
+  EXPECT_EQ(buf.line(0),
+            "2008-04-15 14:01:15,324 INFO "
+            "org.apache.hadoop.mapred.TaskTracker: "
+            "LaunchTaskAction: task_0001_m_000096_0");
+}
+
+TEST(TtLogWriter, LifecycleLines) {
+  LogBuffer buf;
+  TtLogWriter writer(&buf);
+  writer.taskDone(10.0, "task_0001_m_000001_0");
+  writer.taskFailed(11.0, "task_0001_r_000001_0", "boom");
+  writer.killTask(12.0, "task_0001_r_000002_0");
+  EXPECT_TRUE(contains(buf.line(0), "Task task_0001_m_000001_0 is done."));
+  EXPECT_TRUE(contains(buf.line(1), "WARN"));
+  EXPECT_TRUE(contains(buf.line(1), "failed: boom"));
+  EXPECT_TRUE(contains(buf.line(2), "KillTaskAction: task_0001_r_000002_0"));
+}
+
+TEST(TtLogWriter, ReduceProgressNamesPhase) {
+  LogBuffer buf;
+  TtLogWriter writer(&buf);
+  writer.reduceProgress(20.0, "task_0001_r_000003_0", 0.33, "copy", 3, 9);
+  EXPECT_TRUE(contains(buf.line(0), "reduce > copy (3 of 9)"));
+  EXPECT_TRUE(contains(buf.line(0), "33.00%"));
+  writer.reduceProgress(21.0, "task_0001_r_000003_0", 0.5, "sort", 9, 9);
+  EXPECT_TRUE(contains(buf.line(1), "reduce > sort"));
+}
+
+TEST(TtLogWriter, CopyFailedIsWarn) {
+  LogBuffer buf;
+  TtLogWriter writer(&buf);
+  writer.copyFailed(30.0, "task_0001_r_000001_1", "task_0001_m_000004_0");
+  EXPECT_TRUE(contains(buf.line(0), "WARN"));
+  EXPECT_TRUE(contains(buf.line(0), "copy failed"));
+}
+
+TEST(DnLogWriter, BlockLifecycleLines) {
+  LogBuffer buf;
+  DnLogWriter writer(&buf);
+  writer.servingBlock(1.0, 4523, "10.250.0.7");
+  writer.servedBlock(3.0, 4523, "10.250.0.7");
+  writer.receivingBlock(4.0, 4524, "10.250.0.2", "10.250.0.3");
+  writer.receivedBlock(9.0, 4524, 8388608, "10.250.0.2");
+  writer.deletingBlock(10.0, 4524);
+  EXPECT_TRUE(contains(buf.line(0), "Serving block blk_4523 to /10.250.0.7"));
+  EXPECT_TRUE(contains(buf.line(1), "Served block blk_4523"));
+  EXPECT_TRUE(contains(buf.line(2),
+                       "Receiving block blk_4524 src: /10.250.0.2:50010 "
+                       "dest: /10.250.0.3:50010"));
+  EXPECT_TRUE(
+      contains(buf.line(3), "Received block blk_4524 of size 8388608"));
+  EXPECT_TRUE(contains(buf.line(4), "Deleting block blk_4524"));
+  EXPECT_TRUE(
+      contains(buf.line(4), "org.apache.hadoop.dfs.DataNode"));
+}
+
+TEST(Writers, EveryLineCarriesParseableTimestamp) {
+  LogBuffer buf;
+  TtLogWriter tt(&buf);
+  DnLogWriter dn(&buf);
+  tt.launchTask(100.5, "task_0001_m_000001_0");
+  tt.mapProgress(101.0, "task_0001_m_000001_0", 0.5);
+  dn.servingBlock(102.25, 1, "10.250.0.2");
+  for (std::size_t i = 0; i < buf.lineCount(); ++i) {
+    const SimTime t = parseLogTimestamp(buf.line(i).substr(0, 23));
+    EXPECT_NE(t, kNoTime) << buf.line(i);
+  }
+}
+
+}  // namespace
+}  // namespace asdf::hadooplog

@@ -1,0 +1,148 @@
+#include "sim/resources.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace asdf::sim {
+namespace {
+
+TEST(ShareResource, FullGrantUnderCapacity) {
+  ShareResource r("r", 10.0);
+  r.beginTick();
+  const int h1 = r.request(3.0);
+  const int h2 = r.request(4.0);
+  r.finalize();
+  EXPECT_DOUBLE_EQ(r.granted(h1), 3.0);
+  EXPECT_DOUBLE_EQ(r.granted(h2), 4.0);
+  EXPECT_DOUBLE_EQ(r.grantRatio(), 1.0);
+  EXPECT_DOUBLE_EQ(r.totalGranted(), 7.0);
+  EXPECT_DOUBLE_EQ(r.utilization(), 0.7);
+}
+
+TEST(ShareResource, ProportionalUnderOversubscription) {
+  ShareResource r("r", 10.0);
+  r.beginTick();
+  const int h1 = r.request(10.0);
+  const int h2 = r.request(30.0);
+  r.finalize();
+  EXPECT_DOUBLE_EQ(r.grantRatio(), 0.25);
+  EXPECT_DOUBLE_EQ(r.granted(h1), 2.5);
+  EXPECT_DOUBLE_EQ(r.granted(h2), 7.5);
+  EXPECT_DOUBLE_EQ(r.totalGranted(), 10.0);
+  EXPECT_DOUBLE_EQ(r.utilization(), 1.0);
+}
+
+TEST(ShareResource, ZeroDemandIsFine) {
+  ShareResource r("r", 10.0);
+  r.beginTick();
+  const int h = r.request(0.0);
+  r.finalize();
+  EXPECT_DOUBLE_EQ(r.granted(h), 0.0);
+  EXPECT_DOUBLE_EQ(r.demand(), 0.0);
+  EXPECT_DOUBLE_EQ(r.utilization(), 0.0);
+}
+
+TEST(ShareResource, ResetsBetweenTicks) {
+  ShareResource r("r", 10.0);
+  r.beginTick();
+  r.request(40.0);
+  r.finalize();
+  EXPECT_DOUBLE_EQ(r.grantRatio(), 0.25);
+  r.beginTick();
+  const int h = r.request(5.0);
+  r.finalize();
+  EXPECT_DOUBLE_EQ(r.granted(h), 5.0);
+}
+
+TEST(ShareResource, SetCapacity) {
+  ShareResource r("r", 10.0);
+  r.setCapacity(20.0);
+  EXPECT_DOUBLE_EQ(r.capacity(), 20.0);
+  r.beginTick();
+  const int h = r.request(15.0);
+  r.finalize();
+  EXPECT_DOUBLE_EQ(r.granted(h), 15.0);
+}
+
+// Property: grants sum to min(demand, capacity) and each grant never
+// exceeds its request, for random demand patterns.
+class ShareResourceProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ShareResourceProperty, ConservationAndBounds) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7 + 3);
+  ShareResource r("r", rng.uniform(1.0, 100.0));
+  for (int tick = 0; tick < 50; ++tick) {
+    r.beginTick();
+    const long n = rng.uniformInt(0, 12);
+    std::vector<std::pair<int, double>> reqs;
+    for (long i = 0; i < n; ++i) {
+      const double amount = rng.uniform(0.0, 40.0);
+      reqs.emplace_back(r.request(amount), amount);
+    }
+    r.finalize();
+    double sum = 0.0;
+    for (const auto& [h, amount] : reqs) {
+      const double g = r.granted(h);
+      EXPECT_GE(g, 0.0);
+      EXPECT_LE(g, amount + 1e-9);
+      sum += g;
+    }
+    EXPECT_NEAR(sum, std::min(r.demand(), r.capacity()), 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomRuns, ShareResourceProperty,
+                         ::testing::Range(0, 10));
+
+TEST(NicResource, NoLossPassesThrough) {
+  NicResource nic(100.0);
+  nic.beginTick();
+  const int h = nic.request(40.0);
+  nic.finalize();
+  EXPECT_DOUBLE_EQ(nic.granted(h), 40.0);
+  EXPECT_DOUBLE_EQ(nic.goodputFactor(), 1.0);
+}
+
+TEST(NicResource, FiftyPercentLossCollapsesGoodput) {
+  NicResource nic(100.0);
+  nic.setLossRate(0.5);
+  // TCP collapse: goodput a few percent of line rate at 50% loss
+  // (HADOOP-2956's "long block transfer times").
+  EXPECT_LT(nic.goodputFactor(), 0.06);
+  EXPECT_GT(nic.goodputFactor(), 0.01);
+  nic.beginTick();
+  const int h = nic.request(100.0);
+  nic.finalize();
+  EXPECT_LT(nic.granted(h), 6.0);
+}
+
+TEST(NicResource, LossMonotonicallyDegradesGoodput) {
+  NicResource nic(100.0);
+  double prev = 1.1;
+  for (double loss : {0.0, 0.1, 0.2, 0.3, 0.5, 0.8}) {
+    nic.setLossRate(loss);
+    EXPECT_LT(nic.goodputFactor(), prev);
+    prev = nic.goodputFactor();
+  }
+}
+
+TEST(NicResource, ClearingLossRestoresFullRate) {
+  NicResource nic(100.0);
+  nic.setLossRate(0.5);
+  nic.setLossRate(0.0);
+  EXPECT_DOUBLE_EQ(nic.goodputFactor(), 1.0);
+}
+
+TEST(NicResource, SharesLineRateProportionally) {
+  NicResource nic(100.0);
+  nic.beginTick();
+  const int h1 = nic.request(100.0);
+  const int h2 = nic.request(100.0);
+  nic.finalize();
+  EXPECT_DOUBLE_EQ(nic.granted(h1), 50.0);
+  EXPECT_DOUBLE_EQ(nic.granted(h2), 50.0);
+}
+
+}  // namespace
+}  // namespace asdf::sim

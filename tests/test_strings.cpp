@@ -1,0 +1,126 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace asdf {
+namespace {
+
+TEST(Trim, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(trim("  hello  "), "hello");
+  EXPECT_EQ(trim("\thello\n"), "hello");
+  EXPECT_EQ(trim("hello"), "hello");
+}
+
+TEST(Trim, EmptyAndAllWhitespace) {
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   \t\n "), "");
+}
+
+TEST(Trim, PreservesInnerWhitespace) {
+  EXPECT_EQ(trim("  a b  c "), "a b  c");
+}
+
+TEST(Split, BasicFields) {
+  const auto parts = split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Split, KeepsEmptyFields) {
+  const auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Split, SingleFieldWithoutDelimiter) {
+  const auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Split, EmptyInputGivesOneEmptyField) {
+  const auto parts = split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(SplitWhitespace, CollapsesRuns) {
+  const auto parts = splitWhitespace("  a \t b\n\nc  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(SplitWhitespace, EmptyInput) {
+  EXPECT_TRUE(splitWhitespace("   ").empty());
+  EXPECT_TRUE(splitWhitespace("").empty());
+}
+
+TEST(StartsEndsWith, Basics) {
+  EXPECT_TRUE(startsWith("hello world", "hello"));
+  EXPECT_FALSE(startsWith("hello", "hello world"));
+  EXPECT_TRUE(endsWith("hello world", "world"));
+  EXPECT_FALSE(endsWith("world", "hello world"));
+  EXPECT_TRUE(startsWith("x", ""));
+  EXPECT_TRUE(endsWith("x", ""));
+}
+
+TEST(Contains, Basics) {
+  EXPECT_TRUE(contains("LaunchTaskAction: task_0001", "task_"));
+  EXPECT_FALSE(contains("abc", "abd"));
+  EXPECT_TRUE(contains("abc", ""));
+}
+
+TEST(Join, Basics) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({"a"}, ","), "a");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(Strformat, FormatsLikePrintf) {
+  EXPECT_EQ(strformat("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(strformat("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(strformat("%s", ""), "");
+}
+
+TEST(Strformat, LongOutput) {
+  const std::string s = strformat("%0512d", 7);
+  EXPECT_EQ(s.size(), 512u);
+  EXPECT_EQ(s.back(), '7');
+}
+
+TEST(ParseDouble, Valid) {
+  double v = 0.0;
+  EXPECT_TRUE(parseDouble("3.5", v));
+  EXPECT_DOUBLE_EQ(v, 3.5);
+  EXPECT_TRUE(parseDouble(" -2e3 ", v));
+  EXPECT_DOUBLE_EQ(v, -2000.0);
+}
+
+TEST(ParseDouble, RejectsJunk) {
+  double v = 0.0;
+  EXPECT_FALSE(parseDouble("", v));
+  EXPECT_FALSE(parseDouble("abc", v));
+  EXPECT_FALSE(parseDouble("1.5x", v));
+}
+
+TEST(ParseInt, Valid) {
+  long v = 0;
+  EXPECT_TRUE(parseInt("42", v));
+  EXPECT_EQ(v, 42);
+  EXPECT_TRUE(parseInt(" -7 ", v));
+  EXPECT_EQ(v, -7);
+}
+
+TEST(ParseInt, RejectsJunkAndFloats) {
+  long v = 0;
+  EXPECT_FALSE(parseInt("", v));
+  EXPECT_FALSE(parseInt("3.5", v));
+  EXPECT_FALSE(parseInt("12a", v));
+}
+
+}  // namespace
+}  // namespace asdf

