@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_analysis.dir/bench_ablation_analysis.cpp.o"
+  "CMakeFiles/bench_ablation_analysis.dir/bench_ablation_analysis.cpp.o.d"
+  "bench_ablation_analysis"
+  "bench_ablation_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_centroids.dir/bench_ablation_centroids.cpp.o"
+  "CMakeFiles/bench_ablation_centroids.dir/bench_ablation_centroids.cpp.o.d"
+  "bench_ablation_centroids"
+  "bench_ablation_centroids.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_centroids.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

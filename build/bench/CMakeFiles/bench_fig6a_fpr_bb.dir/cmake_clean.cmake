@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6a_fpr_bb.dir/bench_fig6a_fpr_bb.cpp.o"
+  "CMakeFiles/bench_fig6a_fpr_bb.dir/bench_fig6a_fpr_bb.cpp.o.d"
+  "bench_fig6a_fpr_bb"
+  "bench_fig6a_fpr_bb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6a_fpr_bb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

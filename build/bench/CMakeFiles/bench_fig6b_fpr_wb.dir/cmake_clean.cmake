@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6b_fpr_wb.dir/bench_fig6b_fpr_wb.cpp.o"
+  "CMakeFiles/bench_fig6b_fpr_wb.dir/bench_fig6b_fpr_wb.cpp.o.d"
+  "bench_fig6b_fpr_wb"
+  "bench_fig6b_fpr_wb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6b_fpr_wb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

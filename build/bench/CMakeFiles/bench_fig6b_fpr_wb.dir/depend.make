@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig6b_fpr_wb.
+# This may be replaced when dependencies are built.

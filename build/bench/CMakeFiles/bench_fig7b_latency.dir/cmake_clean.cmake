@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7b_latency.dir/bench_fig7b_latency.cpp.o"
+  "CMakeFiles/bench_fig7b_latency.dir/bench_fig7b_latency.cpp.o.d"
+  "bench_fig7b_latency"
+  "bench_fig7b_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7b_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_micro.cpp" "bench/CMakeFiles/bench_micro.dir/bench_micro.cpp.o" "gcc" "bench/CMakeFiles/bench_micro.dir/bench_micro.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/asdf_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/modules/CMakeFiles/asdf_modules.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/asdf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/asdf_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/asdf_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/asdf_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/asdf_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/hadoop/CMakeFiles/asdf_hadoop.dir/DependInfo.cmake"
+  "/root/repo/build/src/hadooplog/CMakeFiles/asdf_hadooplog.dir/DependInfo.cmake"
+  "/root/repo/build/src/syscalls/CMakeFiles/asdf_syscalls.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/asdf_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/asdf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/asdf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

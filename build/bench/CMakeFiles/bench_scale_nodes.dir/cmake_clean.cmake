@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scale_nodes.dir/bench_scale_nodes.cpp.o"
+  "CMakeFiles/bench_scale_nodes.dir/bench_scale_nodes.cpp.o.d"
+  "bench_scale_nodes"
+  "bench_scale_nodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scale_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

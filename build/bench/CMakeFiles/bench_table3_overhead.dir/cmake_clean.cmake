@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_overhead.dir/bench_table3_overhead.cpp.o"
+  "CMakeFiles/bench_table3_overhead.dir/bench_table3_overhead.cpp.o.d"
+  "bench_table3_overhead"
+  "bench_table3_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asdfd.dir/asdfd.cpp.o"
+  "CMakeFiles/asdfd.dir/asdfd.cpp.o.d"
+  "asdfd"
+  "asdfd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asdfd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

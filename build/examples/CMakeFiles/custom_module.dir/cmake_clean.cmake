@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_module.dir/custom_module.cpp.o"
+  "CMakeFiles/custom_module.dir/custom_module.cpp.o.d"
+  "custom_module"
+  "custom_module.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_module.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

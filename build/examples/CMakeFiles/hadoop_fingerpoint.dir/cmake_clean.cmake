@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hadoop_fingerpoint.dir/hadoop_fingerpoint.cpp.o"
+  "CMakeFiles/hadoop_fingerpoint.dir/hadoop_fingerpoint.cpp.o.d"
+  "hadoop_fingerpoint"
+  "hadoop_fingerpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hadoop_fingerpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for hadoop_fingerpoint.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/log_parse_demo.dir/log_parse_demo.cpp.o"
+  "CMakeFiles/log_parse_demo.dir/log_parse_demo.cpp.o.d"
+  "log_parse_demo"
+  "log_parse_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/log_parse_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_change.dir/workload_change.cpp.o"
+  "CMakeFiles/workload_change.dir/workload_change.cpp.o.d"
+  "workload_change"
+  "workload_change.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_change.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("metrics")
+subdirs("hadoop")
+subdirs("hadooplog")
+subdirs("workload")
+subdirs("faults")
+subdirs("rpc")
+subdirs("syscalls")
+subdirs("core")
+subdirs("modules")
+subdirs("analysis")
+subdirs("harness")

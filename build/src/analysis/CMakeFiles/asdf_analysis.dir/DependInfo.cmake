@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/bbmodel.cpp" "src/analysis/CMakeFiles/asdf_analysis.dir/bbmodel.cpp.o" "gcc" "src/analysis/CMakeFiles/asdf_analysis.dir/bbmodel.cpp.o.d"
+  "/root/repo/src/analysis/evaluation.cpp" "src/analysis/CMakeFiles/asdf_analysis.dir/evaluation.cpp.o" "gcc" "src/analysis/CMakeFiles/asdf_analysis.dir/evaluation.cpp.o.d"
+  "/root/repo/src/analysis/kmeans.cpp" "src/analysis/CMakeFiles/asdf_analysis.dir/kmeans.cpp.o" "gcc" "src/analysis/CMakeFiles/asdf_analysis.dir/kmeans.cpp.o.d"
+  "/root/repo/src/analysis/mad.cpp" "src/analysis/CMakeFiles/asdf_analysis.dir/mad.cpp.o" "gcc" "src/analysis/CMakeFiles/asdf_analysis.dir/mad.cpp.o.d"
+  "/root/repo/src/analysis/peercompare.cpp" "src/analysis/CMakeFiles/asdf_analysis.dir/peercompare.cpp.o" "gcc" "src/analysis/CMakeFiles/asdf_analysis.dir/peercompare.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/asdf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

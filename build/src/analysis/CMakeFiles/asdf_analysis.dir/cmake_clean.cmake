@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asdf_analysis.dir/bbmodel.cpp.o"
+  "CMakeFiles/asdf_analysis.dir/bbmodel.cpp.o.d"
+  "CMakeFiles/asdf_analysis.dir/evaluation.cpp.o"
+  "CMakeFiles/asdf_analysis.dir/evaluation.cpp.o.d"
+  "CMakeFiles/asdf_analysis.dir/kmeans.cpp.o"
+  "CMakeFiles/asdf_analysis.dir/kmeans.cpp.o.d"
+  "CMakeFiles/asdf_analysis.dir/mad.cpp.o"
+  "CMakeFiles/asdf_analysis.dir/mad.cpp.o.d"
+  "CMakeFiles/asdf_analysis.dir/peercompare.cpp.o"
+  "CMakeFiles/asdf_analysis.dir/peercompare.cpp.o.d"
+  "libasdf_analysis.a"
+  "libasdf_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asdf_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asdf_common.dir/csv.cpp.o"
+  "CMakeFiles/asdf_common.dir/csv.cpp.o.d"
+  "CMakeFiles/asdf_common.dir/ini.cpp.o"
+  "CMakeFiles/asdf_common.dir/ini.cpp.o.d"
+  "CMakeFiles/asdf_common.dir/logging.cpp.o"
+  "CMakeFiles/asdf_common.dir/logging.cpp.o.d"
+  "CMakeFiles/asdf_common.dir/rng.cpp.o"
+  "CMakeFiles/asdf_common.dir/rng.cpp.o.d"
+  "CMakeFiles/asdf_common.dir/stats.cpp.o"
+  "CMakeFiles/asdf_common.dir/stats.cpp.o.d"
+  "CMakeFiles/asdf_common.dir/strings.cpp.o"
+  "CMakeFiles/asdf_common.dir/strings.cpp.o.d"
+  "CMakeFiles/asdf_common.dir/types.cpp.o"
+  "CMakeFiles/asdf_common.dir/types.cpp.o.d"
+  "libasdf_common.a"
+  "libasdf_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asdf_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/environment.cpp" "src/core/CMakeFiles/asdf_core.dir/environment.cpp.o" "gcc" "src/core/CMakeFiles/asdf_core.dir/environment.cpp.o.d"
+  "/root/repo/src/core/fpt_core.cpp" "src/core/CMakeFiles/asdf_core.dir/fpt_core.cpp.o" "gcc" "src/core/CMakeFiles/asdf_core.dir/fpt_core.cpp.o.d"
+  "/root/repo/src/core/graph.cpp" "src/core/CMakeFiles/asdf_core.dir/graph.cpp.o" "gcc" "src/core/CMakeFiles/asdf_core.dir/graph.cpp.o.d"
+  "/root/repo/src/core/realtime.cpp" "src/core/CMakeFiles/asdf_core.dir/realtime.cpp.o" "gcc" "src/core/CMakeFiles/asdf_core.dir/realtime.cpp.o.d"
+  "/root/repo/src/core/registry.cpp" "src/core/CMakeFiles/asdf_core.dir/registry.cpp.o" "gcc" "src/core/CMakeFiles/asdf_core.dir/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/asdf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/asdf_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asdf_core.dir/environment.cpp.o"
+  "CMakeFiles/asdf_core.dir/environment.cpp.o.d"
+  "CMakeFiles/asdf_core.dir/fpt_core.cpp.o"
+  "CMakeFiles/asdf_core.dir/fpt_core.cpp.o.d"
+  "CMakeFiles/asdf_core.dir/graph.cpp.o"
+  "CMakeFiles/asdf_core.dir/graph.cpp.o.d"
+  "CMakeFiles/asdf_core.dir/realtime.cpp.o"
+  "CMakeFiles/asdf_core.dir/realtime.cpp.o.d"
+  "CMakeFiles/asdf_core.dir/registry.cpp.o"
+  "CMakeFiles/asdf_core.dir/registry.cpp.o.d"
+  "libasdf_core.a"
+  "libasdf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asdf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

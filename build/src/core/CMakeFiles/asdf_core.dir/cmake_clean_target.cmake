@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libasdf_core.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asdf_faults.dir/faults.cpp.o"
+  "CMakeFiles/asdf_faults.dir/faults.cpp.o.d"
+  "libasdf_faults.a"
+  "libasdf_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asdf_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hadoop/cluster.cpp" "src/hadoop/CMakeFiles/asdf_hadoop.dir/cluster.cpp.o" "gcc" "src/hadoop/CMakeFiles/asdf_hadoop.dir/cluster.cpp.o.d"
+  "/root/repo/src/hadoop/hdfs.cpp" "src/hadoop/CMakeFiles/asdf_hadoop.dir/hdfs.cpp.o" "gcc" "src/hadoop/CMakeFiles/asdf_hadoop.dir/hdfs.cpp.o.d"
+  "/root/repo/src/hadoop/job.cpp" "src/hadoop/CMakeFiles/asdf_hadoop.dir/job.cpp.o" "gcc" "src/hadoop/CMakeFiles/asdf_hadoop.dir/job.cpp.o.d"
+  "/root/repo/src/hadoop/jobtracker.cpp" "src/hadoop/CMakeFiles/asdf_hadoop.dir/jobtracker.cpp.o" "gcc" "src/hadoop/CMakeFiles/asdf_hadoop.dir/jobtracker.cpp.o.d"
+  "/root/repo/src/hadoop/node.cpp" "src/hadoop/CMakeFiles/asdf_hadoop.dir/node.cpp.o" "gcc" "src/hadoop/CMakeFiles/asdf_hadoop.dir/node.cpp.o.d"
+  "/root/repo/src/hadoop/task.cpp" "src/hadoop/CMakeFiles/asdf_hadoop.dir/task.cpp.o" "gcc" "src/hadoop/CMakeFiles/asdf_hadoop.dir/task.cpp.o.d"
+  "/root/repo/src/hadoop/tasktracker.cpp" "src/hadoop/CMakeFiles/asdf_hadoop.dir/tasktracker.cpp.o" "gcc" "src/hadoop/CMakeFiles/asdf_hadoop.dir/tasktracker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/asdf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/asdf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/asdf_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/hadooplog/CMakeFiles/asdf_hadooplog.dir/DependInfo.cmake"
+  "/root/repo/build/src/syscalls/CMakeFiles/asdf_syscalls.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

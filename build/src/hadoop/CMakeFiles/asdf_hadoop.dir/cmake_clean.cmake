@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asdf_hadoop.dir/cluster.cpp.o"
+  "CMakeFiles/asdf_hadoop.dir/cluster.cpp.o.d"
+  "CMakeFiles/asdf_hadoop.dir/hdfs.cpp.o"
+  "CMakeFiles/asdf_hadoop.dir/hdfs.cpp.o.d"
+  "CMakeFiles/asdf_hadoop.dir/job.cpp.o"
+  "CMakeFiles/asdf_hadoop.dir/job.cpp.o.d"
+  "CMakeFiles/asdf_hadoop.dir/jobtracker.cpp.o"
+  "CMakeFiles/asdf_hadoop.dir/jobtracker.cpp.o.d"
+  "CMakeFiles/asdf_hadoop.dir/node.cpp.o"
+  "CMakeFiles/asdf_hadoop.dir/node.cpp.o.d"
+  "CMakeFiles/asdf_hadoop.dir/task.cpp.o"
+  "CMakeFiles/asdf_hadoop.dir/task.cpp.o.d"
+  "CMakeFiles/asdf_hadoop.dir/tasktracker.cpp.o"
+  "CMakeFiles/asdf_hadoop.dir/tasktracker.cpp.o.d"
+  "libasdf_hadoop.a"
+  "libasdf_hadoop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asdf_hadoop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hadooplog/log_buffer.cpp" "src/hadooplog/CMakeFiles/asdf_hadooplog.dir/log_buffer.cpp.o" "gcc" "src/hadooplog/CMakeFiles/asdf_hadooplog.dir/log_buffer.cpp.o.d"
+  "/root/repo/src/hadooplog/parser.cpp" "src/hadooplog/CMakeFiles/asdf_hadooplog.dir/parser.cpp.o" "gcc" "src/hadooplog/CMakeFiles/asdf_hadooplog.dir/parser.cpp.o.d"
+  "/root/repo/src/hadooplog/states.cpp" "src/hadooplog/CMakeFiles/asdf_hadooplog.dir/states.cpp.o" "gcc" "src/hadooplog/CMakeFiles/asdf_hadooplog.dir/states.cpp.o.d"
+  "/root/repo/src/hadooplog/writer.cpp" "src/hadooplog/CMakeFiles/asdf_hadooplog.dir/writer.cpp.o" "gcc" "src/hadooplog/CMakeFiles/asdf_hadooplog.dir/writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/asdf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

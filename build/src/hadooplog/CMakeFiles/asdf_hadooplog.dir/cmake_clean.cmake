@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asdf_hadooplog.dir/log_buffer.cpp.o"
+  "CMakeFiles/asdf_hadooplog.dir/log_buffer.cpp.o.d"
+  "CMakeFiles/asdf_hadooplog.dir/parser.cpp.o"
+  "CMakeFiles/asdf_hadooplog.dir/parser.cpp.o.d"
+  "CMakeFiles/asdf_hadooplog.dir/states.cpp.o"
+  "CMakeFiles/asdf_hadooplog.dir/states.cpp.o.d"
+  "CMakeFiles/asdf_hadooplog.dir/writer.cpp.o"
+  "CMakeFiles/asdf_hadooplog.dir/writer.cpp.o.d"
+  "libasdf_hadooplog.a"
+  "libasdf_hadooplog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asdf_hadooplog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

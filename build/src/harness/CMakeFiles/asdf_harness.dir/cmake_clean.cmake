@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asdf_harness.dir/experiment.cpp.o"
+  "CMakeFiles/asdf_harness.dir/experiment.cpp.o.d"
+  "CMakeFiles/asdf_harness.dir/pipelines.cpp.o"
+  "CMakeFiles/asdf_harness.dir/pipelines.cpp.o.d"
+  "libasdf_harness.a"
+  "libasdf_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asdf_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/catalog.cpp" "src/metrics/CMakeFiles/asdf_metrics.dir/catalog.cpp.o" "gcc" "src/metrics/CMakeFiles/asdf_metrics.dir/catalog.cpp.o.d"
+  "/root/repo/src/metrics/os_model.cpp" "src/metrics/CMakeFiles/asdf_metrics.dir/os_model.cpp.o" "gcc" "src/metrics/CMakeFiles/asdf_metrics.dir/os_model.cpp.o.d"
+  "/root/repo/src/metrics/sadc.cpp" "src/metrics/CMakeFiles/asdf_metrics.dir/sadc.cpp.o" "gcc" "src/metrics/CMakeFiles/asdf_metrics.dir/sadc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/asdf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/asdf_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

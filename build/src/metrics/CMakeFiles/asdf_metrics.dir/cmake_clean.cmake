@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asdf_metrics.dir/catalog.cpp.o"
+  "CMakeFiles/asdf_metrics.dir/catalog.cpp.o.d"
+  "CMakeFiles/asdf_metrics.dir/os_model.cpp.o"
+  "CMakeFiles/asdf_metrics.dir/os_model.cpp.o.d"
+  "CMakeFiles/asdf_metrics.dir/sadc.cpp.o"
+  "CMakeFiles/asdf_metrics.dir/sadc.cpp.o.d"
+  "libasdf_metrics.a"
+  "libasdf_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asdf_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

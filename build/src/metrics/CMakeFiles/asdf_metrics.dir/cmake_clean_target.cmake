@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libasdf_metrics.a"
+)

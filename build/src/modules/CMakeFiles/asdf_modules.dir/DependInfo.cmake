@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/modules/analysis_bb_module.cpp" "src/modules/CMakeFiles/asdf_modules.dir/analysis_bb_module.cpp.o" "gcc" "src/modules/CMakeFiles/asdf_modules.dir/analysis_bb_module.cpp.o.d"
+  "/root/repo/src/modules/analysis_mad_module.cpp" "src/modules/CMakeFiles/asdf_modules.dir/analysis_mad_module.cpp.o" "gcc" "src/modules/CMakeFiles/asdf_modules.dir/analysis_mad_module.cpp.o.d"
+  "/root/repo/src/modules/analysis_wb_module.cpp" "src/modules/CMakeFiles/asdf_modules.dir/analysis_wb_module.cpp.o" "gcc" "src/modules/CMakeFiles/asdf_modules.dir/analysis_wb_module.cpp.o.d"
+  "/root/repo/src/modules/csv_sink_module.cpp" "src/modules/CMakeFiles/asdf_modules.dir/csv_sink_module.cpp.o" "gcc" "src/modules/CMakeFiles/asdf_modules.dir/csv_sink_module.cpp.o.d"
+  "/root/repo/src/modules/hadoop_log_module.cpp" "src/modules/CMakeFiles/asdf_modules.dir/hadoop_log_module.cpp.o" "gcc" "src/modules/CMakeFiles/asdf_modules.dir/hadoop_log_module.cpp.o.d"
+  "/root/repo/src/modules/ibuffer_module.cpp" "src/modules/CMakeFiles/asdf_modules.dir/ibuffer_module.cpp.o" "gcc" "src/modules/CMakeFiles/asdf_modules.dir/ibuffer_module.cpp.o.d"
+  "/root/repo/src/modules/knn_module.cpp" "src/modules/CMakeFiles/asdf_modules.dir/knn_module.cpp.o" "gcc" "src/modules/CMakeFiles/asdf_modules.dir/knn_module.cpp.o.d"
+  "/root/repo/src/modules/mavgvec_module.cpp" "src/modules/CMakeFiles/asdf_modules.dir/mavgvec_module.cpp.o" "gcc" "src/modules/CMakeFiles/asdf_modules.dir/mavgvec_module.cpp.o.d"
+  "/root/repo/src/modules/mitigate_module.cpp" "src/modules/CMakeFiles/asdf_modules.dir/mitigate_module.cpp.o" "gcc" "src/modules/CMakeFiles/asdf_modules.dir/mitigate_module.cpp.o.d"
+  "/root/repo/src/modules/print_module.cpp" "src/modules/CMakeFiles/asdf_modules.dir/print_module.cpp.o" "gcc" "src/modules/CMakeFiles/asdf_modules.dir/print_module.cpp.o.d"
+  "/root/repo/src/modules/register.cpp" "src/modules/CMakeFiles/asdf_modules.dir/register.cpp.o" "gcc" "src/modules/CMakeFiles/asdf_modules.dir/register.cpp.o.d"
+  "/root/repo/src/modules/sadc_module.cpp" "src/modules/CMakeFiles/asdf_modules.dir/sadc_module.cpp.o" "gcc" "src/modules/CMakeFiles/asdf_modules.dir/sadc_module.cpp.o.d"
+  "/root/repo/src/modules/strace_module.cpp" "src/modules/CMakeFiles/asdf_modules.dir/strace_module.cpp.o" "gcc" "src/modules/CMakeFiles/asdf_modules.dir/strace_module.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/asdf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/asdf_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/asdf_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/hadooplog/CMakeFiles/asdf_hadooplog.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/asdf_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/syscalls/CMakeFiles/asdf_syscalls.dir/DependInfo.cmake"
+  "/root/repo/build/src/hadoop/CMakeFiles/asdf_hadoop.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/asdf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/asdf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

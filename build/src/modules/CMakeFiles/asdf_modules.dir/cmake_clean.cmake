@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asdf_modules.dir/analysis_bb_module.cpp.o"
+  "CMakeFiles/asdf_modules.dir/analysis_bb_module.cpp.o.d"
+  "CMakeFiles/asdf_modules.dir/analysis_mad_module.cpp.o"
+  "CMakeFiles/asdf_modules.dir/analysis_mad_module.cpp.o.d"
+  "CMakeFiles/asdf_modules.dir/analysis_wb_module.cpp.o"
+  "CMakeFiles/asdf_modules.dir/analysis_wb_module.cpp.o.d"
+  "CMakeFiles/asdf_modules.dir/csv_sink_module.cpp.o"
+  "CMakeFiles/asdf_modules.dir/csv_sink_module.cpp.o.d"
+  "CMakeFiles/asdf_modules.dir/hadoop_log_module.cpp.o"
+  "CMakeFiles/asdf_modules.dir/hadoop_log_module.cpp.o.d"
+  "CMakeFiles/asdf_modules.dir/ibuffer_module.cpp.o"
+  "CMakeFiles/asdf_modules.dir/ibuffer_module.cpp.o.d"
+  "CMakeFiles/asdf_modules.dir/knn_module.cpp.o"
+  "CMakeFiles/asdf_modules.dir/knn_module.cpp.o.d"
+  "CMakeFiles/asdf_modules.dir/mavgvec_module.cpp.o"
+  "CMakeFiles/asdf_modules.dir/mavgvec_module.cpp.o.d"
+  "CMakeFiles/asdf_modules.dir/mitigate_module.cpp.o"
+  "CMakeFiles/asdf_modules.dir/mitigate_module.cpp.o.d"
+  "CMakeFiles/asdf_modules.dir/print_module.cpp.o"
+  "CMakeFiles/asdf_modules.dir/print_module.cpp.o.d"
+  "CMakeFiles/asdf_modules.dir/register.cpp.o"
+  "CMakeFiles/asdf_modules.dir/register.cpp.o.d"
+  "CMakeFiles/asdf_modules.dir/sadc_module.cpp.o"
+  "CMakeFiles/asdf_modules.dir/sadc_module.cpp.o.d"
+  "CMakeFiles/asdf_modules.dir/strace_module.cpp.o"
+  "CMakeFiles/asdf_modules.dir/strace_module.cpp.o.d"
+  "libasdf_modules.a"
+  "libasdf_modules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asdf_modules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

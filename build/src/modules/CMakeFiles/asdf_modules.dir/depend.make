@@ -1,0 +1,2 @@
+# Empty dependencies file for asdf_modules.
+# This may be replaced when dependencies are built.

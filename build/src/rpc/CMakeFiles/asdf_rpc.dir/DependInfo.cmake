@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rpc/daemons.cpp" "src/rpc/CMakeFiles/asdf_rpc.dir/daemons.cpp.o" "gcc" "src/rpc/CMakeFiles/asdf_rpc.dir/daemons.cpp.o.d"
+  "/root/repo/src/rpc/transport.cpp" "src/rpc/CMakeFiles/asdf_rpc.dir/transport.cpp.o" "gcc" "src/rpc/CMakeFiles/asdf_rpc.dir/transport.cpp.o.d"
+  "/root/repo/src/rpc/wire.cpp" "src/rpc/CMakeFiles/asdf_rpc.dir/wire.cpp.o" "gcc" "src/rpc/CMakeFiles/asdf_rpc.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/asdf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hadoop/CMakeFiles/asdf_hadoop.dir/DependInfo.cmake"
+  "/root/repo/build/src/hadooplog/CMakeFiles/asdf_hadooplog.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/asdf_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/syscalls/CMakeFiles/asdf_syscalls.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/asdf_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asdf_rpc.dir/daemons.cpp.o"
+  "CMakeFiles/asdf_rpc.dir/daemons.cpp.o.d"
+  "CMakeFiles/asdf_rpc.dir/transport.cpp.o"
+  "CMakeFiles/asdf_rpc.dir/transport.cpp.o.d"
+  "CMakeFiles/asdf_rpc.dir/wire.cpp.o"
+  "CMakeFiles/asdf_rpc.dir/wire.cpp.o.d"
+  "libasdf_rpc.a"
+  "libasdf_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asdf_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asdf_sim.dir/engine.cpp.o"
+  "CMakeFiles/asdf_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/asdf_sim.dir/resources.cpp.o"
+  "CMakeFiles/asdf_sim.dir/resources.cpp.o.d"
+  "libasdf_sim.a"
+  "libasdf_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asdf_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asdf_syscalls.dir/markov.cpp.o"
+  "CMakeFiles/asdf_syscalls.dir/markov.cpp.o.d"
+  "CMakeFiles/asdf_syscalls.dir/trace_model.cpp.o"
+  "CMakeFiles/asdf_syscalls.dir/trace_model.cpp.o.d"
+  "libasdf_syscalls.a"
+  "libasdf_syscalls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asdf_syscalls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

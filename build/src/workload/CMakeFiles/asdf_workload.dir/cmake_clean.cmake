@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asdf_workload.dir/gridmix.cpp.o"
+  "CMakeFiles/asdf_workload.dir/gridmix.cpp.o.d"
+  "libasdf_workload.a"
+  "libasdf_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asdf_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_allfaults.cpp" "tests/CMakeFiles/asdf_tests.dir/test_allfaults.cpp.o" "gcc" "tests/CMakeFiles/asdf_tests.dir/test_allfaults.cpp.o.d"
+  "/root/repo/tests/test_analysis.cpp" "tests/CMakeFiles/asdf_tests.dir/test_analysis.cpp.o" "gcc" "tests/CMakeFiles/asdf_tests.dir/test_analysis.cpp.o.d"
+  "/root/repo/tests/test_cluster.cpp" "tests/CMakeFiles/asdf_tests.dir/test_cluster.cpp.o" "gcc" "tests/CMakeFiles/asdf_tests.dir/test_cluster.cpp.o.d"
+  "/root/repo/tests/test_core.cpp" "tests/CMakeFiles/asdf_tests.dir/test_core.cpp.o" "gcc" "tests/CMakeFiles/asdf_tests.dir/test_core.cpp.o.d"
+  "/root/repo/tests/test_daemons.cpp" "tests/CMakeFiles/asdf_tests.dir/test_daemons.cpp.o" "gcc" "tests/CMakeFiles/asdf_tests.dir/test_daemons.cpp.o.d"
+  "/root/repo/tests/test_engine.cpp" "tests/CMakeFiles/asdf_tests.dir/test_engine.cpp.o" "gcc" "tests/CMakeFiles/asdf_tests.dir/test_engine.cpp.o.d"
+  "/root/repo/tests/test_evaluation.cpp" "tests/CMakeFiles/asdf_tests.dir/test_evaluation.cpp.o" "gcc" "tests/CMakeFiles/asdf_tests.dir/test_evaluation.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/asdf_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/asdf_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_faults.cpp" "tests/CMakeFiles/asdf_tests.dir/test_faults.cpp.o" "gcc" "tests/CMakeFiles/asdf_tests.dir/test_faults.cpp.o.d"
+  "/root/repo/tests/test_harness.cpp" "tests/CMakeFiles/asdf_tests.dir/test_harness.cpp.o" "gcc" "tests/CMakeFiles/asdf_tests.dir/test_harness.cpp.o.d"
+  "/root/repo/tests/test_hdfs.cpp" "tests/CMakeFiles/asdf_tests.dir/test_hdfs.cpp.o" "gcc" "tests/CMakeFiles/asdf_tests.dir/test_hdfs.cpp.o.d"
+  "/root/repo/tests/test_ini.cpp" "tests/CMakeFiles/asdf_tests.dir/test_ini.cpp.o" "gcc" "tests/CMakeFiles/asdf_tests.dir/test_ini.cpp.o.d"
+  "/root/repo/tests/test_job.cpp" "tests/CMakeFiles/asdf_tests.dir/test_job.cpp.o" "gcc" "tests/CMakeFiles/asdf_tests.dir/test_job.cpp.o.d"
+  "/root/repo/tests/test_jobtracker.cpp" "tests/CMakeFiles/asdf_tests.dir/test_jobtracker.cpp.o" "gcc" "tests/CMakeFiles/asdf_tests.dir/test_jobtracker.cpp.o.d"
+  "/root/repo/tests/test_logparser.cpp" "tests/CMakeFiles/asdf_tests.dir/test_logparser.cpp.o" "gcc" "tests/CMakeFiles/asdf_tests.dir/test_logparser.cpp.o.d"
+  "/root/repo/tests/test_logwriter.cpp" "tests/CMakeFiles/asdf_tests.dir/test_logwriter.cpp.o" "gcc" "tests/CMakeFiles/asdf_tests.dir/test_logwriter.cpp.o.d"
+  "/root/repo/tests/test_mad.cpp" "tests/CMakeFiles/asdf_tests.dir/test_mad.cpp.o" "gcc" "tests/CMakeFiles/asdf_tests.dir/test_mad.cpp.o.d"
+  "/root/repo/tests/test_misc_common.cpp" "tests/CMakeFiles/asdf_tests.dir/test_misc_common.cpp.o" "gcc" "tests/CMakeFiles/asdf_tests.dir/test_misc_common.cpp.o.d"
+  "/root/repo/tests/test_modules.cpp" "tests/CMakeFiles/asdf_tests.dir/test_modules.cpp.o" "gcc" "tests/CMakeFiles/asdf_tests.dir/test_modules.cpp.o.d"
+  "/root/repo/tests/test_osmodel.cpp" "tests/CMakeFiles/asdf_tests.dir/test_osmodel.cpp.o" "gcc" "tests/CMakeFiles/asdf_tests.dir/test_osmodel.cpp.o.d"
+  "/root/repo/tests/test_resources.cpp" "tests/CMakeFiles/asdf_tests.dir/test_resources.cpp.o" "gcc" "tests/CMakeFiles/asdf_tests.dir/test_resources.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/asdf_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/asdf_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/asdf_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/asdf_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_strings.cpp" "tests/CMakeFiles/asdf_tests.dir/test_strings.cpp.o" "gcc" "tests/CMakeFiles/asdf_tests.dir/test_strings.cpp.o.d"
+  "/root/repo/tests/test_syscalls.cpp" "tests/CMakeFiles/asdf_tests.dir/test_syscalls.cpp.o" "gcc" "tests/CMakeFiles/asdf_tests.dir/test_syscalls.cpp.o.d"
+  "/root/repo/tests/test_task.cpp" "tests/CMakeFiles/asdf_tests.dir/test_task.cpp.o" "gcc" "tests/CMakeFiles/asdf_tests.dir/test_task.cpp.o.d"
+  "/root/repo/tests/test_types.cpp" "tests/CMakeFiles/asdf_tests.dir/test_types.cpp.o" "gcc" "tests/CMakeFiles/asdf_tests.dir/test_types.cpp.o.d"
+  "/root/repo/tests/test_wire.cpp" "tests/CMakeFiles/asdf_tests.dir/test_wire.cpp.o" "gcc" "tests/CMakeFiles/asdf_tests.dir/test_wire.cpp.o.d"
+  "/root/repo/tests/test_workload.cpp" "tests/CMakeFiles/asdf_tests.dir/test_workload.cpp.o" "gcc" "tests/CMakeFiles/asdf_tests.dir/test_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/asdf_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/modules/CMakeFiles/asdf_modules.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/asdf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/asdf_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/asdf_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/asdf_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/asdf_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/hadoop/CMakeFiles/asdf_hadoop.dir/DependInfo.cmake"
+  "/root/repo/build/src/hadooplog/CMakeFiles/asdf_hadooplog.dir/DependInfo.cmake"
+  "/root/repo/build/src/syscalls/CMakeFiles/asdf_syscalls.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/asdf_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/asdf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/asdf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
