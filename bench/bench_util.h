@@ -43,6 +43,7 @@ inline harness::ExperimentSpec benchSpec(int argc, char** argv) {
   modules::registerBuiltinModules();
   harness::ExperimentSpec spec;
   spec.slaves = static_cast<int>(flagInt(argc, argv, "nodes", 8));
+  spec.threads = static_cast<int>(flagInt(argc, argv, "threads", 1));
   spec.duration = flagDouble(argc, argv, "duration", 1200.0);
   spec.trainDuration = flagDouble(argc, argv, "train-duration", 400.0);
   spec.seed = static_cast<std::uint64_t>(flagInt(argc, argv, "seed", 42));

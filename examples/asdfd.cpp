@@ -16,6 +16,7 @@
 //         [--model-in=FILE]      reuse a previously trained model
 //         [--mitigate]           blacklist fingerpointed nodes
 //         [--realtime]           pace the run by the wall clock
+//         [--threads=N]          run same-level modules on N pool threads
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -128,6 +129,8 @@ int main(int argc, char** argv) {
 
   // --- fpt-core configuration -----------------------------------------
   core::FptCore fpt(engine, env);
+  const int threads = static_cast<int>(flagInt(argc, argv, "threads", 1));
+  fpt.setExecutor(core::makeExecutor(threads));
   const std::string configFile = flagValue(argc, argv, "config", "");
   if (!configFile.empty()) {
     fpt.configureFromFile(configFile);
@@ -142,8 +145,8 @@ int main(int argc, char** argv) {
     }
     fpt.configureFromText(config);
   }
-  std::printf("[asdfd] DAG up: %zu module instances\n",
-              fpt.instances().size());
+  std::printf("[asdfd] DAG up: %zu module instances (%s executor)\n",
+              fpt.instances().size(), fpt.executor().name().c_str());
 
   // --- optional fault --------------------------------------------------
   faults::FaultSpec faultSpec;

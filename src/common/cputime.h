@@ -6,6 +6,7 @@
 // Table 3 bench divides by the simulated duration to report "% CPU".
 #pragma once
 
+#include <atomic>
 #include <ctime>
 
 namespace asdf {
@@ -18,14 +19,17 @@ inline double threadCpuSeconds() {
          static_cast<double>(ts.tv_nsec) * 1e-9;
 }
 
-/// Accumulates CPU time across RAII scopes.
+/// Accumulates CPU time across RAII scopes. Thread-safe: scopes may
+/// close concurrently (fpt-core's parallel executors meter module runs
+/// from several worker threads; per-thread CPU clocks sum to the total
+/// process cost, which is what Table 3 reports).
 class CpuMeter {
  public:
   class Scope {
    public:
     explicit Scope(CpuMeter& meter)
         : meter_(meter), start_(threadCpuSeconds()) {}
-    ~Scope() { meter_.seconds_ += threadCpuSeconds() - start_; }
+    ~Scope() { meter_.add(threadCpuSeconds() - start_); }
     Scope(const Scope&) = delete;
     Scope& operator=(const Scope&) = delete;
 
@@ -34,12 +38,18 @@ class CpuMeter {
     double start_;
   };
 
-  double seconds() const { return seconds_; }
-  void reset() { seconds_ = 0.0; }
+  double seconds() const { return seconds_.load(std::memory_order_relaxed); }
+  void reset() { seconds_.store(0.0, std::memory_order_relaxed); }
 
  private:
   friend class Scope;
-  double seconds_ = 0.0;
+  void add(double delta) {
+    double current = seconds_.load(std::memory_order_relaxed);
+    while (!seconds_.compare_exchange_weak(current, current + delta,
+                                           std::memory_order_relaxed)) {
+    }
+  }
+  std::atomic<double> seconds_{0.0};
 };
 
 }  // namespace asdf

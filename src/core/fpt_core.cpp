@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <deque>
+#include <numeric>
 #include <set>
 
 #include "common/error.h"
@@ -15,7 +16,20 @@ FptCore::FptCore(sim::SimEngine& engine, Environment env,
                  ModuleRegistry* registry)
     : engine_(engine),
       env_(std::move(env)),
-      registry_(registry != nullptr ? registry : &ModuleRegistry::global()) {}
+      registry_(registry != nullptr ? registry : &ModuleRegistry::global()),
+      executor_(std::make_unique<SerialExecutor>()) {
+  // Parallel executors may deliver alarms from several print sinks of
+  // one wavefront level concurrently; serialize the embedder's sink so
+  // it never needs its own locking. (Alarm *sets* stay deterministic;
+  // only intra-level delivery order may vary across executors.)
+  if (env_.alarmSink) {
+    auto inner = std::move(env_.alarmSink);
+    env_.alarmSink = [this, inner](const Alarm& alarm) {
+      std::lock_guard<std::mutex> lock(alarmMutex_);
+      inner(alarm);
+    };
+  }
+}
 
 FptCore::~FptCore() = default;
 
@@ -28,10 +42,14 @@ void FptCore::configureFromFile(const std::string& path) {
 }
 
 ModuleInstance* FptCore::findInstance(const std::string& id) {
-  for (auto& inst : instances_) {
-    if (inst->id() == id) return inst.get();
-  }
-  return nullptr;
+  const auto it = instanceIndex_.find(id);
+  return it == instanceIndex_.end() ? nullptr : it->second;
+}
+
+void FptCore::setExecutor(std::unique_ptr<Executor> executor) {
+  assert(executor != nullptr);
+  assert(!dispatching_);
+  executor_ = std::move(executor);
 }
 
 void FptCore::configure(const IniFile& config) {
@@ -40,8 +58,8 @@ void FptCore::configure(const IniFile& config) {
   }
   configured_ = true;
 
-  // Step 1: a vertex per module instance in the configuration file.
-  std::set<std::string> ids;
+  // Step 1: a vertex per module instance in the configuration file,
+  // indexed by id for O(1) lookups everywhere downstream.
   int anonymous = 0;
   for (const auto& section : config.sections) {
     if (!registry_->has(section.name)) {
@@ -53,30 +71,52 @@ void FptCore::configure(const IniFile& config) {
     if (id.empty()) {
       id = strformat("%s%d", section.name.c_str(), anonymous++);
     }
-    if (!ids.insert(id).second) {
-      throw ConfigError(strformat("config line %d: duplicate instance id '%s'",
-                                  section.line, id.c_str()));
-    }
     if (id.find('.') != std::string::npos || id.find('@') != std::string::npos) {
       throw ConfigError(strformat(
           "config line %d: instance id '%s' may not contain '.' or '@'",
           section.line, id.c_str()));
     }
-    instances_.push_back(std::make_unique<ModuleInstance>(
-        *this, id, section.name, section, registry_->create(section.name)));
+    auto instance = std::make_unique<ModuleInstance>(
+        *this, id, section.name, section, registry_->create(section.name));
+    instance->order_ = static_cast<int>(instances_.size());
+    if (!instanceIndex_.emplace(id, instance.get()).second) {
+      throw ConfigError(strformat("config line %d: duplicate instance id '%s'",
+                                  section.line, id.c_str()));
+    }
+    instances_.push_back(std::move(instance));
   }
 
   initializeGraph();
 }
 
 void FptCore::initializeGraph() {
-  // Steps 2-4 of Section 3.3: seed the initialization queue with
-  // output-only instances, then initialize instances as their inputs
-  // become satisfiable (all producers initialized, so their outputs
-  // exist and can be bound).
+  // Steps 2-4 of Section 3.3, in O(V + E): annotate each instance with
+  // its count of unsatisfied (unique) dependencies and a reverse
+  // adjacency list producer -> dependents. Initializing an instance
+  // decrements its dependents' counts; only instances whose count just
+  // reached zero join the queue — no rescan of the whole instance set
+  // per initialization.
+  std::unordered_map<ModuleInstance*, std::size_t> unsatisfied;
+  std::unordered_map<ModuleInstance*, std::vector<ModuleInstance*>>
+      producersOf;
+  std::unordered_map<ModuleInstance*, std::vector<ModuleInstance*>>
+      dependentsOf;
   std::deque<ModuleInstance*> queue;
   for (auto& inst : instances_) {
-    if (inst->dependencyIds().empty()) queue.push_back(inst.get());
+    std::set<std::string> deps;
+    for (auto& dep : inst->dependencyIds()) deps.insert(std::move(dep));
+    std::size_t pending = 0;
+    for (const std::string& dep : deps) {
+      ++pending;
+      // Unknown producers keep the count above zero forever; the
+      // diagnostic pass below names them.
+      if (ModuleInstance* producer = findInstance(dep)) {
+        producersOf[inst.get()].push_back(producer);
+        dependentsOf[producer].push_back(inst.get());
+      }
+    }
+    unsatisfied[inst.get()] = pending;
+    if (pending == 0) queue.push_back(inst.get());
   }
 
   std::size_t initialized = 0;
@@ -91,6 +131,13 @@ void FptCore::initializeGraph() {
     inst->initialized_ = true;
     ++initialized;
 
+    // Topological level: producers are guaranteed initialized first.
+    int level = 0;
+    for (ModuleInstance* producer : producersOf[inst]) {
+      level = std::max(level, producer->level_ + 1);
+    }
+    inst->level_ = level;
+
     if (inst->outputs_.empty() && inst->inputSpecs_.empty()) {
       logWarn("fpt-core: instance '" + inst->id() +
               "' has neither inputs nor outputs");
@@ -99,24 +146,18 @@ void FptCore::initializeGraph() {
       ModuleInstance* target = inst;
       engine_.addPeriodic(
           inst->periodicInterval_,
-          [this, target] { runInstance(*target, RunReason::kPeriodic); },
+          [this, target] {
+            target->queuedPeriodic_ = true;
+            enqueueReady(*target);
+          },
           inst->periodicInterval_);
     }
 
-    // Newly created outputs may satisfy other instances.
-    for (auto& candidate : instances_) {
-      if (candidate->initialized_) continue;
-      const auto deps = candidate->dependencyIds();
-      const bool ready = std::all_of(
-          deps.begin(), deps.end(), [this](const std::string& dep) {
-            ModuleInstance* producer = findInstance(dep);
-            return producer != nullptr && producer->initialized_;
-          });
-      if (ready &&
-          std::find(queue.begin(), queue.end(), candidate.get()) ==
-              queue.end()) {
-        queue.push_back(candidate.get());
-      }
+    // This instance's outputs now exist; dependents with no other
+    // missing producers become initializable.
+    for (ModuleInstance* dependent : dependentsOf[inst]) {
+      if (dependent->initialized_) continue;
+      if (--unsatisfied[dependent] == 0) queue.push_back(dependent);
     }
   }
 
@@ -199,6 +240,22 @@ void FptCore::wireInputs(ModuleInstance& instance) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Wavefront scheduling
+
+void FptCore::noteOutputWritten(ModuleInstance& writer, OutputPort& port) {
+  if (dispatching_) {
+    // Deferred: the dispatcher drains this at the level barrier and
+    // merges notifications in deterministic order. Only the writer's
+    // own executor thread appends here.
+    writer.deferredWrites_.push_back(&port);
+    return;
+  }
+  // Init-time (or out-of-band) write: notify immediately.
+  port.writeSeq = ++writeSeq_;
+  onOutputWritten(port);
+}
+
 void FptCore::onOutputWritten(OutputPort& port) {
   for (ModuleInstance* sub : port.owner->subscribers_) {
     // Count the update only if the subscriber actually listens to this
@@ -215,26 +272,154 @@ void FptCore::onOutputWritten(OutputPort& port) {
     }
     if (!listens) continue;
     ++sub->pendingUpdates_;
-    scheduleDispatch(*sub);
+    sub->runQueued_ = true;
+    enqueueReady(*sub);
   }
 }
 
-void FptCore::scheduleDispatch(ModuleInstance& instance) {
-  if (instance.runQueued_) return;
-  instance.runQueued_ = true;
-  ModuleInstance* target = &instance;
-  engine_.scheduleAfter(0.0, [this, target] {
-    target->runQueued_ = false;
-    if (target->pendingUpdates_ >= target->inputTrigger_) {
-      target->pendingUpdates_ = 0;
-      runInstance(*target, RunReason::kInputsUpdated);
+void FptCore::enqueueReady(ModuleInstance& instance) {
+  if (!instance.inReadySet_) {
+    instance.inReadySet_ = true;
+    readySet_.push_back(&instance);
+  }
+  if (!dispatching_) scheduleWavefront();
+}
+
+void FptCore::scheduleWavefront() {
+  if (wavefrontScheduled_) return;
+  wavefrontScheduled_ = true;
+  engine_.scheduleAfter(0.0, [this] { dispatchWavefront(); });
+}
+
+std::vector<std::vector<FptCore::ReadyRun>> FptCore::exclusiveGroups(
+    const std::vector<ReadyRun>& runs) const {
+  // Union-find over the level's runs: both entries of one instance and
+  // all instances sharing an exclusivity domain collapse into one
+  // group, which the executor runs as a single serial task.
+  std::vector<std::size_t> parent(runs.size());
+  std::iota(parent.begin(), parent.end(), std::size_t{0});
+  const auto find = [&parent](std::size_t i) {
+    while (parent[i] != i) {
+      parent[i] = parent[parent[i]];
+      i = parent[i];
     }
-  });
+    return i;
+  };
+  const auto unite = [&](std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a != b) parent[std::max(a, b)] = std::min(a, b);
+  };
+
+  std::unordered_map<const ModuleInstance*, std::size_t> firstOfInstance;
+  std::unordered_map<std::string, std::size_t> firstOfDomain;
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const auto [instIt, instNew] =
+        firstOfInstance.try_emplace(runs[i].instance, i);
+    if (!instNew) unite(i, instIt->second);
+    for (const std::string& domain : runs[i].instance->exclusiveDomains_) {
+      const auto [domIt, domNew] = firstOfDomain.try_emplace(domain, i);
+      if (!domNew) unite(i, domIt->second);
+    }
+  }
+
+  std::vector<std::vector<ReadyRun>> groups;
+  std::unordered_map<std::size_t, std::size_t> groupOfRoot;
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const std::size_t root = find(i);
+    const auto [it, isNew] = groupOfRoot.try_emplace(root, groups.size());
+    if (isNew) groups.emplace_back();
+    groups[it->second].push_back(runs[i]);
+  }
+  return groups;
+}
+
+void FptCore::dispatchWavefront() {
+  wavefrontScheduled_ = false;
+  if (readySet_.empty()) return;
+  dispatching_ = true;
+  ++wavefronts_;
+
+  // The working frontier, keyed by topological level. Notifications
+  // merged at a level barrier can only ready *deeper* instances (a
+  // subscriber's level strictly exceeds its producer's), so one
+  // ascending sweep covers everything this wavefront can reach.
+  std::map<int, std::vector<ModuleInstance*>> frontier;
+  const auto absorbReadySet = [&] {
+    for (ModuleInstance* inst : readySet_) {
+      inst->inReadySet_ = false;
+      frontier[inst->level_].push_back(inst);
+    }
+    readySet_.clear();
+  };
+  absorbReadySet();
+
+  while (!frontier.empty()) {
+    const auto levelIt = frontier.begin();
+    std::vector<ModuleInstance*> levelInstances = std::move(levelIt->second);
+    frontier.erase(levelIt);
+    std::sort(levelInstances.begin(), levelInstances.end(),
+              [](const ModuleInstance* a, const ModuleInstance* b) {
+                return a->order_ < b->order_;
+              });
+
+    std::vector<ReadyRun> runs;
+    runs.reserve(levelInstances.size());
+    for (ModuleInstance* inst : levelInstances) {
+      const bool periodic = inst->queuedPeriodic_;
+      inst->queuedPeriodic_ = false;
+      const bool triggered = inst->runQueued_;
+      inst->runQueued_ = false;
+      if (periodic) runs.push_back(ReadyRun{inst, RunReason::kPeriodic});
+      if (triggered && inst->pendingUpdates_ >= inst->inputTrigger_) {
+        inst->pendingUpdates_ = 0;
+        runs.push_back(ReadyRun{inst, RunReason::kInputsUpdated});
+      }
+    }
+    if (runs.empty()) continue;
+
+    std::vector<std::vector<ReadyRun>> groups = exclusiveGroups(runs);
+    std::vector<Executor::Task> tasks;
+    tasks.reserve(groups.size());
+    for (const std::vector<ReadyRun>& group : groups) {
+      tasks.push_back([this, &group] {
+        for (const ReadyRun& run : group) {
+          runInstance(*run.instance, run.reason);
+        }
+      });
+    }
+    try {
+      executor_->runBatch(tasks);
+    } catch (...) {
+      for (const ReadyRun& run : runs) run.instance->deferredWrites_.clear();
+      dispatching_ = false;
+      throw;
+    }
+
+    // Level barrier: every run of this level has completed. Merge the
+    // deferred write notifications in deterministic order — instances
+    // in configuration order, each instance's writes in its own write
+    // order — regardless of how the executor interleaved the runs.
+    for (const ReadyRun& run : runs) {
+      ModuleInstance* inst = run.instance;
+      if (inst->deferredWrites_.empty()) continue;
+      std::vector<OutputPort*> writes;
+      writes.swap(inst->deferredWrites_);
+      for (OutputPort* port : writes) {
+        port->writeSeq = ++writeSeq_;
+        onOutputWritten(*port);
+      }
+    }
+    absorbReadySet();
+  }
+
+  dispatching_ = false;
+  if (!readySet_.empty()) scheduleWavefront();
 }
 
 void FptCore::runInstance(ModuleInstance& instance, RunReason reason) {
   CpuMeter::Scope scope(cpu_);
-  ++totalRuns_;
+  totalRuns_.fetch_add(1, std::memory_order_relaxed);
   ++instance.runs_;
   InstanceContext ctx(*this, instance);
   instance.module_->run(ctx, reason);

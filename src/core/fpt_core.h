@@ -18,21 +18,39 @@
 // or when the configured number of their inputs were updated
 // (analysis modules fire as soon as the data they need is available).
 //
-// Deviation from the paper, documented in DESIGN.md: the original
-// spawns one thread per instance; we dispatch runs deterministically
-// on the simulation engine's virtual clock so experiments are exactly
-// reproducible. DAG semantics (what runs, on which data, in what
-// causal order) are identical. A wall-clock driver for live use is
-// provided by RealTimeDriver (realtime.h).
+// Execution is split into two layers (documented in DESIGN.md):
+//
+//   Scheduler (this class) — per virtual tick, collects every ready
+//   instance and dispatches it as part of a *wavefront*: the ready set
+//   grouped by topological DAG level. Levels run lowest-first with a
+//   barrier between them; output notifications produced inside a level
+//   are merged in deterministic (configuration) order at the barrier,
+//   which is what keeps results independent of the executor.
+//
+//   Executor (executor.h) — carries out the runs of one level. The
+//   default SerialExecutor is bit-reproducible (same seed → same
+//   alarms, byte for byte); ThreadPoolExecutor runs independent
+//   instances of a level concurrently, restoring the paper's
+//   thread-per-module concurrency, with identical alarm content.
+//
+// A wall-clock driver for live use is provided by RealTimeDriver
+// (realtime.h).
 #pragma once
 
+#include <atomic>
+#include <cstdint>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/cputime.h"
 #include "common/ini.h"
 #include "core/environment.h"
+#include "core/executor.h"
 #include "core/graph.h"
 #include "core/registry.h"
 #include "sim/engine.h"
@@ -57,36 +75,87 @@ class FptCore {
   void configureFromText(const std::string& configText);
   void configureFromFile(const std::string& path);
 
+  /// Instance lookup by id (hash index; O(1)). nullptr when absent.
   ModuleInstance* findInstance(const std::string& id);
   const std::vector<std::unique_ptr<ModuleInstance>>& instances() const {
     return instances_;
   }
 
+  /// Swaps the execution back-end. Defaults to SerialExecutor. May be
+  /// called before or after configure(), but not from module code
+  /// while a wavefront is being dispatched.
+  void setExecutor(std::unique_ptr<Executor> executor);
+  Executor& executor() { return *executor_; }
+
   Environment& env() { return env_; }
   sim::SimEngine& engine() { return engine_; }
 
-  /// Real CPU seconds spent executing module code (Table 3).
+  /// Real CPU seconds spent executing module code (Table 3). Under a
+  /// parallel executor this sums CPU time across worker threads.
   double cpuSeconds() const { return cpu_.seconds(); }
   /// Approximate resident footprint of the graph (Table 3).
   std::size_t memoryFootprintBytes() const;
   /// Total module run() invocations (sanity/throughput metrics).
-  std::uint64_t totalRuns() const { return totalRuns_; }
+  std::uint64_t totalRuns() const {
+    return totalRuns_.load(std::memory_order_relaxed);
+  }
+  /// Wavefront dispatches performed (each covers >= 1 level).
+  std::uint64_t wavefronts() const { return wavefronts_; }
 
  private:
   friend class InstanceContext;
 
+  // One dispatchable unit: an instance plus why it runs. An instance
+  // can appear twice in a level (periodic firing and a satisfied input
+  // trigger at the same timestamp) — both runs happen back to back on
+  // the same executor task, periodic first, matching the engine-order
+  // semantics of the previous inline dispatcher.
+  struct ReadyRun {
+    ModuleInstance* instance;
+    RunReason reason;
+  };
+
   void initializeGraph();
   void wireInputs(ModuleInstance& instance);
   void runInstance(ModuleInstance& instance, RunReason reason);
+
+  // --- wavefront scheduling ---------------------------------------------
+  /// Called by InstanceContext::write. During a dispatch the
+  /// notification is deferred to the current level's barrier;
+  /// otherwise (init-time writes) it fires immediately.
+  void noteOutputWritten(ModuleInstance& writer, OutputPort& port);
+  /// Counts the update for every subscriber listening on `port` and
+  /// enqueues them for dispatch.
   void onOutputWritten(OutputPort& port);
-  void scheduleDispatch(ModuleInstance& instance);
+  /// Adds an instance to the ready set and arms the dispatch event.
+  void enqueueReady(ModuleInstance& instance);
+  void scheduleWavefront();
+  /// Drains the ready set: groups it by topological level, runs each
+  /// level through the executor, merges deferred notifications at the
+  /// level barrier, and repeats for newly readied (deeper) levels.
+  void dispatchWavefront();
+  /// Splits one level's runs into executor tasks: instances sharing an
+  /// exclusivity domain form one serial task (configuration order);
+  /// all other instances get a task each.
+  std::vector<std::vector<ReadyRun>> exclusiveGroups(
+      const std::vector<ReadyRun>& runs) const;
 
   sim::SimEngine& engine_;
   Environment env_;
   ModuleRegistry* registry_;
   std::vector<std::unique_ptr<ModuleInstance>> instances_;
+  std::unordered_map<std::string, ModuleInstance*> instanceIndex_;
+  std::unique_ptr<Executor> executor_;
+
+  std::vector<ModuleInstance*> readySet_;
+  bool wavefrontScheduled_ = false;  // dispatch event already queued
+  bool dispatching_ = false;         // inside dispatchWavefront
+  std::uint64_t writeSeq_ = 0;       // deterministic global write stamp
+  std::uint64_t wavefronts_ = 0;
+  std::mutex alarmMutex_;  // serializes the wrapped env alarm sink
+
   CpuMeter cpu_;
-  std::uint64_t totalRuns_ = 0;
+  std::atomic<std::uint64_t> totalRuns_{0};
   bool configured_ = false;
 };
 

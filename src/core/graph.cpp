@@ -1,5 +1,6 @@
 #include "core/graph.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "common/error.h"
@@ -152,10 +153,17 @@ void InstanceContext::write(int outputIndex, Value value) {
   assert(outputIndex >= 0 &&
          static_cast<std::size_t>(outputIndex) < instance_.outputs_.size());
   OutputPort& port = *instance_.outputs_[static_cast<std::size_t>(outputIndex)];
-  port.latest.time = now();
-  port.latest.value = std::move(value);
-  ++port.version;
-  core_.onOutputWritten(port);
+  {
+    std::lock_guard<std::mutex> lock(port.slotMutex);
+    port.latest.time = now();
+    port.latest.value = std::move(value);
+    ++port.version;
+  }
+  // Subscriber notification is routed through the scheduler: during a
+  // wavefront it is deferred to the level barrier (so concurrent
+  // producers never race the dispatch bookkeeping and notifications
+  // merge in deterministic order); outside one it fires immediately.
+  core_.noteOutputWritten(instance_, port);
 }
 
 void InstanceContext::requestPeriodic(double interval) {
@@ -170,6 +178,17 @@ void InstanceContext::setInputTrigger(int updates) {
     throw ConfigError("[" + instance_.id_ + "] input trigger must be >= 1");
   }
   instance_.inputTrigger_ = updates;
+}
+
+void InstanceContext::requestExclusive(const std::string& domain) {
+  if (domain.empty()) {
+    throw ConfigError("[" + instance_.id_ +
+                      "] exclusivity domain may not be empty");
+  }
+  auto& domains = instance_.exclusiveDomains_;
+  if (std::find(domains.begin(), domains.end(), domain) == domains.end()) {
+    domains.push_back(domain);
+  }
 }
 
 SimTime InstanceContext::now() const { return core_.engine().now(); }

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -20,12 +21,23 @@ class ModuleInstance;
 
 /// A named output connection of a module instance. Holds the latest
 /// sample; subscribers poll it when notified.
+///
+/// Thread-safety contract (parallel executors): a port has exactly one
+/// producer, and the wavefront scheduler only runs a subscriber after
+/// the level barrier that follows the producer's run, so readers never
+/// overlap the producing write. The mutex guards the value slot itself
+/// against executors that interleave a producer's re-run with a stale
+/// reader (defensive; the level barrier already orders stock modules),
+/// and `writeSeq` stamps each write with the scheduler's deterministic
+/// global sequence when its notification is merged at the barrier.
 struct OutputPort {
   ModuleInstance* owner = nullptr;
   std::string name;
   std::string origin;  // e.g. "slave3"; set by the producing module
   Sample latest;
-  std::uint64_t version = 0;  // bumped on every write
+  std::uint64_t version = 0;   // bumped on every write (per-port)
+  std::uint64_t writeSeq = 0;  // global stamp, assigned at merge time
+  std::mutex slotMutex;        // guards latest/version during writes
 };
 
 /// An edge: one bound output, as seen from the consuming instance.
@@ -62,6 +74,10 @@ class ModuleInstance {
   /// Instance ids this instance consumes from (DAG dependencies).
   std::vector<std::string> dependencyIds() const;
 
+  /// Topological depth in the DAG (0 = no inputs). Valid after
+  /// configure().
+  int level() const { return level_; }
+
  private:
   friend class FptCore;
   friend class InstanceContext;
@@ -82,8 +98,20 @@ class ModuleInstance {
   double periodicInterval_ = 0.0;  // 0 = no periodic schedule
   int inputTrigger_ = 1;
   int pendingUpdates_ = 0;
-  bool runQueued_ = false;
   std::uint64_t runs_ = 0;
+
+  // --- scheduler state (owned by FptCore's wavefront dispatcher) -------
+  int order_ = 0;      // configuration-file position; determinism key
+  int level_ = 0;      // topological depth; wavefront grouping key
+  std::vector<std::string> exclusiveDomains_;  // requestExclusive()
+  bool queuedPeriodic_ = false;  // a periodic firing awaits dispatch
+  bool runQueued_ = false;       // an input-trigger check awaits dispatch
+  bool inReadySet_ = false;      // already in the dispatcher's ready set
+  // Ports this instance wrote during its current run; drained by the
+  // scheduler at the level barrier, where notifications are merged in
+  // deterministic order. Only the running instance's thread appends,
+  // only the dispatcher (after the barrier) drains.
+  std::vector<OutputPort*> deferredWrites_;
 };
 
 /// The ModuleContext implementation handed to Module::init/run.
@@ -114,6 +142,7 @@ class InstanceContext final : public ModuleContext {
 
   void requestPeriodic(double interval) override;
   void setInputTrigger(int updates) override;
+  void requestExclusive(const std::string& domain) override;
 
   SimTime now() const override;
   Environment& env() override;

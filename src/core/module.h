@@ -81,6 +81,15 @@ class ModuleContext {
   /// Requests input-triggered run() calls after `updates` input writes
   /// (default 1 — run whenever anything new arrives).
   virtual void setInputTrigger(int updates) = 0;
+  /// Declares membership in a mutual-exclusion domain: two instances
+  /// sharing any domain never run concurrently, and their relative
+  /// order within a wavefront level is their configuration order.
+  /// Modules that mutate a shared environment service (a per-node
+  /// daemon, a cross-instance synchronizer) declare the service's
+  /// domain here so parallel executors stay correct and deterministic.
+  /// May be called multiple times with different domains. No-op under
+  /// the serial executor.
+  virtual void requestExclusive(const std::string& domain) = 0;
 
   // --- services ----------------------------------------------------------
   virtual SimTime now() const = 0;

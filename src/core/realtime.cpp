@@ -1,5 +1,6 @@
 #include "core/realtime.h"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 
@@ -9,12 +10,24 @@ void RealTimeDriver::run(double durationSeconds) {
   using Clock = std::chrono::steady_clock;
   const auto start = Clock::now();
   const double virtualStart = engine_.now();
+  // Sleep until the next pending event is due instead of polling at a
+  // fixed rate; stop() is still honored within `maxNap` so a signal
+  // handler can interrupt a long idle stretch.
+  constexpr double maxNap = 0.1;
   while (!stopped_.load()) {
     const double wallElapsed =
         std::chrono::duration<double>(Clock::now() - start).count();
     if (wallElapsed >= durationSeconds) break;
     engine_.runUntil(virtualStart + wallElapsed);
-    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    double nap = maxNap;
+    if (!engine_.idle()) {
+      const double untilNext = engine_.nextEventTime() - virtualStart;
+      nap = std::min(maxNap, std::max(0.001, untilNext - wallElapsed));
+    }
+    nap = std::min(nap, durationSeconds - wallElapsed);
+    if (nap > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(nap));
+    }
   }
   if (!stopped_.load()) {
     engine_.runUntil(virtualStart + durationSeconds);

@@ -89,6 +89,7 @@ ExperimentResult runExperiment(const ExperimentSpec& spec,
   };
 
   core::FptCore fpt(engine, env);
+  fpt.setExecutor(core::makeExecutor(spec.threads));
   PipelineParams pipeline = spec.pipeline;
   pipeline.slaves = spec.slaves;
   fpt.configureFromText(buildCombinedConfig(pipeline));

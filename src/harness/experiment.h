@@ -33,6 +33,7 @@ struct ExperimentSpec {
   double trainWarmup = 90.0;      // discarded at the start of training
   std::uint64_t seed = 42;
   int centroids = 8;              // k for k-means
+  int threads = 1;                // fpt-core executor width (1 = serial)
 
   faults::FaultSpec fault;        // type kNone = fault-free run
   PipelineParams pipeline;

@@ -43,6 +43,11 @@ class HadoopLogModule final : public core::Module {
     sync_->registerNode(node_);
     out_ = ctx.addOutput("output0", strformat("slave%d", node_));
     ctx.requestPeriodic(interval);
+    // The daemon charges CPU/network to this node, and the sync's
+    // release timing depends on push order across instances: serialize
+    // with the node's other collectors and with all hadoop_log peers.
+    ctx.requestExclusive(strformat("node%d", node_));
+    ctx.requestExclusive("hl-sync");
   }
 
   void run(core::ModuleContext& ctx, core::RunReason) override {
@@ -102,11 +107,13 @@ void registerHadoopLogModule(core::ModuleRegistry& registry) {
 // HadoopLogSync
 
 void HadoopLogSync::registerNode(NodeId node) {
+  std::lock_guard<std::mutex> lock(mutex_);
   nodes_.insert(node);
   drainCursor_.emplace(node, released_.size());
 }
 
 void HadoopLogSync::push(NodeId node, long second, std::vector<double> wb) {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto& row = pending_[second];
   row[node] = std::move(wb);
   if (row.size() < nodes_.size()) return;
@@ -127,6 +134,7 @@ void HadoopLogSync::push(NodeId node, long second, std::vector<double> wb) {
 
 std::vector<std::pair<long, std::vector<double>>> HadoopLogSync::drain(
     NodeId node) {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::vector<std::pair<long, std::vector<double>>> out;
   auto& cursor = drainCursor_[node];
   while (cursor < released_.size()) {

@@ -17,6 +17,7 @@
 
 #include <deque>
 #include <map>
+#include <mutex>
 #include <set>
 #include <vector>
 
@@ -43,6 +44,13 @@ class Mitigator {
 /// every registered node has produced that second, so the analysis
 /// always sees rows from the same time point. Incomplete seconds that
 /// fall behind a completed one are dropped (and counted).
+///
+/// Operations are internally locked. Note that locking alone does not
+/// make release timing order-independent: which poll's push completes
+/// a row decides which instances drain it this tick. The hadoop_log
+/// module therefore also declares the "hl-sync" exclusivity domain so
+/// the fpt-core scheduler serializes its instances in configuration
+/// order under any executor, keeping release timing deterministic.
 class HadoopLogSync {
  public:
   void registerNode(NodeId node);
@@ -54,8 +62,14 @@ class HadoopLogSync {
   /// drained yet, in second order.
   std::vector<std::pair<long, std::vector<double>>> drain(NodeId node);
 
-  long droppedSeconds() const { return dropped_; }
-  std::size_t registeredNodes() const { return nodes_.size(); }
+  long droppedSeconds() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return dropped_;
+  }
+  std::size_t registeredNodes() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return nodes_.size();
+  }
 
  private:
   struct ReleasedRow {
@@ -63,6 +77,7 @@ class HadoopLogSync {
     std::map<NodeId, std::vector<double>> byNode;
   };
 
+  mutable std::mutex mutex_;
   std::set<NodeId> nodes_;
   std::map<long, std::map<NodeId, std::vector<double>>> pending_;
   std::vector<ReleasedRow> released_;

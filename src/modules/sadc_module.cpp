@@ -28,6 +28,9 @@ class SadcModule final : public core::Module {
     hub_ = &ctx.env().require<rpc::RpcHub>("rpc");
     out_ = ctx.addOutput("output0", strformat("slave%d", node_));
     ctx.requestPeriodic(interval);
+    // The daemon charges collection CPU/network to this node's
+    // activity counters; collectors for one node must not interleave.
+    ctx.requestExclusive(strformat("node%d", node_));
   }
 
   void run(core::ModuleContext& ctx, core::RunReason) override {

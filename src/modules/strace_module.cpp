@@ -39,6 +39,9 @@ class StraceModule final : public core::Module {
     hub_ = &ctx.env().require<rpc::RpcHub>("rpc");
     out_ = ctx.addOutput("output0", strformat("slave%d", node_));
     ctx.requestPeriodic(ctx.numParam("interval", 1.0));
+    // The daemon charges collection CPU/network to this node's
+    // activity counters; collectors for one node must not interleave.
+    ctx.requestExclusive(strformat("node%d", node_));
   }
 
   void run(core::ModuleContext& ctx, core::RunReason) override {

@@ -7,30 +7,49 @@ namespace asdf::rpc {
 RpcChannelStats::RpcChannelStats(std::string name, TransportCosts costs)
     : name_(std::move(name)), costs_(costs) {}
 
-void RpcChannelStats::recordConnect() { ++connects_; }
+void RpcChannelStats::recordConnect() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++connects_;
+}
 
 void RpcChannelStats::recordCall(std::size_t requestPayload,
                                  std::size_t responsePayload) {
+  std::lock_guard<std::mutex> lock(mutex_);
   ++calls_;
   payloadBytes_ += static_cast<double>(requestPayload) +
                    static_cast<double>(responsePayload) +
                    2.0 * costs_.perMessageOverheadBytes;
 }
 
+long RpcChannelStats::connects() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return connects_;
+}
+
+long RpcChannelStats::calls() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return calls_;
+}
+
 double RpcChannelStats::staticOverheadBytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   return static_cast<double>(connects_) * costs_.connectBytes;
 }
 
-double RpcChannelStats::totalCallBytes() const { return payloadBytes_; }
+double RpcChannelStats::totalCallBytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return payloadBytes_;
+}
 
 double RpcChannelStats::bytesPerCall() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   return calls_ == 0 ? 0.0 : payloadBytes_ / static_cast<double>(calls_);
 }
 
 RpcChannelStats& TransportRegistry::channel(const std::string& name) {
   auto it = channels_.find(name);
   if (it == channels_.end()) {
-    it = channels_.emplace(name, RpcChannelStats(name, costs_)).first;
+    it = channels_.try_emplace(name, name, costs_).first;
   }
   return it->second;
 }

@@ -9,6 +9,7 @@
 
 #include <cstddef>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -22,9 +23,14 @@ struct TransportCosts {
   double perMessageOverheadBytes = 78.0;  // TCP/IP + RPC header
 };
 
+/// Thread-safe: one channel is shared by every node's daemon of that
+/// RPC type, and fpt-core's parallel executors may poll several nodes
+/// concurrently. Counter updates are serialized internally.
 class RpcChannelStats {
  public:
   RpcChannelStats(std::string name, TransportCosts costs);
+  RpcChannelStats(const RpcChannelStats&) = delete;
+  RpcChannelStats& operator=(const RpcChannelStats&) = delete;
 
   /// Records a connection establishment (once per monitored node).
   void recordConnect();
@@ -33,8 +39,8 @@ class RpcChannelStats {
   void recordCall(std::size_t requestPayload, std::size_t responsePayload);
 
   const std::string& name() const { return name_; }
-  long connects() const { return connects_; }
-  long calls() const { return calls_; }
+  long connects() const;
+  long calls() const;
   double staticOverheadBytes() const;   // total connect bytes
   double totalCallBytes() const;        // all request+response traffic
   double bytesPerCall() const;
@@ -42,6 +48,7 @@ class RpcChannelStats {
  private:
   std::string name_;
   TransportCosts costs_;
+  mutable std::mutex mutex_;
   long connects_ = 0;
   long calls_ = 0;
   double payloadBytes_ = 0.0;

@@ -55,6 +55,9 @@ class SimEngine {
   /// True when no events are pending.
   bool idle() const { return queue_.empty(); }
 
+  /// Timestamp of the earliest pending event; meaningless when idle().
+  SimTime nextEventTime() const { return queue_.top().at; }
+
  private:
   struct Event {
     SimTime at;

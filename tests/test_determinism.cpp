@@ -1,0 +1,77 @@
+// Cross-executor determinism regression: the same fingerpointing
+// experiment must produce bit-identical alarm series when run twice on
+// the SerialExecutor (reproducibility) and once on a 4-thread
+// ThreadPoolExecutor (executor independence). Level barriers plus
+// exclusivity domains are what make this hold; see DESIGN.md.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+#include "modules/modules.h"
+
+namespace asdf::harness {
+namespace {
+
+ExperimentSpec smallSpec() {
+  modules::registerBuiltinModules();
+  ExperimentSpec spec;
+  spec.slaves = 4;
+  spec.duration = 150.0;
+  spec.trainDuration = 80.0;
+  spec.trainWarmup = 20.0;
+  spec.seed = 1234;
+  spec.fault.type = faults::FaultType::kCpuHog;
+  spec.fault.node = 2;
+  spec.fault.startTime = 60.0;
+  return spec;
+}
+
+void expectIdenticalSeries(const analysis::AlarmSeries& a,
+                           const analysis::AlarmSeries& b,
+                           const std::string& label) {
+  ASSERT_EQ(a.size(), b.size()) << label;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].time, b[i].time) << label << " alarm " << i;
+    EXPECT_EQ(a[i].flags, b[i].flags) << label << " alarm " << i;
+    EXPECT_EQ(a[i].scores, b[i].scores) << label << " alarm " << i;
+  }
+}
+
+TEST(Determinism, AlarmsIdenticalAcrossRunsAndExecutors) {
+  ExperimentSpec spec = smallSpec();
+  const analysis::BlackBoxModel model = trainModel(spec);
+
+  spec.threads = 1;
+  const ExperimentResult serial1 = runExperiment(spec, model);
+  const ExperimentResult serial2 = runExperiment(spec, model);
+  spec.threads = 4;
+  const ExperimentResult pooled = runExperiment(spec, model);
+
+  // The run produced signal at all — a trivially empty series would
+  // make the comparisons below vacuous.
+  EXPECT_FALSE(serial1.blackBox.empty());
+  EXPECT_FALSE(serial1.whiteBox.empty());
+
+  expectIdenticalSeries(serial1.blackBox, serial2.blackBox,
+                        "serial/serial black-box");
+  expectIdenticalSeries(serial1.whiteBox, serial2.whiteBox,
+                        "serial/serial white-box");
+  expectIdenticalSeries(serial1.blackBox, pooled.blackBox,
+                        "serial/pool black-box");
+  expectIdenticalSeries(serial1.whiteBox, pooled.whiteBox,
+                        "serial/pool white-box");
+
+  // Sanity on the shared-service accounting under the pool: every
+  // channel carried exactly as much traffic as under the serial run.
+  ASSERT_EQ(serial1.rpcChannels.size(), pooled.rpcChannels.size());
+  for (std::size_t i = 0; i < serial1.rpcChannels.size(); ++i) {
+    EXPECT_EQ(serial1.rpcChannels[i].name, pooled.rpcChannels[i].name);
+    EXPECT_EQ(serial1.rpcChannels[i].calls, pooled.rpcChannels[i].calls);
+  }
+  EXPECT_EQ(serial1.syncDroppedSeconds, pooled.syncDroppedSeconds);
+}
+
+}  // namespace
+}  // namespace asdf::harness

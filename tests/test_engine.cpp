@@ -133,6 +133,65 @@ TEST(SimEngine, TwoPeriodicsKeepRegistrationOrderOnTies) {
   }
 }
 
+TEST(SimEngine, CancelDropsAlreadyQueuedFiring) {
+  // The firing event for t=1.0 is pushed at registration time; a
+  // cancel that lands before it must swallow it, not just stop
+  // re-arming after one more callback.
+  SimEngine engine;
+  int count = 0;
+  const int id = engine.addPeriodic(1.0, [&] { ++count; });
+  engine.scheduleAt(0.5, [&] { engine.cancelPeriodic(id); });
+  engine.runUntil(10.0);
+  EXPECT_EQ(count, 0);
+  EXPECT_TRUE(engine.idle());
+}
+
+TEST(SimEngine, EqualTimestampsOrderBySequenceAcrossApis) {
+  // One-shots and periodic firings landing on the same timestamp run
+  // in the order their events were created, regardless of which API
+  // queued them.
+  SimEngine engine;
+  std::vector<char> order;
+  engine.scheduleAt(2.0, [&] { order.push_back('a'); });
+  engine.addPeriodic(5.0, [&] { order.push_back('b'); }, 2.0);
+  engine.scheduleAt(1.0, [&] {
+    engine.scheduleAfter(1.0, [&] { order.push_back('c'); });
+  });
+  engine.runUntil(2.0);
+  EXPECT_EQ(order, (std::vector<char>{'a', 'b', 'c'}));
+}
+
+TEST(SimEngine, PastSchedulesClampAndKeepOrder) {
+  // After the clock has advanced, both scheduleAt with a stale
+  // timestamp and scheduleAfter with a negative delay clamp to "run
+  // immediately at now()" and still dispatch in scheduling order.
+  SimEngine engine;
+  engine.runUntil(10.0);
+  std::vector<int> order;
+  double firstAt = -1.0;
+  engine.scheduleAt(3.0, [&] {
+    order.push_back(1);
+    firstAt = engine.now();
+  });
+  engine.scheduleAfter(-5.0, [&] { order.push_back(2); });
+  engine.scheduleAt(7.0, [&] { order.push_back(3); });
+  engine.runUntil(10.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(firstAt, 10.0);
+  EXPECT_DOUBLE_EQ(engine.now(), 10.0);
+}
+
+TEST(SimEngine, NextEventTimeTracksQueueHead) {
+  SimEngine engine;
+  engine.scheduleAt(4.0, [] {});
+  engine.scheduleAt(2.0, [] {});
+  EXPECT_DOUBLE_EQ(engine.nextEventTime(), 2.0);
+  engine.runUntil(2.0);
+  EXPECT_DOUBLE_EQ(engine.nextEventTime(), 4.0);
+  engine.runUntil(4.0);
+  EXPECT_TRUE(engine.idle());
+}
+
 TEST(SimEngine, EventCountReported) {
   SimEngine engine;
   for (int i = 0; i < 5; ++i) engine.scheduleAt(i, [] {});
