@@ -36,6 +36,8 @@ int main(int argc, char** argv) {
               r.hadoopLogRpcdCpuPct, r.hadoopLogRpcdMemMb);
   std::printf("%-18s %12.4f %12.2f   (0.3553 / 0.77)\n", "sadc_rpcd",
               r.sadcRpcdCpuPct, r.sadcRpcdMemMb);
+  std::printf("%-18s %12.4f %12.2f   (n/a: Section 5 extension)\n",
+              "strace_rpcd", r.straceRpcdCpuPct, r.straceRpcdMemMb);
   std::printf("%-18s %12.4f %12.2f   (0.8063 / 5.11)\n", "fpt-core",
               r.fptCoreCpuPct, r.fptCoreMemMb);
   bench::printRule();

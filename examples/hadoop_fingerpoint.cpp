@@ -78,8 +78,8 @@ int main(int argc, char** argv) {
   show("combined", summary.combined);
 
   std::printf("monitoring cost: sadc_rpcd %.4f%% CPU, hadoop_log_rpcd "
-              "%.4f%% CPU, fpt-core %.4f%% CPU\n",
+              "%.4f%% CPU, strace_rpcd %.4f%% CPU, fpt-core %.4f%% CPU\n",
               result.sadcRpcdCpuPct, result.hadoopLogRpcdCpuPct,
-              result.fptCoreCpuPct);
+              result.straceRpcdCpuPct, result.fptCoreCpuPct);
   return 0;
 }

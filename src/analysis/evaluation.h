@@ -15,6 +15,10 @@ struct AlarmRecord {
   SimTime time = kNoTime;
   std::vector<double> flags;
   std::vector<double> scores;
+  /// Monitoring health per node (0 healthy / 1 degraded /
+  /// 2 unmonitorable); empty for pipelines without the fault-tolerant
+  /// collection layer.
+  std::vector<double> health;
 };
 
 using AlarmSeries = std::vector<AlarmRecord>;

@@ -29,6 +29,23 @@ struct Alarm {
   std::vector<double> flags;         // 1.0 = fingerpointed
   std::vector<double> scores;        // raw distances (may be empty)
   std::vector<std::string> origins;  // per-stream origin labels
+  /// Per-stream monitoring health (rpc::NodeHealth codes: 0 healthy,
+  /// 1 degraded, 2 unmonitorable). Empty when the pipeline has no
+  /// fault-tolerant collection layer. A flag of 0 with health 2 means
+  /// "don't know", not "not faulty".
+  std::vector<double> health;
+};
+
+/// Emitted by analysis modules when the monitoring plane itself
+/// degrades: the set of unmonitorable peers changed, or the number of
+/// surviving (monitorable) peers crossed the quorum threshold.
+struct MonitoringEvent {
+  SimTime time = kNoTime;
+  std::string channel;  // emitting analysis instance id
+  int survivors = 0;    // peers still monitorable this window
+  int quorum = 0;       // minimum survivors for alarms to be valid
+  bool belowQuorum = false;  // alarms are being suppressed
+  std::vector<std::string> unmonitorable;  // origin labels, config order
 };
 
 class Environment {
@@ -68,6 +85,11 @@ class Environment {
 
   /// Sink invoked by alarm-emitting modules; optional.
   std::function<void(const Alarm&)> alarmSink;
+
+  /// Sink invoked by analysis modules on monitoring-plane degradation
+  /// transitions; optional. May be called from pool threads — the
+  /// embedder's sink must be thread-safe.
+  std::function<void(const MonitoringEvent&)> monitoringSink;
 
  private:
   struct Entry {

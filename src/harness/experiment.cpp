@@ -1,6 +1,9 @@
 #include "harness/experiment.h"
 
+#include <algorithm>
 #include <cassert>
+#include <memory>
+#include <mutex>
 
 #include "common/logging.h"
 #include "core/fpt_core.h"
@@ -72,20 +75,42 @@ ExperimentResult runExperiment(const ExperimentSpec& spec,
 
   ExperimentResult result;
 
+  // The fault-tolerant collection layer is opt-in; injecting a
+  // monitoring fault implies it.
+  const bool ftRpc = spec.faultTolerantRpc || !spec.monitoringFaults.empty();
+  std::unique_ptr<rpc::RpcClient> client;
+  if (ftRpc) {
+    client = std::make_unique<rpc::RpcClient>(
+        cluster, hub, spec.rpcPolicy, spec.seed * 2654435761ULL + 97);
+  }
+
   core::Environment env;
   env.provide("rpc", &hub);
   env.provide("bb_model", const_cast<analysis::BlackBoxModel*>(&model));
   env.provide("hl_sync", &sync);
+  if (client != nullptr) {
+    env.provide("rpc_client", client.get());
+    env.provide("node_health", &client->health());
+  }
   env.alarmSink = [&result](const core::Alarm& alarm) {
     analysis::AlarmRecord record;
     record.time = alarm.time;
     record.flags = alarm.flags;
     record.scores = alarm.scores;
+    record.health = alarm.health;
     if (alarm.channel == "BlackBoxAlarm") {
       result.blackBox.push_back(std::move(record));
     } else if (alarm.channel == "WhiteBoxAlarm") {
       result.whiteBox.push_back(std::move(record));
     }
+  };
+  // Both analysis instances may emit events concurrently under a pool
+  // executor; serialize appends and order the series after the run.
+  std::mutex eventMutex;
+  env.monitoringSink = [&result,
+                        &eventMutex](const core::MonitoringEvent& event) {
+    std::lock_guard<std::mutex> lock(eventMutex);
+    result.monitoringEvents.push_back(event);
   };
 
   core::FptCore fpt(engine, env);
@@ -97,7 +122,22 @@ ExperimentResult runExperiment(const ExperimentSpec& spec,
   faults::FaultInjector injector(cluster, spec.fault);
   injector.arm();
 
+  std::vector<std::unique_ptr<faults::MonitoringFaultInjector>> monInjectors;
+  for (const faults::MonitoringFaultSpec& mf : spec.monitoringFaults) {
+    monInjectors.push_back(std::make_unique<faults::MonitoringFaultInjector>(
+        engine, client->faults(), mf));
+    monInjectors.back()->arm();
+  }
+
   engine.runUntil(spec.duration);
+
+  std::stable_sort(result.monitoringEvents.begin(),
+                   result.monitoringEvents.end(),
+                   [](const core::MonitoringEvent& a,
+                      const core::MonitoringEvent& b) {
+                     if (a.time != b.time) return a.time < b.time;
+                     return a.channel < b.channel;
+                   });
 
   // Ground truth.
   result.truth.slaveIndex =
@@ -117,22 +157,26 @@ ExperimentResult runExperiment(const ExperimentSpec& spec,
   result.sadcRpcdCpuPct = 100.0 * hub.sadcCpuSeconds() / nodeSeconds;
   result.hadoopLogRpcdCpuPct =
       100.0 * hub.hadoopLogCpuSeconds() / nodeSeconds;
+  result.straceRpcdCpuPct = 100.0 * hub.straceCpuSeconds() / nodeSeconds;
   result.fptCoreCpuPct = 100.0 * fpt.cpuSeconds() / spec.duration;
   result.sadcRpcdMemMb =
       static_cast<double>(hub.sadcMemoryBytes()) / spec.slaves / 1.0e6;
   result.hadoopLogRpcdMemMb =
       static_cast<double>(hub.hadoopLogMemoryBytes()) / spec.slaves / 1.0e6;
+  result.straceRpcdMemMb =
+      static_cast<double>(hub.straceMemoryBytes()) / spec.slaves / 1.0e6;
   result.fptCoreMemMb =
       static_cast<double>(fpt.memoryFootprintBytes()) / 1.0e6;
 
   // Table 4 accounting. Channels that never carried a call (e.g. the
   // strace extension when its module is not configured) are omitted.
   for (const rpc::RpcChannelStats* ch : hub.transports().channels()) {
-    if (ch->calls() == 0) continue;
+    if (ch->calls() == 0 && ch->failedCalls() == 0) continue;
     RpcChannelReport report;
     report.name = ch->name();
     report.connects = ch->connects();
     report.calls = ch->calls();
+    report.failedCalls = ch->failedCalls();
     report.staticOverheadKb =
         ch->connects() == 0
             ? 0.0
@@ -151,6 +195,20 @@ ExperimentResult runExperiment(const ExperimentSpec& spec,
   }
   result.speculativeLaunches = cluster.jobTracker().speculativeLaunches();
   result.syncDroppedSeconds = sync.droppedSeconds();
+
+  if (client != nullptr) {
+    result.rpcRounds = client->totalRounds();
+    result.rpcRetries = client->totalRetries();
+    result.rpcFailedRounds = client->totalFailedRounds();
+    result.rpcFastFails = client->totalFastFails();
+    result.rpcBreakerOpens = client->totalBreakerOpens();
+    for (NodeId node : client->health().nodes()) {
+      std::vector<double>& times = result.rpcAttemptTimes[node];
+      for (const rpc::AttemptRecord& rec : client->attemptLog(node)) {
+        times.push_back(rec.at);
+      }
+    }
+  }
   return result;
 }
 

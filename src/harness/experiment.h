@@ -21,8 +21,11 @@
 
 #include "analysis/bbmodel.h"
 #include "analysis/evaluation.h"
+#include "core/environment.h"
 #include "faults/faults.h"
+#include "faults/monitoring_faults.h"
 #include "harness/pipelines.h"
+#include "rpc/rpc_client.h"
 
 namespace asdf::harness {
 
@@ -40,12 +43,21 @@ struct ExperimentSpec {
 
   /// When >= 0, the GridMix mix flips at this time (workload change).
   double mixChangeTime = -1.0;
+
+  /// Routes all daemon fetches through the fault-tolerant RpcClient
+  /// (timeout/retry/breaker, health registry, degraded analysis).
+  /// Implied when monitoringFaults is non-empty. Off by default: the
+  /// legacy infallible path matches the paper's assumptions.
+  bool faultTolerantRpc = false;
+  rpc::RpcPolicy rpcPolicy;
+  std::vector<faults::MonitoringFaultSpec> monitoringFaults;
 };
 
 struct RpcChannelReport {
   std::string name;
   long connects = 0;
   long calls = 0;
+  long failedCalls = 0;  // attempts that timed out / were refused
   double staticOverheadKb = 0.0;   // per node
   double perIterationKbPerSec = 0.0;  // per node
 };
@@ -59,13 +71,28 @@ struct ExperimentResult {
   // Monitoring cost (Table 3).
   double sadcRpcdCpuPct = 0.0;      // per node, % of one core
   double hadoopLogRpcdCpuPct = 0.0; // per node
+  double straceRpcdCpuPct = 0.0;    // per node
   double fptCoreCpuPct = 0.0;       // control node
   double sadcRpcdMemMb = 0.0;
   double hadoopLogRpcdMemMb = 0.0;
+  double straceRpcdMemMb = 0.0;
   double fptCoreMemMb = 0.0;
 
   // Bandwidth (Table 4).
   std::vector<RpcChannelReport> rpcChannels;
+
+  // Monitoring-plane robustness (faultTolerantRpc runs only).
+  long rpcRounds = 0;
+  long rpcRetries = 0;
+  long rpcFailedRounds = 0;
+  long rpcFastFails = 0;       // rounds rejected by an open breaker
+  long rpcBreakerOpens = 0;
+  /// Degradation transitions from the analysis modules, sorted by
+  /// (time, channel) for deterministic cross-executor comparison.
+  std::vector<core::MonitoringEvent> monitoringEvents;
+  /// Per-node RPC attempt issue times (virtual seconds), for the
+  /// deterministic backoff-schedule tests.
+  std::map<NodeId, std::vector<double>> rpcAttemptTimes;
 
   // Cluster health (sanity).
   long jobsSubmitted = 0;

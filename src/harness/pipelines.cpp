@@ -34,8 +34,9 @@ void appendBlackBox(std::ostringstream& out, const PipelineParams& p) {
       "id = analysis_bb\n"
       "threshold = %g\n"
       "window = %d\n"
-      "slide = %d\n",
-      p.bbThreshold, p.windowSize, p.windowSlide);
+      "slide = %d\n"
+      "quorum = %d\n",
+      p.bbThreshold, p.windowSize, p.windowSlide, p.quorum);
   for (int i = 1; i <= p.slaves; ++i) {
     out << strformat("input[l%d] = buf%d.output0\n", i - 1, i);
   }
@@ -66,8 +67,9 @@ void appendWhiteBox(std::ostringstream& out, const PipelineParams& p) {
   out << strformat(
       "[analysis_wb]\n"
       "id = analysis_wb\n"
-      "k = %g\n",
-      p.wbK);
+      "k = %g\n"
+      "quorum = %d\n",
+      p.wbK, p.quorum);
   for (int i = 1; i <= p.slaves; ++i) {
     out << strformat("input[a%d] = mavg%d.mean\n", i - 1, i);
     out << strformat("input[d%d] = mavg%d.stddev\n", i - 1, i);
@@ -78,6 +80,21 @@ void appendWhiteBox(std::ostringstream& out, const PipelineParams& p) {
       "quiet = %d\n"
       "input[a] = @analysis_wb\n\n",
       p.quietPrint ? 1 : 0);
+}
+
+void appendNodeHealth(std::ostringstream& out, const PipelineParams& p) {
+  if (!p.nodeHealth) return;
+  out << "[node_health]\n"
+         "id = node_health\n"
+         "interval = 1\n\n";
+  if (!p.nodeHealthCsv.empty()) {
+    out << strformat(
+        "[csv_sink]\n"
+        "id = health_csv\n"
+        "file = %s\n"
+        "input[h] = node_health.health\n\n",
+        p.nodeHealthCsv.c_str());
+  }
 }
 
 }  // namespace
@@ -101,6 +118,7 @@ std::string buildCombinedConfig(const PipelineParams& params) {
   out << "# ASDF combined black-box + white-box pipeline (generated)\n\n";
   appendBlackBox(out, params);
   appendWhiteBox(out, params);
+  appendNodeHealth(out, params);
   return out.str();
 }
 

@@ -18,6 +18,13 @@ struct PipelineParams {
   double bbThreshold = 60.0;
   double wbK = 3.0;
   bool quietPrint = true;
+  /// Minimum surviving (monitorable) peers for analysis alarms to be
+  /// valid; 0 = the modules' majority default (N/2 + 1, at least 3).
+  int quorum = 0;
+  /// Emit a [node_health] section (requires the harness to provide the
+  /// "node_health" registry service), optionally recorded to CSV.
+  bool nodeHealth = false;
+  std::string nodeHealthCsv;  // empty = no csv_sink section
 };
 
 /// Black-box pipeline: per slave sadc -> knn -> ibuffer, then one

@@ -7,12 +7,23 @@
 // when || StateVector_j - medianStateVector ||_1 exceeds a
 // pre-determined threshold.
 //
+// Degraded mode: when the environment provides an "rpc_client"
+// service, the module consults the NodeHealthRegistry and computes the
+// median over *surviving* (monitorable) peers only — an unmonitorable
+// node's stale histogram must neither be flagged nor skew the median.
+// When fewer than `quorum` peers survive, alarms are suppressed (all
+// flags zero) and a MonitoringEvent is emitted on the transition.
+//
 // Parameters:
 //   threshold = <L1 distance threshold>  (default 60)
+//   quorum    = <min surviving peers for valid alarms>
+//               (default 0 = majority: N/2 + 1, at least 3)
 //
 // Inputs:  l0..l(N-1) — one per monitored node, each one ibuffer array
 // Outputs: alarms — 0/1 per node;  scores — raw L1 distances (used by
-//          offline threshold sweeps, Figure 6a)
+//          offline threshold sweeps, Figure 6a);  health — per-node
+//          monitoring health code (0/1/2)
+#include <algorithm>
 #include <vector>
 
 #include "analysis/bbmodel.h"
@@ -21,6 +32,7 @@
 #include "common/strings.h"
 #include "core/module.h"
 #include "modules/modules.h"
+#include "rpc/rpc_client.h"
 
 namespace asdf::modules {
 
@@ -36,6 +48,7 @@ class AnalysisBbModule final : public core::Module {
     const analysis::BlackBoxModel& model =
         ctx.env().require<analysis::BlackBoxModel>("bb_model");
     numStates_ = model.states();
+    client_ = ctx.env().get<rpc::RpcClient>("rpc_client");
 
     // Enumerate the per-node inputs l0..l(N-1).
     for (int i = 0;; ++i) {
@@ -54,13 +67,22 @@ class AnalysisBbModule final : public core::Module {
                         "(median peer comparison)");
     }
 
+    const int quorumParam = static_cast<int>(ctx.intParam("quorum", 0));
+    quorum_ = quorumParam > 0
+                  ? quorumParam
+                  : std::max<int>(3, static_cast<int>(inputs_.size()) / 2 + 1);
+
     std::string origins;
     for (const auto& name : inputs_) {
       if (!origins.empty()) origins += ";";
-      origins += ctx.inputOrigin(name, 0);
+      const std::string origin = ctx.inputOrigin(name, 0);
+      origins += origin;
+      originLabels_.push_back(origin);
+      nodeIds_.push_back(rpc::nodeIdFromOrigin(origin));
     }
     outAlarms_ = ctx.addOutput("alarms", origins);
     outScores_ = ctx.addOutput("scores", origins);
+    outHealth_ = ctx.addOutput("health", origins);
     ctx.setInputTrigger(static_cast<int>(inputs_.size()));
   }
 
@@ -69,8 +91,9 @@ class AnalysisBbModule final : public core::Module {
     for (const auto& name : inputs_) {
       if (!ctx.inputHasData(name, 0) || !ctx.inputFresh(name, 0)) return;
     }
+    const std::size_t n = inputs_.size();
     std::vector<std::vector<double>> histograms;
-    histograms.reserve(inputs_.size());
+    histograms.reserve(n);
     for (const auto& name : inputs_) {
       const core::Sample& sample = ctx.input(name, 0);
       if (!core::isVector(sample.value)) {
@@ -79,18 +102,87 @@ class AnalysisBbModule final : public core::Module {
       histograms.push_back(analysis::stateHistogram(
           core::asVector(sample.value), numStates_));
     }
-    const analysis::PeerComparisonResult result =
-        analysis::blackBoxCompare(histograms, threshold_);
-    ctx.write(outAlarms_, result.flags);
-    ctx.write(outScores_, result.scores);
+
+    // Survivor selection from the health registry (everyone survives
+    // when there is no fault-tolerant collection layer).
+    std::vector<double> health(n, 0.0);
+    std::vector<std::size_t> survivors;
+    std::vector<std::string> unmonitorable;
+    for (std::size_t i = 0; i < n; ++i) {
+      rpc::NodeHealth h = rpc::NodeHealth::kHealthy;
+      if (client_ != nullptr && nodeIds_[i] != kInvalidNode) {
+        h = client_->health().channelHealth(nodeIds_[i],
+                                            rpc::Daemon::kSadc);
+      }
+      health[i] = static_cast<double>(h);
+      if (h == rpc::NodeHealth::kUnmonitorable) {
+        unmonitorable.push_back(originLabels_[i]);
+      } else {
+        survivors.push_back(i);
+      }
+    }
+
+    // Peer comparison needs at least 3 participants to form a
+    // meaningful median; below that (or below the configured quorum)
+    // any flag would be guesswork — suppress.
+    const bool belowQuorum =
+        static_cast<int>(survivors.size()) < std::max(quorum_, 3);
+
+    std::vector<double> flags(n, 0.0);
+    std::vector<double> scores(n, 0.0);
+    if (!belowQuorum) {
+      std::vector<std::vector<double>> surviving;
+      surviving.reserve(survivors.size());
+      for (std::size_t idx : survivors) {
+        surviving.push_back(std::move(histograms[idx]));
+      }
+      const analysis::PeerComparisonResult result =
+          analysis::blackBoxCompare(surviving, threshold_);
+      for (std::size_t j = 0; j < survivors.size(); ++j) {
+        flags[survivors[j]] = result.flags[j];
+        scores[survivors[j]] = result.scores[j];
+      }
+    }
+    emitTransitions(ctx, unmonitorable, belowQuorum,
+                    static_cast<int>(survivors.size()));
+    ctx.write(outAlarms_, flags);
+    ctx.write(outScores_, scores);
+    ctx.write(outHealth_, health);
   }
 
  private:
+  void emitTransitions(core::ModuleContext& ctx,
+                       const std::vector<std::string>& unmonitorable,
+                       bool belowQuorum, int survivors) {
+    if (unmonitorable == lastUnmonitorable_ &&
+        belowQuorum == lastBelowQuorum_) {
+      return;
+    }
+    lastUnmonitorable_ = unmonitorable;
+    lastBelowQuorum_ = belowQuorum;
+    if (!ctx.env().monitoringSink) return;
+    core::MonitoringEvent event;
+    event.time = ctx.now();
+    event.channel = ctx.instanceId();
+    event.survivors = survivors;
+    event.quorum = quorum_;
+    event.belowQuorum = belowQuorum;
+    event.unmonitorable = unmonitorable;
+    ctx.env().monitoringSink(event);
+  }
+
   double threshold_ = 60.0;
+  int quorum_ = 0;
   std::size_t numStates_ = 0;
+  rpc::RpcClient* client_ = nullptr;
   std::vector<std::string> inputs_;
+  std::vector<std::string> originLabels_;
+  std::vector<NodeId> nodeIds_;
+  std::vector<std::string> lastUnmonitorable_;
+  bool lastBelowQuorum_ = false;
   int outAlarms_ = -1;
   int outScores_ = -1;
+  int outHealth_ = -1;
 };
 
 void registerAnalysisBbModule(core::ModuleRegistry& registry) {

@@ -8,13 +8,24 @@
 // for that metric — the paper's guard against constant metrics whose
 // standard deviation is zero on most nodes.
 //
+// Degraded mode: when the environment provides an "rpc_client"
+// service, the module consults the NodeHealthRegistry and computes the
+// medians over *surviving* (monitorable) peers only; an unmonitorable
+// node is excluded from the median and never flagged. When fewer than
+// `quorum` peers survive, alarms are suppressed (all flags zero) and a
+// MonitoringEvent is emitted on the transition.
+//
 // Parameters:
-//   k = <threshold multiplier>  (default 3)
+//   k      = <threshold multiplier>  (default 3)
+//   quorum = <min surviving peers for valid alarms>
+//            (default 0 = majority: N/2 + 1, at least 3)
 //
 // Inputs:  a0..a(N-1) — per-node window means
 //          d0..d(N-1) — per-node window standard deviations
 // Outputs: alarms — 0/1 per node;  scores — per-node critical k (used
-//          by offline k sweeps, Figure 6b)
+//          by offline k sweeps, Figure 6b);  health — per-node
+//          monitoring health code (0/1/2)
+#include <algorithm>
 #include <vector>
 
 #include "analysis/peercompare.h"
@@ -22,6 +33,7 @@
 #include "common/strings.h"
 #include "core/module.h"
 #include "modules/modules.h"
+#include "rpc/rpc_client.h"
 
 namespace asdf::modules {
 
@@ -29,6 +41,7 @@ class AnalysisWbModule final : public core::Module {
  public:
   void init(core::ModuleContext& ctx) override {
     k_ = ctx.numParam("k", 3.0);
+    client_ = ctx.env().get<rpc::RpcClient>("rpc_client");
     for (int i = 0;; ++i) {
       const std::string meanName = strformat("a%d", i);
       const std::string devName = strformat("d%d", i);
@@ -48,13 +61,23 @@ class AnalysisWbModule final : public core::Module {
                         "] analysis_wb needs at least 3 node inputs "
                         "(median peer comparison)");
     }
+    const int quorumParam = static_cast<int>(ctx.intParam("quorum", 0));
+    quorum_ =
+        quorumParam > 0
+            ? quorumParam
+            : std::max<int>(3, static_cast<int>(meanInputs_.size()) / 2 + 1);
+
     std::string origins;
     for (const auto& name : meanInputs_) {
       if (!origins.empty()) origins += ";";
-      origins += ctx.inputOrigin(name, 0);
+      const std::string origin = ctx.inputOrigin(name, 0);
+      origins += origin;
+      originLabels_.push_back(origin);
+      nodeIds_.push_back(rpc::nodeIdFromOrigin(origin));
     }
     outAlarms_ = ctx.addOutput("alarms", origins);
     outScores_ = ctx.addOutput("scores", origins);
+    outHealth_ = ctx.addOutput("health", origins);
     ctx.setInputTrigger(static_cast<int>(meanInputs_.size() +
                                          devInputs_.size()));
   }
@@ -66,11 +89,12 @@ class AnalysisWbModule final : public core::Module {
         return;
       }
     }
+    const std::size_t n = meanInputs_.size();
     std::vector<std::vector<double>> means;
     std::vector<std::vector<double>> stddevs;
-    means.reserve(meanInputs_.size());
-    stddevs.reserve(devInputs_.size());
-    for (std::size_t i = 0; i < meanInputs_.size(); ++i) {
+    means.reserve(n);
+    stddevs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
       const core::Sample& m = ctx.input(meanInputs_[i], 0);
       const core::Sample& d = ctx.input(devInputs_[i], 0);
       if (!core::isVector(m.value) || !core::isVector(d.value)) {
@@ -79,18 +103,84 @@ class AnalysisWbModule final : public core::Module {
       means.push_back(core::asVector(m.value));
       stddevs.push_back(core::asVector(d.value));
     }
-    const analysis::PeerComparisonResult result =
-        analysis::whiteBoxCompare(means, stddevs, k_);
-    ctx.write(outAlarms_, result.flags);
-    ctx.write(outScores_, result.scores);
+
+    std::vector<double> health(n, 0.0);
+    std::vector<std::size_t> survivors;
+    std::vector<std::string> unmonitorable;
+    for (std::size_t i = 0; i < n; ++i) {
+      rpc::NodeHealth h = rpc::NodeHealth::kHealthy;
+      if (client_ != nullptr && nodeIds_[i] != kInvalidNode) {
+        h = client_->health().channelHealth(nodeIds_[i],
+                                            rpc::Daemon::kHadoopLog);
+      }
+      health[i] = static_cast<double>(h);
+      if (h == rpc::NodeHealth::kUnmonitorable) {
+        unmonitorable.push_back(originLabels_[i]);
+      } else {
+        survivors.push_back(i);
+      }
+    }
+    const bool belowQuorum =
+        static_cast<int>(survivors.size()) < std::max(quorum_, 3);
+
+    std::vector<double> flags(n, 0.0);
+    std::vector<double> scores(n, 0.0);
+    if (!belowQuorum) {
+      std::vector<std::vector<double>> survivingMeans;
+      std::vector<std::vector<double>> survivingDevs;
+      survivingMeans.reserve(survivors.size());
+      survivingDevs.reserve(survivors.size());
+      for (std::size_t idx : survivors) {
+        survivingMeans.push_back(std::move(means[idx]));
+        survivingDevs.push_back(std::move(stddevs[idx]));
+      }
+      const analysis::PeerComparisonResult result =
+          analysis::whiteBoxCompare(survivingMeans, survivingDevs, k_);
+      for (std::size_t j = 0; j < survivors.size(); ++j) {
+        flags[survivors[j]] = result.flags[j];
+        scores[survivors[j]] = result.scores[j];
+      }
+    }
+    emitTransitions(ctx, unmonitorable, belowQuorum,
+                    static_cast<int>(survivors.size()));
+    ctx.write(outAlarms_, flags);
+    ctx.write(outScores_, scores);
+    ctx.write(outHealth_, health);
   }
 
  private:
+  void emitTransitions(core::ModuleContext& ctx,
+                       const std::vector<std::string>& unmonitorable,
+                       bool belowQuorum, int survivors) {
+    if (unmonitorable == lastUnmonitorable_ &&
+        belowQuorum == lastBelowQuorum_) {
+      return;
+    }
+    lastUnmonitorable_ = unmonitorable;
+    lastBelowQuorum_ = belowQuorum;
+    if (!ctx.env().monitoringSink) return;
+    core::MonitoringEvent event;
+    event.time = ctx.now();
+    event.channel = ctx.instanceId();
+    event.survivors = survivors;
+    event.quorum = quorum_;
+    event.belowQuorum = belowQuorum;
+    event.unmonitorable = unmonitorable;
+    ctx.env().monitoringSink(event);
+  }
+
   double k_ = 3.0;
+  int quorum_ = 0;
+  rpc::RpcClient* client_ = nullptr;
   std::vector<std::string> meanInputs_;
   std::vector<std::string> devInputs_;
+  std::vector<std::string> originLabels_;
+  std::vector<NodeId> nodeIds_;
+  std::vector<std::string> lastUnmonitorable_;
+  bool lastBelowQuorum_ = false;
   int outAlarms_ = -1;
   int outScores_ = -1;
+  int outHealth_ = -1;
 };
 
 void registerAnalysisWbModule(core::ModuleRegistry& registry) {

@@ -8,6 +8,8 @@
 //   output0  — the per-second white-box state vector for the node:
 //              5 TaskTracker states followed by 3 DataNode states,
 //              released only at cross-node-synchronized timestamps.
+//   health   — monitoring health of the poll (rpc::NodeHealth code:
+//              0 healthy, 1 degraded/retried, 2 unmonitorable).
 //
 // Each poll asks the node's hadoop_log_rpcd for freshly finalized
 // TaskTracker and DataNode state vectors, zips the two by second, and
@@ -18,6 +20,16 @@
 // are dropped. Each instance then writes whatever synchronized rows
 // are newly available for its node — typically one per poll, one or
 // two iterations behind real time, exactly like the original.
+//
+// Degraded mode: when the environment provides an "rpc_client" service
+// and a fetch round fails (daemon crash, hang, partition, packet loss,
+// open breaker), the module must still feed the sync — a silent node
+// would hold back *every* peer's release forever. It synthesizes rows
+// from the last known state halves (zeros when nothing was ever
+// fetched) for the seconds the daemon should have finalized by now
+// (watermark minus a small finalization lag), so the cross-node
+// release cadence survives a dead collector. Real rows for seconds
+// already synthesized are discarded when the daemon recovers.
 #include <map>
 
 #include "common/error.h"
@@ -26,8 +38,17 @@
 #include "hadooplog/states.h"
 #include "modules/modules.h"
 #include "rpc/daemons.h"
+#include "rpc/rpc_client.h"
 
 namespace asdf::modules {
+namespace {
+
+// Seconds behind the poll watermark that a synthesized row trails:
+// matches the parsers' own finalization delay, so a recovered daemon's
+// real rows resume exactly where synthesis stopped.
+constexpr long kSynthesisLagSeconds = 3;
+
+}  // namespace
 
 class HadoopLogModule final : public core::Module {
  public:
@@ -39,9 +60,11 @@ class HadoopLogModule final : public core::Module {
     }
     const double interval = ctx.numParam("interval", 1.0);
     hub_ = &ctx.env().require<rpc::RpcHub>("rpc");
+    client_ = ctx.env().get<rpc::RpcClient>("rpc_client");
     sync_ = &ctx.env().require<HadoopLogSync>("hl_sync");
     sync_->registerNode(node_);
     out_ = ctx.addOutput("output0", strformat("slave%d", node_));
+    healthOut_ = ctx.addOutput("health", strformat("slave%d", node_));
     ctx.requestPeriodic(interval);
     // The daemon charges CPU/network to this node, and the sync's
     // release timing depends on push order across instances: serialize
@@ -52,24 +75,53 @@ class HadoopLogModule final : public core::Module {
 
   void run(core::ModuleContext& ctx, core::RunReason) override {
     const SimTime watermark = ctx.now();
-    for (const auto& s : hub_->hadoopLog(node_).fetchTt(watermark)) {
-      partial_[s.second].first = s.counts;
-      partialHasTt_[s.second] = true;
-      flushPartial();
-    }
-    for (const auto& s : hub_->hadoopLog(node_).fetchDn(watermark)) {
-      partial_[s.second].second = s.counts;
-      partialHasDn_[s.second] = true;
-      flushPartial();
+    rpc::NodeHealth health = rpc::NodeHealth::kHealthy;
+    if (client_ == nullptr) {
+      ingestTt(hub_->hadoopLog(node_).fetchTt(watermark));
+      ingestDn(hub_->hadoopLog(node_).fetchDn(watermark));
+    } else {
+      auto tt = client_->fetchTt(node_, watermark, watermark);
+      auto dn = tt.ok ? client_->fetchDn(node_, watermark, watermark)
+                      : decltype(tt){};
+      if (tt.ok && dn.ok) {
+        ingestTt(tt.value);
+        ingestDn(dn.value);
+        health = (tt.retried || dn.retried) ? rpc::NodeHealth::kDegraded
+                                            : rpc::NodeHealth::kHealthy;
+      } else {
+        health = rpc::NodeHealth::kUnmonitorable;
+        synthesizeThrough(static_cast<long>(watermark) -
+                          kSynthesisLagSeconds);
+      }
     }
     for (auto& [second, wb] : sync_->drain(node_)) {
       (void)second;  // Sample time is the write time; the row order is
                      // the synchronized second order.
       ctx.write(out_, std::move(wb));
     }
+    ctx.write(healthOut_,
+              std::vector<double>{static_cast<double>(health)});
   }
 
  private:
+  void ingestTt(const std::vector<hadooplog::StateSample>& samples) {
+    for (const auto& s : samples) {
+      lastTt_ = s.counts;
+      partial_[s.second].first = s.counts;
+      partialHasTt_[s.second] = true;
+      flushPartial();
+    }
+  }
+
+  void ingestDn(const std::vector<hadooplog::StateSample>& samples) {
+    for (const auto& s : samples) {
+      lastDn_ = s.counts;
+      partial_[s.second].second = s.counts;
+      partialHasDn_[s.second] = true;
+      flushPartial();
+    }
+  }
+
   void flushPartial() {
     // Push every second for which both halves arrived.
     for (auto it = partial_.begin(); it != partial_.end();) {
@@ -78,20 +130,66 @@ class HadoopLogModule final : public core::Module {
         ++it;
         continue;
       }
-      std::vector<double> wb = it->second.first;
-      wb.insert(wb.end(), it->second.second.begin(),
-                it->second.second.end());
-      sync_->push(node_, second, std::move(wb));
+      // Seconds already covered by synthesized rows (the daemon was
+      // down when they were due) must not be pushed twice — and real
+      // pushes advance the anchor so a later outage resumes synthesis
+      // from the last pushed second instead of re-pushing history.
+      if (!anchored_ || second > lastSynthesized_) {
+        std::vector<double> wb = it->second.first;
+        wb.insert(wb.end(), it->second.second.begin(),
+                  it->second.second.end());
+        sync_->push(node_, second, std::move(wb));
+        lastSynthesized_ = second;
+        anchored_ = true;
+      }
       partialHasTt_.erase(second);
       partialHasDn_.erase(second);
       it = partial_.erase(it);
     }
   }
 
+  void synthesizeThrough(long uptoSecond) {
+    if (uptoSecond < 0) return;
+    if (!anchored_) {
+      // The daemon was never reachable: synthesize forward only, from
+      // the second its parsers would have been finalizing now.
+      lastSynthesized_ = uptoSecond - 1;
+      anchored_ = true;
+    }
+    if (lastTt_.empty()) lastTt_.assign(hadooplog::kTtStateCount, 0.0);
+    if (lastDn_.empty()) lastDn_.assign(hadooplog::kDnStateCount, 0.0);
+    for (long s = lastSynthesized_ + 1; s <= uptoSecond; ++s) {
+      // Prefer any real half that arrived before the daemon died.
+      const auto it = partial_.find(s);
+      std::vector<double> wb =
+          (it != partial_.end() && partialHasTt_[s]) ? it->second.first
+                                                     : lastTt_;
+      const std::vector<double>& dn =
+          (it != partial_.end() && partialHasDn_[s]) ? it->second.second
+                                                     : lastDn_;
+      wb.insert(wb.end(), dn.begin(), dn.end());
+      sync_->push(node_, s, std::move(wb));
+      if (it != partial_.end()) {
+        partialHasTt_.erase(s);
+        partialHasDn_.erase(s);
+        partial_.erase(it);
+      }
+      lastSynthesized_ = s;
+    }
+  }
+
   NodeId node_ = kInvalidNode;
   rpc::RpcHub* hub_ = nullptr;
+  rpc::RpcClient* client_ = nullptr;
   HadoopLogSync* sync_ = nullptr;
   int out_ = -1;
+  int healthOut_ = -1;
+  /// Highest second pushed to the sync (real or synthesized); valid
+  /// only once anchored_ is set by the first push.
+  bool anchored_ = false;
+  long lastSynthesized_ = 0;
+  std::vector<double> lastTt_;
+  std::vector<double> lastDn_;
   std::map<long, std::pair<std::vector<double>, std::vector<double>>>
       partial_;
   std::map<long, bool> partialHasTt_;

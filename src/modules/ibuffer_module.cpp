@@ -8,10 +8,26 @@
 // Parameters:
 //   size  = <window length in samples>   (default 10)
 //   slide = <samples between emissions>  (default 1)
+//   gap   = <seconds>  (default 0 = gap detection disabled)
+//   reset_on_gap = 1 to clear the buffer when consecutive input
+//                  samples are more than `gap` seconds apart
+//                  (default 0)
 //
 // Inputs:  input  — a scalar stream (e.g. knn state indices)
 // Outputs: output0 — vector of the most recent `size` samples, emitted
 //          every `slide` samples once the buffer has filled.
+//
+// Gap semantics: ibuffer counts samples, not seconds. When upstream
+// samples are dropped (a collector outage, a module suppressing its
+// output), the default behavior is explicit pass-through — the window
+// silently spans the gap, mixing pre- and post-gap samples, and the
+// emission cadence stretches by however many samples went missing.
+// That is the right default for the fault-tolerant collection layer,
+// where degraded collectors keep emitting stale-tagged samples so no
+// gap ever forms. For sources that genuinely stop producing, set
+// `reset_on_gap = 1` (with a `gap` threshold in seconds): a gap then
+// discards the stale window instead of emitting windows that straddle
+// the outage.
 #include <deque>
 
 #include "common/error.h"
@@ -29,6 +45,13 @@ class IBufferModule final : public core::Module {
       throw ConfigError("[" + ctx.instanceId() +
                         "] ibuffer size and slide must be >= 1");
     }
+    gap_ = ctx.numParam("gap", 0.0);
+    resetOnGap_ = ctx.intParam("reset_on_gap", 0) != 0;
+    if (resetOnGap_ && gap_ <= 0.0) {
+      throw ConfigError("[" + ctx.instanceId() +
+                        "] ibuffer reset_on_gap requires a 'gap' "
+                        "threshold > 0 seconds");
+    }
     if (ctx.inputWidth("input") != 1) {
       throw ConfigError("[" + ctx.instanceId() +
                         "] ibuffer requires exactly one 'input' connection");
@@ -43,6 +66,12 @@ class IBufferModule final : public core::Module {
     if (!core::isScalar(sample.value)) {
       throw ConfigError("ibuffer expects a scalar input stream");
     }
+    if (resetOnGap_ && lastTime_ != kNoTime &&
+        sample.time - lastTime_ > gap_) {
+      buf_.clear();
+      sinceEmit_ = 0;
+    }
+    lastTime_ = sample.time;
     buf_.push_back(core::asScalar(sample.value));
     while (buf_.size() > size_) buf_.pop_front();
     ++sinceEmit_;
@@ -56,6 +85,9 @@ class IBufferModule final : public core::Module {
   std::size_t size_ = 10;
   std::size_t slide_ = 1;
   std::size_t sinceEmit_ = 0;
+  double gap_ = 0.0;
+  bool resetOnGap_ = false;
+  SimTime lastTime_ = kNoTime;
   std::deque<double> buf_;
   int out_ = -1;
 };

@@ -8,11 +8,18 @@
 // objects); call it once at startup.
 //
 // Environment services the modules look up:
-//   "rpc"       rpc::RpcHub            — sadc, hadoop_log
-//   "bb_model"  analysis::BlackBoxModel — knn, analysis_bb
-//   "hl_sync"   modules::HadoopLogSync  — hadoop_log (optional;
-//                                        created implicitly if absent)
-//   env.alarmSink                       — print
+//   "rpc"         rpc::RpcHub             — sadc, hadoop_log, strace
+//   "bb_model"    analysis::BlackBoxModel — knn, analysis_bb
+//   "hl_sync"     modules::HadoopLogSync  — hadoop_log (optional;
+//                                          created implicitly if absent)
+//   "rpc_client"  rpc::RpcClient          — sadc, hadoop_log, strace,
+//                                          analysis_bb, analysis_wb
+//                                          (optional; enables the
+//                                          fault-tolerant collection
+//                                          path and degraded analysis)
+//   "node_health" rpc::NodeHealthRegistry — node_health
+//   env.alarmSink                         — print
+//   env.monitoringSink                    — analysis_bb, analysis_wb
 #pragma once
 
 #include <deque>

@@ -1,0 +1,60 @@
+// [node_health] — monitoring-plane health reporter.
+//
+// Surfaces the NodeHealthRegistry (fed by the fault-tolerant RpcClient
+// after every fetch round) as a DAG output, so any consumer — a
+// csv_sink recording a health timeline, a dashboard, a mitigation
+// module — can observe per-node monitorability without touching the
+// RPC layer. Each tick emits one vector with the *aggregate* health
+// code per registered node (worst across the node's polled channels):
+// 0 healthy, 1 degraded (retries needed), 2 unmonitorable.
+//
+// Environment services:
+//   "node_health"  rpc::NodeHealthRegistry  (required)
+//
+// Parameters:
+//   interval = <seconds between emissions>  (default 1)
+//
+// Outputs:
+//   health — one code per registered node, origins "slave1;slave2;..."
+#include "common/strings.h"
+#include "core/module.h"
+#include "modules/modules.h"
+#include "rpc/rpc_client.h"
+
+namespace asdf::modules {
+
+class NodeHealthModule final : public core::Module {
+ public:
+  void init(core::ModuleContext& ctx) override {
+    registry_ = &ctx.env().require<rpc::NodeHealthRegistry>("node_health");
+    nodes_ = registry_->nodes();
+    std::string origins;
+    for (NodeId node : nodes_) {
+      if (!origins.empty()) origins += ";";
+      origins += strformat("slave%d", node);
+    }
+    out_ = ctx.addOutput("health", origins);
+    ctx.requestPeriodic(ctx.numParam("interval", 1.0));
+  }
+
+  void run(core::ModuleContext& ctx, core::RunReason) override {
+    std::vector<double> codes;
+    codes.reserve(nodes_.size());
+    for (NodeId node : nodes_) {
+      codes.push_back(static_cast<double>(registry_->aggregate(node)));
+    }
+    ctx.write(out_, std::move(codes));
+  }
+
+ private:
+  rpc::NodeHealthRegistry* registry_ = nullptr;
+  std::vector<NodeId> nodes_;
+  int out_ = -1;
+};
+
+void registerNodeHealthModule(core::ModuleRegistry& registry) {
+  registry.registerType(
+      "node_health", [] { return std::make_unique<NodeHealthModule>(); });
+}
+
+}  // namespace asdf::modules

@@ -5,6 +5,13 @@
 // them to the environment's alarmSink so the embedding application
 // (the experiment harness, a dashboard, ...) can consume them.
 //
+// When the upstream analysis exposes a "health" output (the
+// fault-tolerant collection layer), the log line distinguishes the
+// alarm taxonomy: a fingerpointed node is *faulty*; a node whose
+// monitoring health is unmonitorable is reported separately — its flag
+// of 0 means "don't know", not "not faulty" — and the health codes are
+// forwarded on the Alarm record.
+//
 // Parameters:
 //   quiet = 1 to suppress log lines (default 0)
 #include "common/error.h"
@@ -25,11 +32,12 @@ class PrintModule final : public core::Module {
                         "] print requires at least one input");
     }
     inputName_ = names.front();
-    // Identify the alarms / scores connections by port name.
+    // Identify the alarms / scores / health connections by port name.
     for (std::size_t i = 0; i < ctx.inputWidth(inputName_); ++i) {
       const std::string& port = ctx.inputPortName(inputName_, i);
       if (port == "alarms") alarmsIdx_ = static_cast<int>(i);
       if (port == "scores") scoresIdx_ = static_cast<int>(i);
+      if (port == "health") healthIdx_ = static_cast<int>(i);
     }
     if (alarmsIdx_ < 0 && ctx.inputWidth(inputName_) == 1) {
       alarmsIdx_ = 0;  // single unnamed stream: treat it as the alarms
@@ -62,18 +70,41 @@ class PrintModule final : public core::Module {
         alarm.scores = core::asVector(scores.value);
       }
     }
+    if (healthIdx_ >= 0 &&
+        ctx.inputHasData(inputName_, static_cast<std::size_t>(healthIdx_))) {
+      const core::Sample& health =
+          ctx.input(inputName_, static_cast<std::size_t>(healthIdx_));
+      if (core::isVector(health.value)) {
+        alarm.health = core::asVector(health.value);
+      }
+    }
 
     if (!quiet_) {
+      const auto label = [&alarm](std::size_t i) {
+        return i < alarm.origins.size() ? alarm.origins[i]
+                                        : strformat("#%zu", i);
+      };
       std::string flagged;
       for (std::size_t i = 0; i < alarm.flags.size(); ++i) {
         if (alarm.flags[i] > 0.5) {
           if (!flagged.empty()) flagged += ",";
-          flagged += i < alarm.origins.size() ? alarm.origins[i]
-                                              : strformat("#%zu", i);
+          flagged += label(i);
         }
       }
-      logInfo(strformat("[%s] t=%.0f fingerpointed: %s", alarm.channel.c_str(),
-                        alarm.time, flagged.empty() ? "-" : flagged.c_str()));
+      std::string unmonitorable;
+      for (std::size_t i = 0; i < alarm.health.size(); ++i) {
+        if (alarm.health[i] > 1.5) {  // NodeHealth::kUnmonitorable
+          if (!unmonitorable.empty()) unmonitorable += ",";
+          unmonitorable += label(i);
+        }
+      }
+      std::string line =
+          strformat("[%s] t=%.0f fingerpointed: %s", alarm.channel.c_str(),
+                    alarm.time, flagged.empty() ? "-" : flagged.c_str());
+      if (!unmonitorable.empty()) {
+        line += strformat(" unmonitorable: %s", unmonitorable.c_str());
+      }
+      logInfo(line);
     }
     if (ctx.env().alarmSink) ctx.env().alarmSink(alarm);
   }
@@ -83,6 +114,7 @@ class PrintModule final : public core::Module {
   std::string inputName_;
   int alarmsIdx_ = -1;
   int scoresIdx_ = -1;
+  int healthIdx_ = -1;
 };
 
 void registerPrintModule(core::ModuleRegistry& registry) {

@@ -13,6 +13,7 @@ void registerMavgvecModule(core::ModuleRegistry&);
 void registerKnnModule(core::ModuleRegistry&);
 void registerAnalysisBbModule(core::ModuleRegistry&);
 void registerAnalysisWbModule(core::ModuleRegistry&);
+void registerNodeHealthModule(core::ModuleRegistry&);
 void registerPrintModule(core::ModuleRegistry&);
 
 void registerBuiltinModules(core::ModuleRegistry* registry) {
@@ -26,6 +27,7 @@ void registerBuiltinModules(core::ModuleRegistry* registry) {
   registerAnalysisBbModule(r);
   registerAnalysisWbModule(r);
   registerAnalysisMadModule(r);
+  registerNodeHealthModule(r);
   registerPrintModule(r);
   registerCsvSinkModule(r);
   registerMitigateModule(r);

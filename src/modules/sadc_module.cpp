@@ -7,12 +7,24 @@
 // Outputs:
 //   output0  — the flattened metric vector (64 node + 18 NIC metrics)
 //              fetched from the node's sadc_rpcd daemon.
+//   health   — monitoring health of the fetch (rpc::NodeHealth code:
+//              0 healthy, 1 degraded/retried, 2 unmonitorable).
+//
+// When the environment provides an "rpc_client" service, fetches go
+// through the fault-tolerant RpcClient: a failed round (daemon crash,
+// hang, partition, packet loss, open breaker) does NOT block the
+// pipeline — the module re-emits the last known vector (zeros when
+// nothing was ever fetched) tagged health=2, so downstream windowing
+// keeps its cadence and the analysis modules can exclude the stale
+// stream. Without the service the fetch is direct and infallible, as
+// in the paper.
 #include "common/error.h"
 #include "common/strings.h"
 #include "core/module.h"
 #include "metrics/sadc.h"
 #include "modules/modules.h"
 #include "rpc/daemons.h"
+#include "rpc/rpc_client.h"
 
 namespace asdf::modules {
 
@@ -26,7 +38,9 @@ class SadcModule final : public core::Module {
     }
     const double interval = ctx.numParam("interval", 1.0);
     hub_ = &ctx.env().require<rpc::RpcHub>("rpc");
+    client_ = ctx.env().get<rpc::RpcClient>("rpc_client");
     out_ = ctx.addOutput("output0", strformat("slave%d", node_));
+    healthOut_ = ctx.addOutput("health", strformat("slave%d", node_));
     ctx.requestPeriodic(interval);
     // The daemon charges collection CPU/network to this node's
     // activity counters; collectors for one node must not interleave.
@@ -34,14 +48,34 @@ class SadcModule final : public core::Module {
   }
 
   void run(core::ModuleContext& ctx, core::RunReason) override {
-    const metrics::SadcSnapshot snap = hub_->sadc(node_).fetch();
-    ctx.write(out_, metrics::flattenNodeVector(snap));
+    rpc::NodeHealth health = rpc::NodeHealth::kHealthy;
+    if (client_ == nullptr) {
+      lastKnown_ = metrics::flattenNodeVector(hub_->sadc(node_).fetch());
+    } else {
+      auto fetched = client_->fetchSadc(node_, ctx.now());
+      if (fetched.ok) {
+        lastKnown_ = metrics::flattenNodeVector(fetched.value);
+        health = fetched.retried ? rpc::NodeHealth::kDegraded
+                                 : rpc::NodeHealth::kHealthy;
+      } else {
+        health = rpc::NodeHealth::kUnmonitorable;
+      }
+    }
+    if (lastKnown_.empty()) {
+      lastKnown_.assign(metrics::kFlatNodeVectorSize, 0.0);
+    }
+    ctx.write(out_, lastKnown_);
+    ctx.write(healthOut_,
+              std::vector<double>{static_cast<double>(health)});
   }
 
  private:
   NodeId node_ = kInvalidNode;
   rpc::RpcHub* hub_ = nullptr;
+  rpc::RpcClient* client_ = nullptr;
   int out_ = -1;
+  int healthOut_ = -1;
+  std::vector<double> lastKnown_;
 };
 
 void registerSadcModule(core::ModuleRegistry& registry) {

@@ -22,6 +22,7 @@
 #include "core/module.h"
 #include "modules/modules.h"
 #include "rpc/daemons.h"
+#include "rpc/rpc_client.h"
 #include "syscalls/markov.h"
 
 namespace asdf::modules {
@@ -37,6 +38,7 @@ class StraceModule final : public core::Module {
     warmup_ = ctx.intParam("warmup", 120);
     scale_ = ctx.numParam("scale", 4.0);
     hub_ = &ctx.env().require<rpc::RpcHub>("rpc");
+    client_ = ctx.env().get<rpc::RpcClient>("rpc_client");
     out_ = ctx.addOutput("output0", strformat("slave%d", node_));
     ctx.requestPeriodic(ctx.numParam("interval", 1.0));
     // The daemon charges collection CPU/network to this node's
@@ -45,7 +47,23 @@ class StraceModule final : public core::Module {
   }
 
   void run(core::ModuleContext& ctx, core::RunReason) override {
-    const syscalls::TraceSecond trace = hub_->strace(node_).fetch();
+    syscalls::TraceSecond trace;
+    if (client_ == nullptr) {
+      trace = hub_->strace(node_).fetch();
+    } else {
+      auto fetched = client_->fetchStrace(node_, ctx.now());
+      if (!fetched.ok) {
+        // Keep the stream's cadence for downstream windowing: re-emit
+        // the last known score while the daemon is unreachable (no
+        // score at all during warmup — there is nothing to train on).
+        ++seconds_;
+        if (seconds_ > warmup_) {
+          ctx.write(out_, std::vector<double>{lastScore_});
+        }
+        return;
+      }
+      trace = std::move(fetched.value);
+    }
     ++seconds_;
     if (seconds_ <= warmup_) {
       model_.train(trace);
@@ -60,7 +78,8 @@ class StraceModule final : public core::Module {
         std::abs(model_.negLogLikelihood(trace) - model_.entropyBaseline());
     const double evidence =
         std::min(1.0, static_cast<double>(trace.size()) / 64.0);
-    ctx.write(out_, std::vector<double>{scale_ * deviation * evidence});
+    lastScore_ = scale_ * deviation * evidence;
+    ctx.write(out_, std::vector<double>{lastScore_});
   }
 
  private:
@@ -68,7 +87,9 @@ class StraceModule final : public core::Module {
   long warmup_ = 120;
   double scale_ = 4.0;
   long seconds_ = 0;
+  double lastScore_ = 0.0;
   rpc::RpcHub* hub_ = nullptr;
+  rpc::RpcClient* client_ = nullptr;
   syscalls::MarkovModel model_;
   int out_ = -1;
 };

@@ -156,6 +156,13 @@ syscalls::TraceSecond StraceDaemon::fetch() {
   return trace;
 }
 
+std::size_t StraceDaemon::memoryFootprintBytes() const {
+  // One second of trace buffer (one byte per event, sized for a busy
+  // node) plus the ring the tracer writes into before it is drained.
+  return sizeof(StraceDaemon) + 2 * node_.lastSyscallTrace().capacity() +
+         4096 /* tracer ring scratch */;
+}
+
 RpcHub::RpcHub(hadoop::Cluster& cluster, SimTime attachTime) {
   for (hadoop::Node* node : cluster.slaveNodes()) {
     sadcDaemons_.emplace(node->id(),
@@ -190,6 +197,12 @@ double RpcHub::hadoopLogCpuSeconds() const {
   return total;
 }
 
+double RpcHub::straceCpuSeconds() const {
+  double total = 0.0;
+  for (const auto& [id, d] : straceDaemons_) total += d->cpuSeconds();
+  return total;
+}
+
 std::size_t RpcHub::sadcMemoryBytes() const {
   std::size_t total = 0;
   for (const auto& [id, d] : sadcDaemons_) total += d->memoryFootprintBytes();
@@ -199,6 +212,14 @@ std::size_t RpcHub::sadcMemoryBytes() const {
 std::size_t RpcHub::hadoopLogMemoryBytes() const {
   std::size_t total = 0;
   for (const auto& [id, d] : logDaemons_) total += d->memoryFootprintBytes();
+  return total;
+}
+
+std::size_t RpcHub::straceMemoryBytes() const {
+  std::size_t total = 0;
+  for (const auto& [id, d] : straceDaemons_) {
+    total += d->memoryFootprintBytes();
+  }
   return total;
 }
 

@@ -89,6 +89,7 @@ class StraceDaemon {
   syscalls::TraceSecond fetch();
 
   double cpuSeconds() const { return cpu_.seconds(); }
+  std::size_t memoryFootprintBytes() const;
   long calls() const { return calls_; }
 
  private:
@@ -112,8 +113,10 @@ class RpcHub {
   /// Aggregate daemon CPU seconds (Table 3).
   double sadcCpuSeconds() const;
   double hadoopLogCpuSeconds() const;
+  double straceCpuSeconds() const;
   std::size_t sadcMemoryBytes() const;
   std::size_t hadoopLogMemoryBytes() const;
+  std::size_t straceMemoryBytes() const;
 
  private:
   TransportRegistry transports_;

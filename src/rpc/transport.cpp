@@ -21,6 +21,13 @@ void RpcChannelStats::recordCall(std::size_t requestPayload,
                    2.0 * costs_.perMessageOverheadBytes;
 }
 
+void RpcChannelStats::recordFailedCall(std::size_t requestPayload) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++failedCalls_;
+  payloadBytes_ += static_cast<double>(requestPayload) +
+                   costs_.perMessageOverheadBytes;
+}
+
 long RpcChannelStats::connects() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return connects_;
@@ -29,6 +36,11 @@ long RpcChannelStats::connects() const {
 long RpcChannelStats::calls() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return calls_;
+}
+
+long RpcChannelStats::failedCalls() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return failedCalls_;
 }
 
 double RpcChannelStats::staticOverheadBytes() const {

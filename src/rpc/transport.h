@@ -38,9 +38,14 @@ class RpcChannelStats {
   /// Records one call: request payload out, response payload back.
   void recordCall(std::size_t requestPayload, std::size_t responsePayload);
 
+  /// Records a failed attempt: the request (plus framing) went out but
+  /// no response came back — timeouts still cost request bandwidth.
+  void recordFailedCall(std::size_t requestPayload);
+
   const std::string& name() const { return name_; }
   long connects() const;
   long calls() const;
+  long failedCalls() const;
   double staticOverheadBytes() const;   // total connect bytes
   double totalCallBytes() const;        // all request+response traffic
   double bytesPerCall() const;
@@ -51,6 +56,7 @@ class RpcChannelStats {
   mutable std::mutex mutex_;
   long connects_ = 0;
   long calls_ = 0;
+  long failedCalls_ = 0;
   double payloadBytes_ = 0.0;
 };
 

@@ -35,6 +35,27 @@ class ScalarFeeder final : public core::Module {
 };
 std::vector<double>* ScalarFeeder::script = nullptr;
 
+// Feeds a scripted sequence where NaN entries mean "no sample this
+// second" (an upstream outage: the producer simply does not write).
+class GapFeeder final : public core::Module {
+ public:
+  static std::vector<double>* script;
+  void init(core::ModuleContext& ctx) override {
+    out_ = ctx.addOutput("output0", ctx.param("origin", ""));
+    ctx.requestPeriodic(1.0);
+  }
+  void run(core::ModuleContext& ctx, core::RunReason) override {
+    if (index_ >= script->size()) return;
+    const double v = (*script)[index_++];
+    if (!std::isnan(v)) ctx.write(out_, v);
+  }
+
+ private:
+  std::size_t index_ = 0;
+  int out_ = -1;
+};
+std::vector<double>* GapFeeder::script = nullptr;
+
 // Feeds vectors constructed as base + t * slope per dimension.
 class VectorFeeder final : public core::Module {
  public:
@@ -86,15 +107,19 @@ class ModulesTest : public ::testing::Test {
                            [] { return std::make_unique<ScalarFeeder>(); });
     registry_.registerType("vecfeeder",
                            [] { return std::make_unique<VectorFeeder>(); });
+    registry_.registerType("gapfeeder",
+                           [] { return std::make_unique<GapFeeder>(); });
     registry_.registerType("capture",
                            [] { return std::make_unique<Capture>(); });
     ScalarFeeder::script = &script_;
+    GapFeeder::script = &gapScript_;
     Capture::sink = &captured_;
   }
 
   sim::SimEngine engine_;
   core::ModuleRegistry registry_;
   std::vector<double> script_;
+  std::vector<double> gapScript_;
   std::vector<core::Sample> captured_;
 };
 
@@ -133,6 +158,119 @@ input[a] = buf.output0
   const auto& second = core::asVector(captured_[1].value);
   EXPECT_DOUBLE_EQ(second[0], 3.0);
   EXPECT_DOUBLE_EQ(second[3], 6.0);
+}
+
+TEST_F(ModulesTest, IBufferDefaultSilentlySpansGaps) {
+  const double gap = std::nan("");
+  gapScript_ = {1, 2, 3, 4, gap, gap, 5, 6, 7, 8};
+  core::FptCore core(engine_, core::Environment{}, &registry_);
+  core.configureFromText(R"(
+[gapfeeder]
+id = f
+
+[ibuffer]
+id = buf
+size = 4
+slide = 2
+input[input] = f.output0
+
+[capture]
+id = cap
+input[a] = buf.output0
+)");
+  engine_.runUntil(12.0);
+  // ibuffer counts samples, not seconds: with gap detection disabled
+  // the second window mixes pre- and post-outage samples.
+  ASSERT_GE(captured_.size(), 3u);
+  const auto& straddling = core::asVector(captured_[1].value);
+  ASSERT_EQ(straddling.size(), 4u);
+  EXPECT_DOUBLE_EQ(straddling[0], 3.0);
+  EXPECT_DOUBLE_EQ(straddling[1], 4.0);
+  EXPECT_DOUBLE_EQ(straddling[2], 5.0);
+  EXPECT_DOUBLE_EQ(straddling[3], 6.0);
+}
+
+TEST_F(ModulesTest, IBufferResetOnGapDiscardsStaleWindow) {
+  const double gap = std::nan("");
+  gapScript_ = {1, 2, 3, 4, gap, gap, 5, 6, 7, 8};
+  core::FptCore core(engine_, core::Environment{}, &registry_);
+  core.configureFromText(R"(
+[gapfeeder]
+id = f
+
+[ibuffer]
+id = buf
+size = 4
+slide = 2
+gap = 1.5
+input[input] = f.output0
+reset_on_gap = 1
+
+[capture]
+id = cap
+input[a] = buf.output0
+)");
+  engine_.runUntil(12.0);
+  // The 2-second hole exceeds the 1.5 s gap threshold: the stale
+  // window is discarded and only full post-gap windows are emitted —
+  // no window straddles the outage.
+  ASSERT_EQ(captured_.size(), 2u);
+  const auto& before = core::asVector(captured_[0].value);
+  EXPECT_DOUBLE_EQ(before[0], 1.0);
+  EXPECT_DOUBLE_EQ(before[3], 4.0);
+  const auto& after = core::asVector(captured_[1].value);
+  EXPECT_DOUBLE_EQ(after[0], 5.0);
+  EXPECT_DOUBLE_EQ(after[3], 8.0);
+}
+
+TEST_F(ModulesTest, IBufferConsecutiveSamplesNeverTripGapReset) {
+  for (int i = 1; i <= 12; ++i) script_.push_back(i);
+  core::FptCore core(engine_, core::Environment{}, &registry_);
+  core.configureFromText(R"(
+[feeder]
+id = f
+
+[ibuffer]
+id = buf
+size = 4
+slide = 2
+gap = 1.5
+reset_on_gap = 1
+input[input] = f.output0
+
+[capture]
+id = cap
+input[a] = buf.output0
+)");
+  engine_.runUntil(12.0);
+  // Contiguous once-per-second samples are exactly 1 s apart, below
+  // the threshold: behavior matches the gap-disabled default.
+  ASSERT_GE(captured_.size(), 4u);
+  const auto& first = core::asVector(captured_[0].value);
+  EXPECT_DOUBLE_EQ(first[0], 1.0);
+  EXPECT_DOUBLE_EQ(first[3], 4.0);
+  const auto& second = core::asVector(captured_[1].value);
+  EXPECT_DOUBLE_EQ(second[0], 3.0);
+  EXPECT_DOUBLE_EQ(second[3], 6.0);
+}
+
+TEST_F(ModulesTest, IBufferResetOnGapRequiresThreshold) {
+  script_ = {1, 2, 3};
+  core::FptCore core(engine_, core::Environment{}, &registry_);
+  EXPECT_THROW(
+      {
+        core.configureFromText(R"(
+[feeder]
+id = f
+
+[ibuffer]
+id = buf
+reset_on_gap = 1
+input[input] = f.output0
+)");
+        engine_.runUntil(2.0);
+      },
+      ConfigError);
 }
 
 TEST_F(ModulesTest, IBufferRejectsVectorInput) {
