@@ -1,0 +1,217 @@
+// Live-wire throughput: frames/sec and MB/s through the full client
+// encode -> loopback TCP -> server decode -> response -> client decode
+// path, at 1 / 8 / 64 concurrent channels (connections doing blocking
+// request/response ping-pong, like LiveTransport does).
+//
+// Usage:
+//   bench_net_throughput [--seconds=2] [--channels=1,8,64]
+//                        [--json=bench/baselines/net_throughput.json]
+//
+// The --json output is the committed baseline format: re-run on the
+// same class of machine and compare before touching the frame codec or
+// the event loop.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "metrics/catalog.h"
+#include "net/event_loop.h"
+#include "net/frame.h"
+#include "net/tcp_server.h"
+#include "rpc/wire.h"
+
+namespace {
+
+using namespace asdf;
+using namespace asdf::net;
+
+// Representative payloads: a kFetchSadc request and a sadc-snapshot
+// sized response (64 node metrics + 18 NIC metrics + a handful of
+// per-process vectors), the largest frame the collection plane sends
+// every second.
+std::vector<std::uint8_t> makeRequest() {
+  rpc::Encoder enc;
+  enc.putU32(1);
+  enc.putDouble(1234.5);
+  return encodeFrame(MsgType::kFetchSadc, enc);
+}
+
+rpc::Encoder makeResponse() {
+  rpc::Encoder enc;
+  enc.putDouble(1234.5);
+  std::vector<double> node(metrics::kNodeMetricCount, 3.25);
+  std::vector<double> nic(metrics::kNicMetricCount, 7.5);
+  enc.putDoubleVector(node);
+  enc.putDoubleVector(nic);
+  enc.putU32(4);
+  for (int p = 0; p < 4; ++p) {
+    enc.putString("proc" + std::to_string(p));
+    enc.putDoubleVector(std::vector<double>(metrics::kProcessMetricCount, 1.5));
+  }
+  return enc;
+}
+
+int connectLoopback(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+struct Sample {
+  int channels = 0;
+  long frames = 0;       // request/response pairs completed
+  double seconds = 0.0;
+  double framesPerSec = 0.0;
+  double mbPerSec = 0.0;  // both directions, header + payload
+};
+
+Sample runOne(int channels, double seconds, std::uint16_t port,
+              std::size_t bytesPerExchange) {
+  const std::vector<std::uint8_t> request = makeRequest();
+  std::atomic<bool> stopFlag{false};
+  std::vector<long> counts(static_cast<std::size_t>(channels), 0);
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(channels));
+  for (int c = 0; c < channels; ++c) {
+    workers.emplace_back([&, c] {
+      const int fd = connectLoopback(port);
+      if (fd < 0) return;
+      FrameDecoder decoder;
+      std::uint8_t chunk[4096];
+      Frame frame;
+      while (!stopFlag.load(std::memory_order_relaxed)) {
+        std::size_t off = 0;
+        while (off < request.size()) {
+          const ssize_t n =
+              ::write(fd, request.data() + off, request.size() - off);
+          if (n <= 0) {
+            ::close(fd);
+            return;
+          }
+          off += static_cast<std::size_t>(n);
+        }
+        while (!decoder.next(frame)) {
+          const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+          if (n <= 0 || !decoder.feed(chunk, static_cast<std::size_t>(n))) {
+            ::close(fd);
+            return;
+          }
+        }
+        ++counts[static_cast<std::size_t>(c)];
+      }
+      ::close(fd);
+    });
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  stopFlag.store(true);
+  // Workers blocked in read() are woken by their own next response;
+  // every exchange is short, so joining is prompt.
+  for (std::thread& t : workers) t.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  Sample s;
+  s.channels = channels;
+  for (long n : counts) s.frames += n;
+  s.seconds = elapsed;
+  s.framesPerSec = static_cast<double>(s.frames) / elapsed;
+  s.mbPerSec = s.framesPerSec * static_cast<double>(bytesPerExchange) / 1e6;
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double seconds = bench::flagDouble(argc, argv, "seconds", 2.0);
+  const std::string channelList =
+      bench::flagValue(argc, argv, "channels", "1,8,64");
+  const std::string jsonPath = bench::flagValue(argc, argv, "json", "");
+
+  EventLoop loop;
+  TcpServer server(loop, 0);
+  const rpc::Encoder response = makeResponse();
+  server.onFrame([&](TcpServer::Connection& conn, Frame&&) {
+    conn.send(MsgType::kSadcData, response);
+  });
+  std::thread loopThread([&] { loop.run(); });
+
+  const std::size_t requestWire = makeRequest().size();
+  const std::size_t responseWire = kFrameHeaderBytes + response.size();
+  const std::size_t bytesPerExchange = requestWire + responseWire;
+  std::printf("net throughput: %zu B request + %zu B response per exchange, "
+              "%.1f s per point\n",
+              requestWire, responseWire, seconds);
+  bench::printRule();
+  std::printf("%10s %14s %12s %10s\n", "channels", "frames/s", "MB/s",
+              "frames");
+  bench::printRule();
+
+  std::vector<Sample> samples;
+  std::size_t pos = 0;
+  while (pos < channelList.size()) {
+    std::size_t comma = channelList.find(',', pos);
+    if (comma == std::string::npos) comma = channelList.size();
+    const int channels = std::atoi(channelList.substr(pos, comma - pos).c_str());
+    pos = comma + 1;
+    if (channels <= 0) continue;
+    const Sample s = runOne(channels, seconds, server.port(), bytesPerExchange);
+    samples.push_back(s);
+    std::printf("%10d %14.0f %12.2f %10ld\n", s.channels, s.framesPerSec,
+                s.mbPerSec, s.frames);
+    std::fflush(stdout);
+  }
+  bench::printRule();
+  std::printf("server: %ld frames served, %ld connections rejected\n",
+              server.framesServed(), server.connectionsRejected());
+
+  loop.stop();
+  loopThread.join();
+
+  if (!jsonPath.empty()) {
+    std::FILE* f = std::fopen(jsonPath.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", jsonPath.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"net_throughput\",\n");
+    std::fprintf(f, "  \"exchange_bytes\": %zu,\n", bytesPerExchange);
+    std::fprintf(f, "  \"seconds_per_point\": %.2f,\n", seconds);
+    std::fprintf(f, "  \"points\": [\n");
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      const Sample& s = samples[i];
+      std::fprintf(f,
+                   "    {\"channels\": %d, \"frames_per_sec\": %.0f, "
+                   "\"mb_per_sec\": %.2f}%s\n",
+                   s.channels, s.framesPerSec, s.mbPerSec,
+                   i + 1 < samples.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("baseline written to %s\n", jsonPath.c_str());
+  }
+  return 0;
+}

@@ -10,27 +10,36 @@ void RealTimeDriver::run(double durationSeconds) {
   using Clock = std::chrono::steady_clock;
   const auto start = Clock::now();
   const double virtualStart = engine_.now();
-  // Sleep until the next pending event is due instead of polling at a
+  // Wait until the next pending event is due instead of polling at a
   // fixed rate; stop() is still honored within `maxNap` so a signal
-  // handler can interrupt a long idle stretch.
+  // handler can interrupt a long idle stretch. `minNap` guarantees
+  // forward progress in wall time on every iteration — without it, an
+  // event due "now" (or the final fraction of the run) degenerates
+  // into a spin on the steady clock.
   constexpr double maxNap = 0.1;
+  constexpr double minNap = 0.001;
   while (!stopped_.load()) {
     const double wallElapsed =
         std::chrono::duration<double>(Clock::now() - start).count();
     if (wallElapsed >= durationSeconds) break;
-    engine_.runUntil(virtualStart + wallElapsed);
+    engine_.runUntil(virtualStart + timeScale_ * wallElapsed);
     double nap = maxNap;
     if (!engine_.idle()) {
-      const double untilNext = engine_.nextEventTime() - virtualStart;
-      nap = std::min(maxNap, std::max(0.001, untilNext - wallElapsed));
+      const double untilNextWall =
+          (engine_.nextEventTime() - virtualStart) / timeScale_ - wallElapsed;
+      nap = std::min(maxNap, untilNextWall);
     }
     nap = std::min(nap, durationSeconds - wallElapsed);
-    if (nap > 0.0) {
+    nap = std::max(nap, minNap);
+    waits_.fetch_add(1);
+    if (waiter_) {
+      waiter_(nap);
+    } else {
       std::this_thread::sleep_for(std::chrono::duration<double>(nap));
     }
   }
   if (!stopped_.load()) {
-    engine_.runUntil(virtualStart + durationSeconds);
+    engine_.runUntil(virtualStart + timeScale_ * durationSeconds);
   }
 }
 

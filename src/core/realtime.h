@@ -1,11 +1,19 @@
 // Wall-clock pump for live deployments: advances a SimEngine's virtual
 // clock in step with real time, so the same fpt-core configuration
 // that runs against the simulator can run "online" — module periodic
-// hooks fire at true wall-clock frequency. Used by the quickstart
-// example's --realtime flag; experiments use pure virtual time.
+// hooks fire at true wall-clock frequency. Used by live-transport
+// harness runs and the quickstart example's --realtime flag;
+// experiments use pure virtual time.
+//
+// The driver never spins: every loop iteration either advances the
+// engine or waits — until the next pending event is due (scaled to
+// wall time), capped so stop() stays responsive. The wait primitive is
+// replaceable (setWaiter) so tests can count waits and prove the
+// no-busy-wait contract without real sleeping.
 #pragma once
 
 #include <atomic>
+#include <functional>
 
 #include "sim/engine.h"
 
@@ -13,18 +21,39 @@ namespace asdf::core {
 
 class RealTimeDriver {
  public:
-  explicit RealTimeDriver(sim::SimEngine& engine) : engine_(engine) {}
+  /// `timeScale` is virtual seconds advanced per wall-clock second:
+  /// 1.0 runs in real time, 10.0 compresses a 300 s experiment into
+  /// 30 s of wall time (useful for live end-to-end tests).
+  explicit RealTimeDriver(sim::SimEngine& engine, double timeScale = 1.0)
+      : engine_(engine), timeScale_(timeScale) {}
 
-  /// Runs for `durationSeconds` of wall-clock time (sleeping between
+  /// Runs for `durationSeconds` of wall-clock time (waiting between
   /// event batches), or until stop() is called from a signal handler
   /// or another thread.
   void run(double durationSeconds);
 
   void stop() { stopped_.store(true); }
 
+  double timeScale() const { return timeScale_; }
+
+  /// Replaces the between-batch wait (default: sleep_for). The waiter
+  /// receives the wall seconds to wait; it may return early (e.g. on
+  /// fd readiness) — the driver re-checks the clock every iteration.
+  void setWaiter(std::function<void(double)> waiter) {
+    waiter_ = std::move(waiter);
+  }
+
+  /// Number of waits taken so far (test visibility: a driver that
+  /// never spins performs at most a bounded number of waits per
+  /// pending event, and at least one when the engine is idle).
+  long waits() const { return waits_.load(); }
+
  private:
   sim::SimEngine& engine_;
+  double timeScale_;
   std::atomic<bool> stopped_{false};
+  std::atomic<long> waits_{0};
+  std::function<void(double)> waiter_;
 };
 
 }  // namespace asdf::core

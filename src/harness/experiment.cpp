@@ -7,9 +7,12 @@
 
 #include "common/logging.h"
 #include "core/fpt_core.h"
+#include "core/realtime.h"
 #include "hadoop/cluster.h"
 #include "metrics/sadc.h"
 #include "modules/modules.h"
+#include "net/cluster_stats.h"
+#include "net/live_transport.h"
 #include "rpc/daemons.h"
 #include "sim/engine.h"
 #include "workload/gridmix.h"
@@ -27,6 +30,162 @@ workload::GridMixParams gridmixParamsFor(const ExperimentSpec& spec) {
   workload::GridMixParams g;
   g.mixChangeTime = spec.mixChangeTime;
   return g;
+}
+
+/// Routes alarms and monitoring events into `result` (shared between
+/// the sim and live transports so both record identically).
+void wireSinks(core::Environment& env, ExperimentResult& result,
+               std::mutex& eventMutex) {
+  env.alarmSink = [&result](const core::Alarm& alarm) {
+    analysis::AlarmRecord record;
+    record.time = alarm.time;
+    record.flags = alarm.flags;
+    record.scores = alarm.scores;
+    record.health = alarm.health;
+    if (alarm.channel == "BlackBoxAlarm") {
+      result.blackBox.push_back(std::move(record));
+    } else if (alarm.channel == "WhiteBoxAlarm") {
+      result.whiteBox.push_back(std::move(record));
+    }
+  };
+  // Both analysis instances may emit events concurrently under a pool
+  // executor; serialize appends and order the series after the run.
+  env.monitoringSink = [&result,
+                        &eventMutex](const core::MonitoringEvent& event) {
+    std::lock_guard<std::mutex> lock(eventMutex);
+    result.monitoringEvents.push_back(event);
+  };
+}
+
+void sortMonitoringEvents(ExperimentResult& result) {
+  std::stable_sort(result.monitoringEvents.begin(),
+                   result.monitoringEvents.end(),
+                   [](const core::MonitoringEvent& a,
+                      const core::MonitoringEvent& b) {
+                     if (a.time != b.time) return a.time < b.time;
+                     return a.channel < b.channel;
+                   });
+}
+
+void recordClientCounters(ExperimentResult& result, rpc::RpcClient& client) {
+  result.rpcRounds = client.totalRounds();
+  result.rpcRetries = client.totalRetries();
+  result.rpcFailedRounds = client.totalFailedRounds();
+  result.rpcFastFails = client.totalFastFails();
+  result.rpcBreakerOpens = client.totalBreakerOpens();
+  for (NodeId node : client.health().nodes()) {
+    std::vector<double>& times = result.rpcAttemptTimes[node];
+    for (const rpc::AttemptRecord& rec : client.attemptLog(node)) {
+      times.push_back(rec.at);
+    }
+  }
+}
+
+void recordChannelReports(ExperimentResult& result,
+                          rpc::TransportRegistry& transports,
+                          const ExperimentSpec& spec) {
+  for (const rpc::RpcChannelStats* ch : transports.channels()) {
+    if (ch->calls() == 0 && ch->failedCalls() == 0) continue;
+    RpcChannelReport report;
+    report.name = ch->name();
+    report.connects = ch->connects();
+    report.calls = ch->calls();
+    report.failedCalls = ch->failedCalls();
+    report.staticOverheadKb =
+        ch->connects() == 0
+            ? 0.0
+            : ch->staticOverheadBytes() / ch->connects() / 1024.0;
+    report.perIterationKbPerSec =
+        ch->totalCallBytes() / spec.slaves / spec.duration / 1024.0;
+    result.rpcChannels.push_back(report);
+  }
+}
+
+/// Live transport: the monitored cluster lives inside asdf_rpcd; the
+/// control node here runs only fpt-core + the RpcClient over real
+/// sockets, pumped by a RealTimeDriver. Monitoring-fault injectors are
+/// a sim-transport concept (the board is not consulted on real
+/// attempts) and are ignored in this mode — live failures are real
+/// timeouts and refused connections.
+ExperimentResult runLiveExperiment(const ExperimentSpec& spec,
+                                   const analysis::BlackBoxModel& model) {
+  net::LiveTransport::Options topts;
+  topts.host = spec.liveHost;
+  topts.port = spec.livePort;
+  topts.timeoutSeconds = spec.rpcPolicy.timeoutSeconds;
+  net::LiveTransport transport(topts);
+  if (transport.slaves() != spec.slaves) {
+    logWarn("live transport: daemon serves " +
+            std::to_string(transport.slaves()) + " slaves but the spec says " +
+            std::to_string(spec.slaves));
+  }
+  rpc::RpcClient client(transport, spec.rpcPolicy,
+                        spec.seed * 2654435761ULL + 97);
+
+  sim::SimEngine engine;
+  modules::HadoopLogSync sync;
+  ExperimentResult result;
+
+  core::Environment env;
+  env.provide("bb_model", const_cast<analysis::BlackBoxModel*>(&model));
+  env.provide("hl_sync", &sync);
+  env.provide("rpc_client", &client);
+  env.provide("node_health", &client.health());
+  std::mutex eventMutex;
+  wireSinks(env, result, eventMutex);
+
+  core::FptCore fpt(engine, env);
+  fpt.setExecutor(core::makeExecutor(spec.threads));
+  PipelineParams pipeline = spec.pipeline;
+  pipeline.slaves = spec.slaves;
+  fpt.configureFromText(buildCombinedConfig(pipeline));
+
+  core::RealTimeDriver driver(engine, spec.realtimeScale);
+  driver.run(spec.duration / spec.realtimeScale);
+
+  sortMonitoringEvents(result);
+
+  // Ground truth comes from the spec (the caller started asdf_rpcd
+  // with the same fault); the daemon reports the observed end time.
+  result.truth.slaveIndex =
+      spec.fault.type == faults::FaultType::kNone ? -1 : spec.fault.node - 1;
+  result.truth.faultStart = spec.fault.startTime;
+  result.truth.faultEnd = spec.fault.endTime;
+  result.simulatedSeconds = spec.duration;
+
+  net::ClusterStatsWire stats;
+  if (transport.fetchStats(spec.duration, stats)) {
+    if (stats.faultEndedAt != kNoTime) {
+      result.truth.faultEnd = stats.faultEndedAt;
+    }
+    const double nodeSeconds = spec.duration * spec.slaves;
+    result.sadcRpcdCpuPct = 100.0 * stats.sadcCpuSeconds / nodeSeconds;
+    result.hadoopLogRpcdCpuPct =
+        100.0 * stats.hadoopLogCpuSeconds / nodeSeconds;
+    result.straceRpcdCpuPct = 100.0 * stats.straceCpuSeconds / nodeSeconds;
+    result.sadcRpcdMemMb =
+        static_cast<double>(stats.sadcMemoryBytes) / spec.slaves / 1.0e6;
+    result.hadoopLogRpcdMemMb =
+        static_cast<double>(stats.hadoopLogMemoryBytes) / spec.slaves / 1.0e6;
+    result.straceRpcdMemMb =
+        static_cast<double>(stats.straceMemoryBytes) / spec.slaves / 1.0e6;
+    result.jobsSubmitted = stats.jobsSubmitted;
+    result.jobsCompleted = stats.jobsCompleted;
+    result.tasksCompleted = stats.tasksCompleted;
+    result.tasksFailed = stats.tasksFailed;
+    result.speculativeLaunches = stats.speculativeLaunches;
+  } else {
+    logWarn("live transport: final kStats fetch failed; cluster-side "
+            "accounting unavailable");
+  }
+  result.fptCoreCpuPct = 100.0 * fpt.cpuSeconds() / spec.duration;
+  result.fptCoreMemMb =
+      static_cast<double>(fpt.memoryFootprintBytes()) / 1.0e6;
+
+  recordChannelReports(result, client.transports(), spec);
+  result.syncDroppedSeconds = sync.droppedSeconds();
+  recordClientCounters(result, client);
+  return result;
 }
 
 }  // namespace
@@ -62,6 +221,9 @@ analysis::BlackBoxModel trainModel(const ExperimentSpec& spec) {
 
 ExperimentResult runExperiment(const ExperimentSpec& spec,
                                const analysis::BlackBoxModel& model) {
+  if (spec.transport == TransportMode::kLive) {
+    return runLiveExperiment(spec, model);
+  }
   sim::SimEngine engine;
   hadoop::Cluster cluster(hadoopParamsFor(spec), spec.seed * 6151 + 3,
                           engine);
@@ -92,26 +254,8 @@ ExperimentResult runExperiment(const ExperimentSpec& spec,
     env.provide("rpc_client", client.get());
     env.provide("node_health", &client->health());
   }
-  env.alarmSink = [&result](const core::Alarm& alarm) {
-    analysis::AlarmRecord record;
-    record.time = alarm.time;
-    record.flags = alarm.flags;
-    record.scores = alarm.scores;
-    record.health = alarm.health;
-    if (alarm.channel == "BlackBoxAlarm") {
-      result.blackBox.push_back(std::move(record));
-    } else if (alarm.channel == "WhiteBoxAlarm") {
-      result.whiteBox.push_back(std::move(record));
-    }
-  };
-  // Both analysis instances may emit events concurrently under a pool
-  // executor; serialize appends and order the series after the run.
   std::mutex eventMutex;
-  env.monitoringSink = [&result,
-                        &eventMutex](const core::MonitoringEvent& event) {
-    std::lock_guard<std::mutex> lock(eventMutex);
-    result.monitoringEvents.push_back(event);
-  };
+  wireSinks(env, result, eventMutex);
 
   core::FptCore fpt(engine, env);
   fpt.setExecutor(core::makeExecutor(spec.threads));
@@ -131,13 +275,7 @@ ExperimentResult runExperiment(const ExperimentSpec& spec,
 
   engine.runUntil(spec.duration);
 
-  std::stable_sort(result.monitoringEvents.begin(),
-                   result.monitoringEvents.end(),
-                   [](const core::MonitoringEvent& a,
-                      const core::MonitoringEvent& b) {
-                     if (a.time != b.time) return a.time < b.time;
-                     return a.channel < b.channel;
-                   });
+  sortMonitoringEvents(result);
 
   // Ground truth.
   result.truth.slaveIndex =
@@ -170,21 +308,7 @@ ExperimentResult runExperiment(const ExperimentSpec& spec,
 
   // Table 4 accounting. Channels that never carried a call (e.g. the
   // strace extension when its module is not configured) are omitted.
-  for (const rpc::RpcChannelStats* ch : hub.transports().channels()) {
-    if (ch->calls() == 0 && ch->failedCalls() == 0) continue;
-    RpcChannelReport report;
-    report.name = ch->name();
-    report.connects = ch->connects();
-    report.calls = ch->calls();
-    report.failedCalls = ch->failedCalls();
-    report.staticOverheadKb =
-        ch->connects() == 0
-            ? 0.0
-            : ch->staticOverheadBytes() / ch->connects() / 1024.0;
-    report.perIterationKbPerSec =
-        ch->totalCallBytes() / spec.slaves / spec.duration / 1024.0;
-    result.rpcChannels.push_back(report);
-  }
+  recordChannelReports(result, hub.transports(), spec);
 
   // Cluster health.
   result.jobsSubmitted = cluster.jobTracker().jobsSubmitted();
@@ -197,17 +321,7 @@ ExperimentResult runExperiment(const ExperimentSpec& spec,
   result.syncDroppedSeconds = sync.droppedSeconds();
 
   if (client != nullptr) {
-    result.rpcRounds = client->totalRounds();
-    result.rpcRetries = client->totalRetries();
-    result.rpcFailedRounds = client->totalFailedRounds();
-    result.rpcFastFails = client->totalFastFails();
-    result.rpcBreakerOpens = client->totalBreakerOpens();
-    for (NodeId node : client->health().nodes()) {
-      std::vector<double>& times = result.rpcAttemptTimes[node];
-      for (const rpc::AttemptRecord& rec : client->attemptLog(node)) {
-        times.push_back(rec.at);
-      }
-    }
+    recordClientCounters(result, *client);
   }
   return result;
 }

@@ -29,6 +29,13 @@
 
 namespace asdf::harness {
 
+/// How the collection plane reaches the monitored cluster.
+///   kSim  — in-process RpcHub daemons on the simulated clock (the
+///           default; byte-identical to the pre-live-transport runs).
+///   kLive — real framed-TCP sockets to an asdf_rpcd daemon; module
+///           cadence is driven by a RealTimeDriver against wall time.
+enum class TransportMode : int { kSim = 0, kLive = 1 };
+
 struct ExperimentSpec {
   int slaves = 16;
   double duration = 1800.0;       // seconds of monitored run
@@ -51,6 +58,16 @@ struct ExperimentSpec {
   bool faultTolerantRpc = false;
   rpc::RpcPolicy rpcPolicy;
   std::vector<faults::MonitoringFaultSpec> monitoringFaults;
+
+  /// Live transport (transport == kLive): connect to asdf_rpcd at
+  /// liveHost:livePort and pump the pipeline with a RealTimeDriver
+  /// advancing `realtimeScale` virtual seconds per wall second. The
+  /// daemon must be serving the same slaves/seed/fault so the recorded
+  /// ground truth applies. Sim-mode runs ignore these fields.
+  TransportMode transport = TransportMode::kSim;
+  std::string liveHost = "127.0.0.1";
+  std::uint16_t livePort = 4588;
+  double realtimeScale = 1.0;
 };
 
 struct RpcChannelReport {

@@ -59,8 +59,13 @@ class HadoopLogModule final : public core::Module {
                         "] hadoop_log requires a 'node' parameter >= 1");
     }
     const double interval = ctx.numParam("interval", 1.0);
-    hub_ = &ctx.env().require<rpc::RpcHub>("rpc");
+    // Live-transport runs have no in-process hub (see sadc_module).
+    hub_ = ctx.env().get<rpc::RpcHub>("rpc");
     client_ = ctx.env().get<rpc::RpcClient>("rpc_client");
+    if (hub_ == nullptr && client_ == nullptr) {
+      throw ConfigError("[" + ctx.instanceId() +
+                        "] hadoop_log needs an 'rpc' hub or an 'rpc_client'");
+    }
     sync_ = &ctx.env().require<HadoopLogSync>("hl_sync");
     sync_->registerNode(node_);
     out_ = ctx.addOutput("output0", strformat("slave%d", node_));

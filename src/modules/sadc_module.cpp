@@ -37,8 +37,15 @@ class SadcModule final : public core::Module {
                         "] sadc requires a 'node' parameter >= 1");
     }
     const double interval = ctx.numParam("interval", 1.0);
-    hub_ = &ctx.env().require<rpc::RpcHub>("rpc");
+    // Live-transport runs have no in-process hub — the RpcClient talks
+    // to asdf_rpcd over a socket — so the hub is required only when no
+    // client is available to fetch through.
+    hub_ = ctx.env().get<rpc::RpcHub>("rpc");
     client_ = ctx.env().get<rpc::RpcClient>("rpc_client");
+    if (hub_ == nullptr && client_ == nullptr) {
+      throw ConfigError("[" + ctx.instanceId() +
+                        "] sadc needs an 'rpc' hub or an 'rpc_client'");
+    }
     out_ = ctx.addOutput("output0", strformat("slave%d", node_));
     healthOut_ = ctx.addOutput("health", strformat("slave%d", node_));
     ctx.requestPeriodic(interval);

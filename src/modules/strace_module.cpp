@@ -37,8 +37,13 @@ class StraceModule final : public core::Module {
     }
     warmup_ = ctx.intParam("warmup", 120);
     scale_ = ctx.numParam("scale", 4.0);
-    hub_ = &ctx.env().require<rpc::RpcHub>("rpc");
+    // Live-transport runs have no in-process hub (see sadc_module).
+    hub_ = ctx.env().get<rpc::RpcHub>("rpc");
     client_ = ctx.env().get<rpc::RpcClient>("rpc_client");
+    if (hub_ == nullptr && client_ == nullptr) {
+      throw ConfigError("[" + ctx.instanceId() +
+                        "] strace needs an 'rpc' hub or an 'rpc_client'");
+    }
     out_ = ctx.addOutput("output0", strformat("slave%d", node_));
     ctx.requestPeriodic(ctx.numParam("interval", 1.0));
     // The daemon charges collection CPU/network to this node's

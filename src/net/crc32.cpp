@@ -1,0 +1,41 @@
+#include "net/crc32.h"
+
+#include <array>
+
+namespace asdf::net {
+namespace {
+
+std::array<std::uint32_t, 256> buildTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256>& table() {
+  static const std::array<std::uint32_t, 256> t = buildTable();
+  return t;
+}
+
+}  // namespace
+
+std::uint32_t crc32Update(std::uint32_t state, const void* data,
+                          std::size_t size) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  const auto& t = table();
+  for (std::size_t i = 0; i < size; ++i) {
+    state = t[(state ^ p[i]) & 0xFFu] ^ (state >> 8);
+  }
+  return state;
+}
+
+std::uint32_t crc32(const void* data, std::size_t size) {
+  return crc32Final(crc32Update(kCrc32Init, data, size));
+}
+
+}  // namespace asdf::net

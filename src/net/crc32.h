@@ -1,0 +1,22 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the frame
+// integrity check of the live collection plane. Table-driven, no
+// dependencies; the table is built once at first use.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace asdf::net {
+
+/// CRC of a byte range, with the conventional ~0 pre/post conditioning
+/// (matches zlib's crc32() output for the same input).
+std::uint32_t crc32(const void* data, std::size_t size);
+
+/// Incremental form: start from kCrc32Init, fold in ranges with
+/// crc32Update, finish with crc32Final.
+inline constexpr std::uint32_t kCrc32Init = 0xFFFFFFFFu;
+std::uint32_t crc32Update(std::uint32_t state, const void* data,
+                          std::size_t size);
+inline std::uint32_t crc32Final(std::uint32_t state) { return ~state; }
+
+}  // namespace asdf::net

@@ -1,0 +1,130 @@
+#include "net/frame.h"
+
+#include <cstring>
+
+#include "net/crc32.h"
+
+namespace asdf::net {
+namespace {
+
+void putU32(std::vector<std::uint8_t>& buf, std::uint32_t v) {
+  buf.push_back(static_cast<std::uint8_t>(v >> 24));
+  buf.push_back(static_cast<std::uint8_t>(v >> 16));
+  buf.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf.push_back(static_cast<std::uint8_t>(v));
+}
+
+void putU16(std::vector<std::uint8_t>& buf, std::uint16_t v) {
+  buf.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint32_t readU32(const std::uint8_t* p) {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) |
+         static_cast<std::uint32_t>(p[3]);
+}
+
+std::uint16_t readU16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>((p[0] << 8) | p[1]);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encodeFrame(MsgType type,
+                                      const std::uint8_t* payload,
+                                      std::size_t size) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kFrameHeaderBytes + size);
+  putU32(out, kFrameMagic);
+  putU16(out, kProtocolVersion);
+  putU16(out, static_cast<std::uint16_t>(type));
+  putU32(out, static_cast<std::uint32_t>(size));
+  putU32(out, crc32(payload, size));
+  out.insert(out.end(), payload, payload + size);
+  return out;
+}
+
+std::vector<std::uint8_t> encodeFrame(MsgType type, const rpc::Encoder& enc) {
+  return encodeFrame(type, enc.bytes().data(), enc.size());
+}
+
+std::vector<std::uint8_t> encodeErrorFrame(ErrorCode code,
+                                           const std::string& message) {
+  rpc::Encoder enc;
+  enc.putU32(static_cast<std::uint32_t>(code));
+  enc.putString(message);
+  return encodeFrame(MsgType::kError, enc);
+}
+
+bool FrameDecoder::feed(const std::uint8_t* data, std::size_t size) {
+  if (error_ != Error::kNone) return false;
+  buf_.insert(buf_.end(), data, data + size);
+  while (tryAssemble()) {
+  }
+  return error_ == Error::kNone;
+}
+
+bool FrameDecoder::tryAssemble() {
+  if (error_ != Error::kNone || buf_.size() < kFrameHeaderBytes) {
+    return false;
+  }
+  // Validate the header before trusting — or allocating for — the
+  // declared length.
+  if (readU32(buf_.data()) != kFrameMagic) {
+    error_ = Error::kBadMagic;
+    return false;
+  }
+  if (readU16(buf_.data() + 4) != kProtocolVersion) {
+    error_ = Error::kBadVersion;
+    return false;
+  }
+  const std::uint32_t length = readU32(buf_.data() + 8);
+  if (length > kMaxFramePayloadBytes) {
+    error_ = Error::kOversized;
+    return false;
+  }
+  if (buf_.size() < kFrameHeaderBytes + length) {
+    return false;  // partial frame: wait for more bytes
+  }
+  const std::uint32_t expected = readU32(buf_.data() + 12);
+  if (crc32(buf_.data() + kFrameHeaderBytes, length) != expected) {
+    error_ = Error::kBadCrc;
+    return false;
+  }
+  Frame frame;
+  frame.type = static_cast<MsgType>(readU16(buf_.data() + 6));
+  frame.payload.assign(buf_.begin() + kFrameHeaderBytes,
+                       buf_.begin() + kFrameHeaderBytes + length);
+  ready_.push_back(std::move(frame));
+  ++framesDecoded_;
+  buf_.erase(buf_.begin(),
+             buf_.begin() + kFrameHeaderBytes + length);
+  return true;
+}
+
+bool FrameDecoder::next(Frame& out) {
+  if (ready_.empty()) return false;
+  out = std::move(ready_.front());
+  ready_.pop_front();
+  return true;
+}
+
+const char* frameErrorName(FrameDecoder::Error e) {
+  switch (e) {
+    case FrameDecoder::Error::kNone:
+      return "none";
+    case FrameDecoder::Error::kBadMagic:
+      return "bad-magic";
+    case FrameDecoder::Error::kBadVersion:
+      return "bad-version";
+    case FrameDecoder::Error::kOversized:
+      return "oversized";
+    case FrameDecoder::Error::kBadCrc:
+      return "bad-crc";
+  }
+  return "unknown";
+}
+
+}  // namespace asdf::net

@@ -1,0 +1,203 @@
+#include "net/rpcd_server.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "net/cluster_stats.h"
+#include "rpc/payloads.h"
+
+namespace asdf::net {
+namespace {
+
+hadoop::HadoopParams hadoopParamsFor(const RpcdOptions& opts) {
+  hadoop::HadoopParams p;
+  p.slaveCount = opts.slaves;
+  return p;
+}
+
+workload::GridMixParams gridmixParamsFor(const RpcdOptions& opts) {
+  workload::GridMixParams g;
+  g.mixChangeTime = opts.mixChangeTime;
+  return g;
+}
+
+}  // namespace
+
+RpcdServer::RpcdServer(const RpcdOptions& opts)
+    : opts_(opts), server_(loop_, opts.port) {
+  if (opts_.source == "sim") {
+    // Seed derivations must match harness::runExperiment exactly: that
+    // is what lets a live client observe the same cluster a
+    // sim-transport run simulates in-process.
+    engine_ = std::make_unique<sim::SimEngine>();
+    cluster_ = std::make_unique<hadoop::Cluster>(
+        hadoopParamsFor(opts_), opts_.seed * 6151 + 3, *engine_);
+    gridmix_ = std::make_unique<workload::GridMixGenerator>(
+        *cluster_, gridmixParamsFor(opts_), opts_.seed * 7411 + 1);
+    cluster_->start();
+    gridmix_->start();
+    hub_ = std::make_unique<rpc::RpcHub>(*cluster_, /*attachTime=*/0.0);
+    injector_ = std::make_unique<faults::FaultInjector>(*cluster_,
+                                                        opts_.fault);
+    injector_->arm();
+  } else {
+    proc_ = std::make_unique<ProcSource>(opts_.slaves, opts_.seed);
+  }
+  server_.onFrame([this](TcpServer::Connection& conn, Frame&& frame) {
+    handleFrame(conn, std::move(frame));
+  });
+}
+
+RpcdServer::~RpcdServer() = default;
+
+void RpcdServer::run() { loop_.run(); }
+
+void RpcdServer::stop() { loop_.stop(); }
+
+void RpcdServer::advanceTo(double now) {
+  // Lazy advance: every event at or before `now` runs before the fetch
+  // is answered — the same order an in-process run executes them in,
+  // where cluster/gridmix/injector events sort before the module fetch
+  // at an equal timestamp.
+  if (engine_ != nullptr && now > engine_->now()) {
+    engine_->runUntil(now);
+  }
+}
+
+void RpcdServer::handleStats(TcpServer::Connection& conn, double now) {
+  advanceTo(now);
+  ClusterStatsWire stats;
+  if (engine_ != nullptr) {
+    stats.simNow = engine_->now();
+    stats.faultEndedAt = injector_->endedAt();
+    stats.sadcCpuSeconds = hub_->sadcCpuSeconds();
+    stats.hadoopLogCpuSeconds = hub_->hadoopLogCpuSeconds();
+    stats.straceCpuSeconds = hub_->straceCpuSeconds();
+    stats.sadcMemoryBytes =
+        static_cast<std::int64_t>(hub_->sadcMemoryBytes());
+    stats.hadoopLogMemoryBytes =
+        static_cast<std::int64_t>(hub_->hadoopLogMemoryBytes());
+    stats.straceMemoryBytes =
+        static_cast<std::int64_t>(hub_->straceMemoryBytes());
+    stats.jobsSubmitted = cluster_->jobTracker().jobsSubmitted();
+    stats.jobsCompleted = cluster_->jobTracker().jobsCompleted();
+    stats.speculativeLaunches = cluster_->jobTracker().speculativeLaunches();
+    for (int i = 1; i <= opts_.slaves; ++i) {
+      stats.tasksCompleted += cluster_->taskTracker(i).completedTasks();
+      stats.tasksFailed += cluster_->taskTracker(i).failedTasks();
+    }
+  } else {
+    stats.simNow = now;
+    stats.faultEndedAt = kNoTime;
+  }
+  rpc::Encoder enc;
+  encodeClusterStats(enc, stats);
+  conn.send(MsgType::kStatsData, enc);
+}
+
+void RpcdServer::handleFrame(TcpServer::Connection& conn, Frame&& frame) {
+  rpc::Decoder dec(frame.payload);
+  switch (frame.type) {
+    case MsgType::kHello: {
+      const std::uint32_t version = dec.getU32();
+      if (version != kProtocolVersion) {
+        conn.sendError(ErrorCode::kVersionSkew,
+                       "server speaks version " +
+                           std::to_string(kProtocolVersion));
+        conn.close();
+        return;
+      }
+      rpc::Encoder enc;
+      enc.putU32(kProtocolVersion);
+      enc.putU32(static_cast<std::uint32_t>(opts_.slaves));
+      enc.putI64(static_cast<std::int64_t>(opts_.seed));
+      enc.putString(opts_.source);
+      conn.send(MsgType::kHelloAck, enc);
+      return;
+    }
+    case MsgType::kFetchSadc: {
+      const NodeId node = static_cast<NodeId>(dec.getU32());
+      const double now = dec.getDouble();
+      if (node < 1 || node > opts_.slaves) {
+        conn.sendError(ErrorCode::kUnknownNode,
+                       "node " + std::to_string(node));
+        return;
+      }
+      metrics::SadcSnapshot snap;
+      if (engine_ != nullptr) {
+        advanceTo(now);
+        snap = hub_->sadc(node).fetch();
+      } else {
+        snap = proc_->collect(node, now);
+      }
+      rpc::Encoder enc;
+      rpc::encodeSnapshot(enc, snap);
+      conn.send(MsgType::kSadcData, enc);
+      return;
+    }
+    case MsgType::kFetchTt:
+    case MsgType::kFetchDn: {
+      const bool tt = frame.type == MsgType::kFetchTt;
+      const NodeId node = static_cast<NodeId>(dec.getU32());
+      const double now = dec.getDouble();
+      const double watermark = dec.getDouble();
+      if (node < 1 || node > opts_.slaves) {
+        conn.sendError(ErrorCode::kUnknownNode,
+                       "node " + std::to_string(node));
+        return;
+      }
+      std::vector<hadooplog::StateSample> rows;
+      if (engine_ != nullptr) {
+        advanceTo(now);
+        rows = tt ? hub_->hadoopLog(node).fetchTt(watermark)
+                  : hub_->hadoopLog(node).fetchDn(watermark);
+      } else {
+        rows = tt ? proc_->fetchTt(node, watermark)
+                  : proc_->fetchDn(node, watermark);
+      }
+      rpc::Encoder enc;
+      rpc::encodeSamples(enc, rows);
+      conn.send(tt ? MsgType::kTtData : MsgType::kDnData, enc);
+      return;
+    }
+    case MsgType::kFetchStrace: {
+      const NodeId node = static_cast<NodeId>(dec.getU32());
+      const double now = dec.getDouble();
+      if (engine_ == nullptr) {
+        conn.sendError(ErrorCode::kUnsupported,
+                       "strace channel requires the sim source");
+        return;
+      }
+      if (node < 1 || node > opts_.slaves) {
+        conn.sendError(ErrorCode::kUnknownNode,
+                       "node " + std::to_string(node));
+        return;
+      }
+      advanceTo(now);
+      const syscalls::TraceSecond trace = hub_->strace(node).fetch();
+      rpc::Encoder enc;
+      rpc::encodeTrace(enc, trace);
+      conn.send(MsgType::kStraceData, enc);
+      return;
+    }
+    case MsgType::kStats: {
+      handleStats(conn, dec.getDouble());
+      return;
+    }
+    case MsgType::kShutdown: {
+      rpc::Encoder enc;
+      conn.send(MsgType::kShutdownAck, enc);
+      conn.close();
+      logInfo("asdf_rpcd: shutdown requested; exiting");
+      loop_.stop();
+      return;
+    }
+    default:
+      conn.sendError(ErrorCode::kBadRequest,
+                     "unexpected message type " +
+                         std::to_string(static_cast<int>(frame.type)));
+      return;
+  }
+}
+
+}  // namespace asdf::net

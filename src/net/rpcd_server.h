@@ -1,0 +1,82 @@
+// asdf_rpcd: the live collection daemon (server side of DESIGN.md §9).
+//
+// One process answers every collection channel for every monitored
+// node over the framed TCP protocol. Two data sources:
+//
+//   sim  — the daemon hosts the monitored-cluster simulation itself
+//          (Cluster + GridMix + RpcHub + FaultInjector, seeded exactly
+//          as harness::runExperiment seeds them) and advances it lazily
+//          to the virtual `now` carried in each request. A live client
+//          driving the same module schedule therefore reads byte-for-
+//          byte the same data a sim-transport run reads, which is what
+//          makes the sim/live alarm-equality contract testable.
+//   proc — serves this host's real /proc counters (synthetic random
+//          walk when /proc is unavailable) plus replayed hadoop-log
+//          rows; the honest "online on a real machine" mode.
+//
+// Single-threaded on an EventLoop: requests are served in arrival
+// order, never concurrently, so the hosted simulation needs no locks.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "faults/faults.h"
+#include "hadoop/cluster.h"
+#include "net/event_loop.h"
+#include "net/proc_source.h"
+#include "net/tcp_server.h"
+#include "rpc/daemons.h"
+#include "sim/engine.h"
+#include "workload/gridmix.h"
+
+namespace asdf::net {
+
+struct RpcdOptions {
+  std::uint16_t port = 0;        // 0 = ephemeral, see RpcdServer::port()
+  int slaves = 16;
+  std::uint64_t seed = 42;
+  std::string source = "sim";    // "sim" | "proc"
+  faults::FaultSpec fault;       // sim source only
+  double mixChangeTime = -1.0;   // sim source only
+};
+
+class RpcdServer {
+ public:
+  explicit RpcdServer(const RpcdOptions& opts);
+  ~RpcdServer();
+
+  std::uint16_t port() const { return server_.port(); }
+
+  /// Serves until stop() or a kShutdown frame. Call from the thread
+  /// that owns the daemon.
+  void run();
+
+  /// Thread-safe; makes run() return.
+  void stop();
+
+  long framesServed() const { return server_.framesServed(); }
+  long connectionsRejected() const { return server_.connectionsRejected(); }
+
+ private:
+  void handleFrame(TcpServer::Connection& conn, Frame&& frame);
+  void advanceTo(double now);
+  void handleStats(TcpServer::Connection& conn, double now);
+
+  RpcdOptions opts_;
+  EventLoop loop_;
+  TcpServer server_;
+
+  // sim source (null in proc mode).
+  std::unique_ptr<sim::SimEngine> engine_;
+  std::unique_ptr<hadoop::Cluster> cluster_;
+  std::unique_ptr<workload::GridMixGenerator> gridmix_;
+  std::unique_ptr<rpc::RpcHub> hub_;
+  std::unique_ptr<faults::FaultInjector> injector_;
+
+  // proc source (null in sim mode).
+  std::unique_ptr<ProcSource> proc_;
+};
+
+}  // namespace asdf::net

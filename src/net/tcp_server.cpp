@@ -1,0 +1,196 @@
+#include "net/tcp_server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace asdf::net {
+namespace {
+
+void setNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+}  // namespace
+
+TcpServer::TcpServer(EventLoop& loop, std::uint16_t port) : loop_(loop) {
+  listenFd_ = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listenFd_ < 0) {
+    throw NetError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (bind(listenFd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string why = std::strerror(errno);
+    close(listenFd_);
+    listenFd_ = -1;
+    throw NetError("bind 127.0.0.1:" + std::to_string(port) + ": " + why);
+  }
+  if (listen(listenFd_, 64) < 0) {
+    const std::string why = std::strerror(errno);
+    close(listenFd_);
+    listenFd_ = -1;
+    throw NetError("listen: " + why);
+  }
+  socklen_t len = sizeof(addr);
+  getsockname(listenFd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  setNonBlocking(listenFd_);
+
+  loop_.watchFd(listenFd_, /*wantRead=*/true, /*wantWrite=*/false,
+                [this](int, std::uint32_t) { handleAccept(); });
+}
+
+TcpServer::~TcpServer() {
+  for (auto& [id, conn] : connections_) {
+    loop_.unwatchFd(conn->fd_);
+    close(conn->fd_);
+  }
+  connections_.clear();
+  if (listenFd_ >= 0) {
+    loop_.unwatchFd(listenFd_);
+    close(listenFd_);
+  }
+}
+
+void TcpServer::handleAccept() {
+  for (;;) {
+    const int fd = accept(listenFd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      return;  // transient accept failure; keep listening
+    }
+    setNonBlocking(fd);
+    const int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    const std::uint64_t id = nextConnId_++;
+    auto conn = std::make_unique<Connection>(*this, fd, id);
+    Connection* raw = conn.get();
+    connections_.emplace(id, std::move(conn));
+    loop_.watchFd(fd, /*wantRead=*/true, /*wantWrite=*/false,
+                  [this, raw](int, std::uint32_t events) {
+                    handleConnection(*raw, events);
+                  });
+  }
+}
+
+void TcpServer::handleConnection(Connection& conn, std::uint32_t events) {
+  const std::uint64_t id = conn.id_;
+  if (events & EventLoop::kClosed) {
+    dropConnection(id);
+    return;
+  }
+  if (events & EventLoop::kWritable) {
+    flushOutbound(conn);
+    if (connections_.find(id) == connections_.end()) return;
+  }
+  if ((events & EventLoop::kReadable) == 0) return;
+
+  std::uint8_t buf[65536];
+  for (;;) {
+    const ssize_t n = read(conn.fd_, buf, sizeof(buf));
+    if (n > 0) {
+      if (!conn.decoder_.feed(buf, static_cast<std::size_t>(n))) {
+        // Malformed framing: the stream cannot be trusted past this
+        // point. Count and drop; the loop (and every other
+        // connection) keeps running.
+        logWarn("net: dropping connection " + std::to_string(id) + ": " +
+                frameErrorName(conn.decoder_.error()));
+        ++connectionsRejected_;
+        dropConnection(id);
+        return;
+      }
+      Frame frame;
+      while (conn.decoder_.next(frame)) {
+        ++framesServed_;
+        if (handler_) {
+          try {
+            handler_(conn, std::move(frame));
+          } catch (const std::exception& e) {
+            conn.sendError(ErrorCode::kInternal, e.what());
+          }
+        }
+        // The handler may have closed the connection.
+        if (connections_.find(id) == connections_.end()) return;
+      }
+      continue;
+    }
+    if (n == 0) {  // orderly peer close
+      dropConnection(id);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    if (errno == EINTR) continue;
+    dropConnection(id);
+    return;
+  }
+}
+
+void TcpServer::flushOutbound(Connection& conn) {
+  while (!conn.outbound_.empty()) {
+    const ssize_t n =
+        write(conn.fd_, conn.outbound_.data(), conn.outbound_.size());
+    if (n > 0) {
+      conn.outbound_.erase(conn.outbound_.begin(),
+                           conn.outbound_.begin() + n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    dropConnection(conn.id_);
+    return;
+  }
+  if (conn.outbound_.empty()) {
+    if (conn.closing_) {
+      dropConnection(conn.id_);
+      return;
+    }
+    loop_.modifyFd(conn.fd_, /*wantRead=*/true, /*wantWrite=*/false);
+  } else {
+    loop_.modifyFd(conn.fd_, /*wantRead=*/!conn.closing_,
+                   /*wantWrite=*/true);
+  }
+}
+
+void TcpServer::dropConnection(std::uint64_t id) {
+  const auto it = connections_.find(id);
+  if (it == connections_.end()) return;
+  loop_.unwatchFd(it->second->fd_);
+  close(it->second->fd_);
+  connections_.erase(it);
+}
+
+void TcpServer::Connection::send(MsgType type, const rpc::Encoder& payload) {
+  const std::vector<std::uint8_t> frame = encodeFrame(type, payload);
+  outbound_.insert(outbound_.end(), frame.begin(), frame.end());
+  server_.flushOutbound(*this);
+}
+
+void TcpServer::Connection::sendError(ErrorCode code,
+                                      const std::string& message) {
+  const std::vector<std::uint8_t> frame = encodeErrorFrame(code, message);
+  outbound_.insert(outbound_.end(), frame.begin(), frame.end());
+  server_.flushOutbound(*this);
+}
+
+void TcpServer::Connection::close() {
+  closing_ = true;
+  server_.flushOutbound(*this);
+}
+
+}  // namespace asdf::net

@@ -1,0 +1,86 @@
+// Framed TCP server for collection daemons.
+//
+// Owns a loopback listening socket on an EventLoop, accepts any number
+// of connections, runs a FrameDecoder per connection and hands every
+// complete frame to one handler. Writes are non-blocking with a
+// per-connection outbound buffer drained on writability.
+//
+// Robustness contract: a connection that sends malformed framing (bad
+// magic, version skew, oversized length, CRC mismatch) is counted and
+// dropped — a corrupt length-prefixed stream cannot be resynchronized
+// — and the server keeps serving everyone else. Handler exceptions are
+// converted to kError frames, not crashes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "net/event_loop.h"
+#include "net/frame.h"
+
+namespace asdf::net {
+
+class TcpServer {
+ public:
+  class Connection {
+   public:
+    Connection(TcpServer& server, int fd, std::uint64_t id)
+        : server_(server), fd_(fd), id_(id) {}
+
+    /// Queues one frame for delivery (immediate write, remainder
+    /// buffered until the socket drains).
+    void send(MsgType type, const rpc::Encoder& payload);
+    void sendError(ErrorCode code, const std::string& message);
+    /// Closes after the outbound buffer drains.
+    void close();
+
+    std::uint64_t id() const { return id_; }
+
+   private:
+    friend class TcpServer;
+    TcpServer& server_;
+    int fd_;
+    std::uint64_t id_;
+    FrameDecoder decoder_;
+    std::vector<std::uint8_t> outbound_;
+    bool closing_ = false;
+  };
+
+  /// Frame handler: called once per complete inbound frame, on the
+  /// loop thread.
+  using FrameHandler = std::function<void(Connection&, Frame&&)>;
+
+  /// Binds and listens on 127.0.0.1:`port` (0 = ephemeral; see
+  /// port()). Throws NetError on bind/listen failure.
+  TcpServer(EventLoop& loop, std::uint16_t port);
+  ~TcpServer();
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  void onFrame(FrameHandler handler) { handler_ = std::move(handler); }
+
+  std::uint16_t port() const { return port_; }
+  std::size_t connectionCount() const { return connections_.size(); }
+  long framesServed() const { return framesServed_; }
+  long connectionsRejected() const { return connectionsRejected_; }
+
+ private:
+  void handleAccept();
+  void handleConnection(Connection& conn, std::uint32_t events);
+  void flushOutbound(Connection& conn);
+  void dropConnection(std::uint64_t id);
+
+  EventLoop& loop_;
+  int listenFd_ = -1;
+  std::uint16_t port_ = 0;
+  FrameHandler handler_;
+  std::map<std::uint64_t, std::unique_ptr<Connection>> connections_;
+  std::uint64_t nextConnId_ = 1;
+  long framesServed_ = 0;
+  long connectionsRejected_ = 0;  // dropped for malformed framing
+};
+
+}  // namespace asdf::net

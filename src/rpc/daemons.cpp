@@ -1,13 +1,10 @@
 #include "rpc/daemons.h"
 
+#include "rpc/payloads.h"
 #include "rpc/wire.h"
 
 namespace asdf::rpc {
 namespace {
-
-// Request payload for a parameterless "collect" call (object id +
-// operation name, ICE-style).
-constexpr std::size_t kCollectRequestBytes = 48;
 
 // The node-side cost of answering one poll: a sliver of CPU and the
 // response bytes on the NIC (this is the perturbation Table 3 bounds).
@@ -15,53 +12,6 @@ void chargeNode(hadoop::Node& node, double cpuSeconds, double txBytes) {
   node.addCpuSystem(cpuSeconds);
   node.addNetTx(txBytes);
   node.addNetRx(kCollectRequestBytes);
-}
-
-void encodeSnapshot(Encoder& enc, const metrics::SadcSnapshot& snap) {
-  enc.putDouble(snap.time);
-  enc.putDoubleVector(snap.node);
-  enc.putDoubleVector(snap.nic);
-  enc.putU32(static_cast<std::uint32_t>(snap.processes.size()));
-  for (const auto& [name, values] : snap.processes) {
-    enc.putString(name);
-    enc.putDoubleVector(values);
-  }
-}
-
-metrics::SadcSnapshot decodeSnapshot(Decoder& dec) {
-  metrics::SadcSnapshot snap;
-  snap.time = dec.getDouble();
-  snap.node = dec.getDoubleVector();
-  snap.nic = dec.getDoubleVector();
-  const std::uint32_t n = dec.getU32();
-  for (std::uint32_t i = 0; i < n; ++i) {
-    std::string name = dec.getString();
-    std::vector<double> values = dec.getDoubleVector();
-    snap.processes.emplace_back(std::move(name), std::move(values));
-  }
-  return snap;
-}
-
-void encodeSamples(Encoder& enc,
-                   const std::vector<hadooplog::StateSample>& samples) {
-  enc.putU32(static_cast<std::uint32_t>(samples.size()));
-  for (const auto& s : samples) {
-    enc.putI64(s.second);
-    enc.putDoubleVector(s.counts);
-  }
-}
-
-std::vector<hadooplog::StateSample> decodeSamples(Decoder& dec) {
-  std::vector<hadooplog::StateSample> out;
-  const std::uint32_t n = dec.getU32();
-  out.reserve(n);
-  for (std::uint32_t i = 0; i < n; ++i) {
-    hadooplog::StateSample s;
-    s.second = dec.getI64();
-    s.counts = dec.getDoubleVector();
-    out.push_back(std::move(s));
-  }
-  return out;
 }
 
 }  // namespace

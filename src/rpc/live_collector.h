@@ -1,0 +1,47 @@
+// Abstract socket backend for RpcClient's live mode.
+//
+// The rpc layer cannot depend on src/net/ (net already depends on rpc
+// for the wire codec), so the live transport is injected through this
+// interface: net::LiveTransport implements it over real framed TCP to
+// an asdf_rpcd daemon. Each call is one *attempt* — it either returns
+// the decoded value within the transport's timeout or reports failure;
+// retries, backoff, circuit breaking, health bookkeeping and byte
+// accounting all stay in RpcClient, identical to the simulated path.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+#include "hadooplog/parser.h"
+#include "metrics/os_model.h"
+#include "syscalls/trace_model.h"
+
+namespace asdf::rpc {
+
+class LiveCollector {
+ public:
+  virtual ~LiveCollector() = default;
+
+  /// Slave count the connected daemon serves (from the handshake).
+  virtual int slaves() const = 0;
+
+  /// One attempt each. On success fills `out` and sets `responseBytes`
+  /// to the response payload size as marshalled on the wire — the same
+  /// quantity the simulated daemons feed to RpcChannelStats, so Table 4
+  /// totals agree between transports.
+  virtual bool fetchSadc(NodeId node, SimTime now,
+                         metrics::SadcSnapshot& out,
+                         std::size_t& responseBytes) = 0;
+  virtual bool fetchTt(NodeId node, SimTime now, SimTime watermark,
+                       std::vector<hadooplog::StateSample>& out,
+                       std::size_t& responseBytes) = 0;
+  virtual bool fetchDn(NodeId node, SimTime now, SimTime watermark,
+                       std::vector<hadooplog::StateSample>& out,
+                       std::size_t& responseBytes) = 0;
+  virtual bool fetchStrace(NodeId node, SimTime now,
+                           syscalls::TraceSecond& out,
+                           std::size_t& responseBytes) = 0;
+};
+
+}  // namespace asdf::rpc

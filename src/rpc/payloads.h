@@ -1,0 +1,37 @@
+// Payload codecs shared by every transport.
+//
+// The sim-path daemons (daemons.cpp) and the live socket plane
+// (src/net/) must marshal the exact same bytes for the same data:
+// Table 4's bandwidth numbers and the sim/live byte-parity contract
+// (DESIGN.md §9) both depend on it. These helpers are the single
+// definition of how a sadc snapshot and a Hadoop state-vector row look
+// on the wire, layered on the XDR-style codec in wire.h.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "hadooplog/parser.h"
+#include "metrics/os_model.h"
+#include "rpc/wire.h"
+#include "syscalls/trace_model.h"
+
+namespace asdf::rpc {
+
+/// Request payload of a parameterless collect call (object id +
+/// operation name, ICE-style). Every transport — simulated or live —
+/// charges this many request bytes per attempt so the accounting is
+/// identical across them.
+inline constexpr std::size_t kCollectRequestBytes = 48;
+
+void encodeSnapshot(Encoder& enc, const metrics::SadcSnapshot& snap);
+metrics::SadcSnapshot decodeSnapshot(Decoder& dec);
+
+void encodeSamples(Encoder& enc,
+                   const std::vector<hadooplog::StateSample>& samples);
+std::vector<hadooplog::StateSample> decodeSamples(Decoder& dec);
+
+void encodeTrace(Encoder& enc, const syscalls::TraceSecond& trace);
+syscalls::TraceSecond decodeTrace(Decoder& dec);
+
+}  // namespace asdf::rpc

@@ -1,13 +1,14 @@
 #include "rpc/rpc_client.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <thread>
+
+#include "rpc/payloads.h"
 
 namespace asdf::rpc {
 namespace {
-
-// Request payload of a parameterless collect call (matches daemons.cpp).
-constexpr std::size_t kCollectRequestBytes = 48;
 
 // Per-node attempt logs are bounded so week-long runs cannot grow them
 // without limit; the determinism tests only need the early schedule.
@@ -196,11 +197,26 @@ std::vector<NodeId> NodeHealthRegistry::nodes() const {
 
 RpcClient::RpcClient(hadoop::Cluster& cluster, RpcHub& hub, RpcPolicy policy,
                      std::uint64_t seed)
-    : cluster_(cluster), hub_(hub), policy_(policy) {
+    : cluster_(&cluster), hub_(&hub), policy_(policy) {
   for (hadoop::Node* node : cluster.slaveNodes()) {
     states_.emplace(node->id(),
                     NodeState(mixSeed(seed, node->id()), policy_));
     registry_.registerNode(node->id());
+  }
+}
+
+RpcClient::RpcClient(LiveCollector& live, RpcPolicy policy,
+                     std::uint64_t seed)
+    : live_(&live), policy_(policy) {
+  for (NodeId node = 1; node <= live.slaves(); ++node) {
+    states_.emplace(node, NodeState(mixSeed(seed, node), policy_));
+    registry_.registerNode(node);
+    // One logical connection per node per channel, mirroring RpcHub's
+    // per-daemon connects so static-overhead accounting matches.
+    liveTransports_.channel("sadc-tcp").recordConnect();
+    liveTransports_.channel("hl-tt-tcp").recordConnect();
+    liveTransports_.channel("hl-dn-tcp").recordConnect();
+    liveTransports_.channel("strace-tcp").recordConnect();
   }
 }
 
@@ -229,7 +245,7 @@ bool RpcClient::attemptSucceeds(NodeState& st, NodeId node, Daemon d,
     costSeconds = policy_.timeoutSeconds;
     return false;
   }
-  const double loss = cluster_.node(node).nic().lossRate();
+  const double loss = cluster_->node(node).nic().lossRate();
   if (loss > 0.0 &&
       st.rng.bernoulli(std::pow(loss, policy_.lossFailureExponent))) {
     // Enough retransmissions were lost that the attempt blew its
@@ -259,7 +275,7 @@ RpcClient::RoundOutcome RpcClient::round(NodeId node, Daemon d,
   const bool probing = st.breaker.state(now) == CircuitBreaker::State::kHalfOpen;
   const int maxAttempts = probing ? 1 : 1 + policy_.maxRetries;
 
-  RpcChannelStats& channel = hub_.transports().channel(channelName);
+  RpcChannelStats& channel = hub_->transports().channel(channelName);
   SimTime t = now;
   for (int attempt = 0; attempt < maxAttempts; ++attempt) {
     double cost = 0.0;
@@ -293,47 +309,140 @@ RpcClient::RoundOutcome RpcClient::round(NodeId node, Daemon d,
   return out;
 }
 
+RpcClient::RoundOutcome RpcClient::liveRound(
+    NodeId node, Daemon d, const std::string& channelName, SimTime now,
+    const std::function<bool(std::size_t&)>& attempt) {
+  NodeState& st = state(node);
+  ++st.rounds;
+  RoundOutcome out;
+
+  if (!st.breaker.allowRound(now)) {
+    ++st.fastFails;
+    ++st.failedRounds;
+    registry_.markFailure(node, d, now);
+    return out;  // attempts == 0: never touched the wire
+  }
+  const bool probing =
+      st.breaker.state(now) == CircuitBreaker::State::kHalfOpen;
+  const int maxAttempts = probing ? 1 : 1 + policy_.maxRetries;
+
+  RpcChannelStats& channel = liveTransports_.channel(channelName);
+  for (int i = 0; i < maxAttempts; ++i) {
+    std::size_t responseBytes = 0;
+    const bool ok = attempt(responseBytes);
+    if (st.log.size() < kMaxLoggedAttempts) {
+      st.log.push_back(AttemptRecord{now, d, i, ok});
+    }
+    out.attempts = i + 1;
+    if (ok) {
+      out.ok = true;
+      out.retried = i > 0;
+      st.retries += i;
+      st.breaker.onRoundSuccess(now);
+      registry_.markSuccess(node, d, now, out.retried);
+      channel.recordCall(kCollectRequestBytes, responseBytes);
+      return out;
+    }
+    // A failed attempt still put the request (+ framing overhead) on
+    // the wire — charge it exactly like the simulated path.
+    channel.recordFailedCall(kCollectRequestBytes);
+    if (i + 1 < maxAttempts) {
+      const double backoff = std::min(
+          policy_.backoffMax, policy_.backoffBase * std::pow(2.0, i));
+      const double jitter =
+          1.0 + policy_.jitterFrac * (2.0 * st.rng.uniform() - 1.0);
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(backoff * jitter));
+    }
+  }
+  st.retries += maxAttempts - 1;
+  ++st.failedRounds;
+  st.breaker.onRoundFailure(now);
+  registry_.markFailure(node, d, now);
+  return out;
+}
+
 Fetched<metrics::SadcSnapshot> RpcClient::fetchSadc(NodeId node,
                                                     SimTime now) {
-  const RoundOutcome r = round(node, Daemon::kSadc, "sadc-tcp", now);
   Fetched<metrics::SadcSnapshot> out;
+  RoundOutcome r;
+  if (live_ != nullptr) {
+    r = liveRound(node, Daemon::kSadc, "sadc-tcp", now,
+                  [&](std::size_t& bytes) {
+                    return live_->fetchSadc(node, now, out.value, bytes);
+                  });
+  } else {
+    r = round(node, Daemon::kSadc, "sadc-tcp", now);
+    if (r.ok) out.value = hub_->sadc(node).fetch();
+  }
   out.ok = r.ok;
   out.retried = r.retried;
   out.attempts = r.attempts;
-  if (r.ok) out.value = hub_.sadc(node).fetch();
   return out;
 }
 
 Fetched<std::vector<hadooplog::StateSample>> RpcClient::fetchTt(
     NodeId node, SimTime now, SimTime watermark) {
-  const RoundOutcome r = round(node, Daemon::kHadoopLog, "hl-tt-tcp", now);
   Fetched<std::vector<hadooplog::StateSample>> out;
+  RoundOutcome r;
+  if (live_ != nullptr) {
+    r = liveRound(node, Daemon::kHadoopLog, "hl-tt-tcp", now,
+                  [&](std::size_t& bytes) {
+                    return live_->fetchTt(node, now, watermark, out.value,
+                                          bytes);
+                  });
+  } else {
+    r = round(node, Daemon::kHadoopLog, "hl-tt-tcp", now);
+    if (r.ok) out.value = hub_->hadoopLog(node).fetchTt(watermark);
+  }
   out.ok = r.ok;
   out.retried = r.retried;
   out.attempts = r.attempts;
-  if (r.ok) out.value = hub_.hadoopLog(node).fetchTt(watermark);
   return out;
 }
 
 Fetched<std::vector<hadooplog::StateSample>> RpcClient::fetchDn(
     NodeId node, SimTime now, SimTime watermark) {
-  const RoundOutcome r = round(node, Daemon::kHadoopLog, "hl-dn-tcp", now);
   Fetched<std::vector<hadooplog::StateSample>> out;
+  RoundOutcome r;
+  if (live_ != nullptr) {
+    r = liveRound(node, Daemon::kHadoopLog, "hl-dn-tcp", now,
+                  [&](std::size_t& bytes) {
+                    return live_->fetchDn(node, now, watermark, out.value,
+                                          bytes);
+                  });
+  } else {
+    r = round(node, Daemon::kHadoopLog, "hl-dn-tcp", now);
+    if (r.ok) out.value = hub_->hadoopLog(node).fetchDn(watermark);
+  }
   out.ok = r.ok;
   out.retried = r.retried;
   out.attempts = r.attempts;
-  if (r.ok) out.value = hub_.hadoopLog(node).fetchDn(watermark);
   return out;
 }
 
 Fetched<syscalls::TraceSecond> RpcClient::fetchStrace(NodeId node,
                                                       SimTime now) {
-  const RoundOutcome r = round(node, Daemon::kStrace, "strace-tcp", now);
   Fetched<syscalls::TraceSecond> out;
+  RoundOutcome r;
+  if (live_ != nullptr) {
+    r = liveRound(node, Daemon::kStrace, "strace-tcp", now,
+                  [&](std::size_t& bytes) {
+                    if (!live_->fetchStrace(node, now, out.value, bytes)) {
+                      return false;
+                    }
+                    // Account the sim convention — length prefix plus
+                    // one byte per event — not the padded frame payload.
+                    bytes = 4 + out.value.size();
+                    return true;
+                  });
+  } else {
+    r = round(node, Daemon::kStrace, "strace-tcp", now);
+    if (r.ok) out.value = hub_->strace(node).fetch();
+  }
   out.ok = r.ok;
   out.retried = r.retried;
   out.attempts = r.attempts;
-  if (r.ok) out.value = hub_.strace(node).fetch();
   return out;
 }
 

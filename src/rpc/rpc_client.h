@@ -41,6 +41,7 @@
 #include "common/types.h"
 #include "hadoop/cluster.h"
 #include "rpc/daemons.h"
+#include "rpc/live_collector.h"
 
 namespace asdf::rpc {
 
@@ -192,6 +193,13 @@ class RpcClient {
  public:
   RpcClient(hadoop::Cluster& cluster, RpcHub& hub, RpcPolicy policy,
             std::uint64_t seed);
+  /// Live mode: fetches go over a real socket transport instead of the
+  /// in-process hub. Timeout/retry/backoff/breaker behaviour, health
+  /// bookkeeping and per-channel byte accounting are identical to the
+  /// simulated constructor — the accounting lands in this client's own
+  /// TransportRegistry (see transports()) since there is no hub.
+  /// Backoffs between live attempts are real sleeps.
+  RpcClient(LiveCollector& live, RpcPolicy policy, std::uint64_t seed);
   RpcClient(const RpcClient&) = delete;
   RpcClient& operator=(const RpcClient&) = delete;
 
@@ -207,7 +215,13 @@ class RpcClient {
   MonitoringFaultBoard& faults() { return board_; }
   NodeHealthRegistry& health() { return registry_; }
   const RpcPolicy& policy() const { return policy_; }
-  RpcHub& hub() { return hub_; }
+  RpcHub& hub() { return *hub_; }
+  bool liveMode() const { return live_ != nullptr; }
+  /// Per-channel byte accounting: the hub's registry in sim mode, the
+  /// client's own in live mode.
+  TransportRegistry& transports() {
+    return hub_ != nullptr ? hub_->transports() : liveTransports_;
+  }
 
   CircuitBreaker::State breakerState(NodeId node, SimTime now) const;
 
@@ -251,12 +265,21 @@ class RpcClient {
   /// consumed (latency on success, timeout or refusal cost on failure).
   bool attemptSucceeds(NodeState& st, NodeId node, Daemon d,
                        double& costSeconds);
+  /// Live-mode retry loop: `attempt` performs one real call and, on
+  /// success, reports the response bytes to account. Sleeps real
+  /// backoffs between attempts; charges kCollectRequestBytes per
+  /// failed attempt exactly as the simulated round() does.
+  RoundOutcome liveRound(NodeId node, Daemon d,
+                         const std::string& channelName, SimTime now,
+                         const std::function<bool(std::size_t&)>& attempt);
 
-  hadoop::Cluster& cluster_;
-  RpcHub& hub_;
+  hadoop::Cluster* cluster_ = nullptr;
+  RpcHub* hub_ = nullptr;
+  LiveCollector* live_ = nullptr;
   RpcPolicy policy_;
   MonitoringFaultBoard board_;
   NodeHealthRegistry registry_;
+  TransportRegistry liveTransports_;  // live mode only
   std::map<NodeId, NodeState> states_;
 };
 

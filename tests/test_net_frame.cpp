@@ -1,0 +1,211 @@
+// Adversarial coverage for the live-wire frame codec (DESIGN.md §9):
+// truncation, arbitrary read-boundary splits, corrupted CRCs, hostile
+// length prefixes and version skew must all be survivable without
+// unbounded allocation — the decoder poisons the stream instead of
+// throwing, and the connection owner drops it.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "net/crc32.h"
+#include "net/frame.h"
+#include "rpc/wire.h"
+
+namespace asdf::net {
+namespace {
+
+std::vector<std::uint8_t> helloFrame(const std::string& greeting) {
+  rpc::Encoder enc;
+  enc.putU32(kProtocolVersion);
+  enc.putString(greeting);
+  return encodeFrame(MsgType::kHello, enc);
+}
+
+TEST(NetFrame, RoundTripSingleFrame) {
+  const std::vector<std::uint8_t> wire = helloFrame("asdf-fpt-core");
+  ASSERT_GE(wire.size(), kFrameHeaderBytes);
+
+  FrameDecoder dec;
+  ASSERT_TRUE(dec.feed(wire.data(), wire.size()));
+  Frame f;
+  ASSERT_TRUE(dec.next(f));
+  EXPECT_EQ(f.type, MsgType::kHello);
+
+  rpc::Decoder payload(f.payload);
+  EXPECT_EQ(payload.getU32(), kProtocolVersion);
+  EXPECT_EQ(payload.getString(), "asdf-fpt-core");
+  EXPECT_TRUE(payload.exhausted());
+
+  EXPECT_FALSE(dec.next(f));
+  EXPECT_EQ(dec.error(), FrameDecoder::Error::kNone);
+  EXPECT_EQ(dec.framesDecoded(), 1);
+  EXPECT_EQ(dec.pendingBytes(), 0u);
+}
+
+TEST(NetFrame, EmptyPayloadFrame) {
+  const std::vector<std::uint8_t> wire =
+      encodeFrame(MsgType::kShutdown, nullptr, 0);
+  EXPECT_EQ(wire.size(), kFrameHeaderBytes);
+
+  FrameDecoder dec;
+  ASSERT_TRUE(dec.feed(wire.data(), wire.size()));
+  Frame f;
+  ASSERT_TRUE(dec.next(f));
+  EXPECT_EQ(f.type, MsgType::kShutdown);
+  EXPECT_TRUE(f.payload.empty());
+}
+
+TEST(NetFrame, BackToBackFramesInOneFeed) {
+  std::vector<std::uint8_t> wire = helloFrame("a");
+  const std::vector<std::uint8_t> second = helloFrame("bb");
+  const std::vector<std::uint8_t> third =
+      encodeFrame(MsgType::kShutdown, nullptr, 0);
+  wire.insert(wire.end(), second.begin(), second.end());
+  wire.insert(wire.end(), third.begin(), third.end());
+
+  FrameDecoder dec;
+  ASSERT_TRUE(dec.feed(wire.data(), wire.size()));
+  Frame f;
+  ASSERT_TRUE(dec.next(f));
+  EXPECT_EQ(f.type, MsgType::kHello);
+  ASSERT_TRUE(dec.next(f));
+  EXPECT_EQ(f.type, MsgType::kHello);
+  ASSERT_TRUE(dec.next(f));
+  EXPECT_EQ(f.type, MsgType::kShutdown);
+  EXPECT_FALSE(dec.next(f));
+  EXPECT_EQ(dec.framesDecoded(), 3);
+}
+
+// read() can hand the decoder any prefix of the stream: every split
+// point of a two-frame stream must produce the same two frames.
+TEST(NetFrame, EverySplitPointDecodes) {
+  std::vector<std::uint8_t> wire = helloFrame("split-me");
+  const std::vector<std::uint8_t> second = helloFrame("tail");
+  wire.insert(wire.end(), second.begin(), second.end());
+
+  for (std::size_t split = 0; split <= wire.size(); ++split) {
+    FrameDecoder dec;
+    ASSERT_TRUE(dec.feed(wire.data(), split));
+    ASSERT_TRUE(dec.feed(wire.data() + split, wire.size() - split));
+    Frame f;
+    ASSERT_TRUE(dec.next(f)) << "split at " << split;
+    EXPECT_EQ(f.type, MsgType::kHello);
+    ASSERT_TRUE(dec.next(f)) << "split at " << split;
+    rpc::Decoder payload(f.payload);
+    payload.getU32();
+    EXPECT_EQ(payload.getString(), "tail") << "split at " << split;
+    EXPECT_EQ(dec.error(), FrameDecoder::Error::kNone);
+  }
+}
+
+TEST(NetFrame, ByteAtATimeFeed) {
+  const std::vector<std::uint8_t> wire = helloFrame("drip");
+  FrameDecoder dec;
+  Frame f;
+  for (std::size_t i = 0; i + 1 < wire.size(); ++i) {
+    ASSERT_TRUE(dec.feed(&wire[i], 1));
+    EXPECT_FALSE(dec.next(f)) << "frame surfaced early at byte " << i;
+  }
+  ASSERT_TRUE(dec.feed(&wire[wire.size() - 1], 1));
+  ASSERT_TRUE(dec.next(f));
+  EXPECT_EQ(f.type, MsgType::kHello);
+}
+
+TEST(NetFrame, TruncatedFrameNeverSurfaces) {
+  const std::vector<std::uint8_t> wire = helloFrame("cut short");
+  FrameDecoder dec;
+  ASSERT_TRUE(dec.feed(wire.data(), wire.size() - 1));
+  Frame f;
+  EXPECT_FALSE(dec.next(f));
+  EXPECT_EQ(dec.error(), FrameDecoder::Error::kNone);  // waiting, not broken
+  EXPECT_EQ(dec.pendingBytes(), wire.size() - 1);
+}
+
+TEST(NetFrame, BadMagicPoisonsStream) {
+  std::vector<std::uint8_t> wire = helloFrame("x");
+  wire[0] ^= 0xFF;
+  FrameDecoder dec;
+  EXPECT_FALSE(dec.feed(wire.data(), wire.size()));
+  EXPECT_EQ(dec.error(), FrameDecoder::Error::kBadMagic);
+  Frame f;
+  EXPECT_FALSE(dec.next(f));
+  // Poisoned streams ignore further input rather than "recovering".
+  const std::vector<std::uint8_t> good = helloFrame("y");
+  EXPECT_FALSE(dec.feed(good.data(), good.size()));
+  EXPECT_FALSE(dec.next(f));
+}
+
+TEST(NetFrame, VersionSkewPoisonsStream) {
+  std::vector<std::uint8_t> wire = helloFrame("x");
+  wire[4] = 0x7F;  // version hi byte: claims version 0x7F01
+  FrameDecoder dec;
+  EXPECT_FALSE(dec.feed(wire.data(), wire.size()));
+  EXPECT_EQ(dec.error(), FrameDecoder::Error::kBadVersion);
+}
+
+// A hostile 4 GiB length prefix must be rejected from the header alone
+// — before any payload-sized allocation happens.
+TEST(NetFrame, OversizedLengthRejectedWithoutBuffering) {
+  std::vector<std::uint8_t> wire = helloFrame("x");
+  wire[8] = 0xFF;  // length: 0xFFxxxxxx >> kMaxFramePayloadBytes
+  FrameDecoder dec;
+  EXPECT_FALSE(dec.feed(wire.data(), wire.size()));
+  EXPECT_EQ(dec.error(), FrameDecoder::Error::kOversized);
+  // The decoder buffered at most what we fed it, not the declared length.
+  EXPECT_LE(dec.pendingBytes(), wire.size());
+}
+
+TEST(NetFrame, CrcBitFlipDetected) {
+  const std::vector<std::uint8_t> clean = helloFrame("checksummed");
+  // Flip one bit in every payload position in turn; each must be caught.
+  for (std::size_t i = kFrameHeaderBytes; i < clean.size(); ++i) {
+    std::vector<std::uint8_t> wire = clean;
+    wire[i] ^= 0x01;
+    FrameDecoder dec;
+    EXPECT_FALSE(dec.feed(wire.data(), wire.size())) << "byte " << i;
+    EXPECT_EQ(dec.error(), FrameDecoder::Error::kBadCrc) << "byte " << i;
+    Frame f;
+    EXPECT_FALSE(dec.next(f));
+  }
+}
+
+TEST(NetFrame, CrcFieldCorruptionDetected) {
+  std::vector<std::uint8_t> wire = helloFrame("x");
+  wire[12] ^= 0x80;  // stored CRC itself
+  FrameDecoder dec;
+  EXPECT_FALSE(dec.feed(wire.data(), wire.size()));
+  EXPECT_EQ(dec.error(), FrameDecoder::Error::kBadCrc);
+}
+
+TEST(NetFrame, ErrorFrameRoundTrip) {
+  const std::vector<std::uint8_t> wire =
+      encodeErrorFrame(ErrorCode::kUnknownNode, "node 99 not served");
+  FrameDecoder dec;
+  ASSERT_TRUE(dec.feed(wire.data(), wire.size()));
+  Frame f;
+  ASSERT_TRUE(dec.next(f));
+  EXPECT_EQ(f.type, MsgType::kError);
+  rpc::Decoder payload(f.payload);
+  EXPECT_EQ(payload.getU32(),
+            static_cast<std::uint32_t>(ErrorCode::kUnknownNode));
+  EXPECT_EQ(payload.getString(), "node 99 not served");
+}
+
+TEST(NetFrame, Crc32KnownVectors) {
+  // IEEE CRC-32 check value for "123456789".
+  const char* digits = "123456789";
+  EXPECT_EQ(crc32(reinterpret_cast<const std::uint8_t*>(digits), 9),
+            0xCBF43926u);
+  EXPECT_EQ(crc32(nullptr, 0), 0u);
+}
+
+TEST(NetFrame, FrameErrorNames) {
+  EXPECT_STREQ(frameErrorName(FrameDecoder::Error::kNone), "none");
+  EXPECT_NE(std::string(frameErrorName(FrameDecoder::Error::kBadCrc)),
+            std::string(frameErrorName(FrameDecoder::Error::kOversized)));
+}
+
+}  // namespace
+}  // namespace asdf::net
