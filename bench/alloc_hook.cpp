@@ -1,0 +1,100 @@
+// Global operator new/delete replacements that count every heap
+// allocation. Kept in one translation unit with the query functions so
+// that referencing totals()/reset() pulls the replacement operators
+// out of the static library archive.
+#include "alloc_hook.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocs{0};
+std::atomic<std::uint64_t> g_frees{0};
+std::atomic<std::uint64_t> g_bytes{0};
+
+void* countedAlloc(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_bytes.fetch_add(size, std::memory_order_relaxed);
+  return std::malloc(size != 0 ? size : 1);
+}
+
+void countedFree(void* ptr) {
+  if (ptr == nullptr) return;
+  g_frees.fetch_add(1, std::memory_order_relaxed);
+  std::free(ptr);
+}
+
+void* countedAlignedAlloc(std::size_t size, std::size_t align) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_bytes.fetch_add(size, std::memory_order_relaxed);
+  if (size == 0) size = align;
+  return std::aligned_alloc(align, (size + align - 1) / align * align);
+}
+
+}  // namespace
+
+namespace asdf::allochook {
+
+Totals totals() {
+  return Totals{g_allocs.load(std::memory_order_relaxed),
+                g_frees.load(std::memory_order_relaxed),
+                g_bytes.load(std::memory_order_relaxed)};
+}
+
+void reset() {
+  g_allocs.store(0, std::memory_order_relaxed);
+  g_frees.store(0, std::memory_order_relaxed);
+  g_bytes.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace asdf::allochook
+
+void* operator new(std::size_t size) {
+  if (void* p = countedAlloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  if (void* p = countedAlloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return countedAlloc(size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return countedAlloc(size);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  if (void* p = countedAlignedAlloc(size, static_cast<std::size_t>(align))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  if (void* p = countedAlignedAlloc(size, static_cast<std::size_t>(align))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void operator delete(void* ptr) noexcept { countedFree(ptr); }
+void operator delete[](void* ptr) noexcept { countedFree(ptr); }
+void operator delete(void* ptr, std::size_t) noexcept { countedFree(ptr); }
+void operator delete[](void* ptr, std::size_t) noexcept { countedFree(ptr); }
+void operator delete(void* ptr, const std::nothrow_t&) noexcept {
+  countedFree(ptr);
+}
+void operator delete[](void* ptr, const std::nothrow_t&) noexcept {
+  countedFree(ptr);
+}
+void operator delete(void* ptr, std::align_val_t) noexcept { countedFree(ptr); }
+void operator delete[](void* ptr, std::align_val_t) noexcept {
+  countedFree(ptr);
+}
+void operator delete(void* ptr, std::size_t, std::align_val_t) noexcept {
+  countedFree(ptr);
+}
+void operator delete[](void* ptr, std::size_t, std::align_val_t) noexcept {
+  countedFree(ptr);
+}

@@ -1,0 +1,35 @@
+// Counting-allocator hook for data-plane instrumentation.
+//
+// Linking the asdf_alloc_hook library into a binary replaces the
+// global operator new/delete with counting wrappers around malloc or
+// free, so a bench or test can measure exactly how many heap
+// allocations a region of code performs:
+//
+//   asdf::allochook::reset();
+//   ... steady-state region ...
+//   auto t = asdf::allochook::totals();   // t.allocs == 0, hopefully
+//
+// The counters are relaxed atomics: cheap enough to leave enabled for
+// a whole bench run, and correct under the thread-pool executor. Only
+// link this library into binaries that exist to measure allocation
+// (bench_data_plane, asdf_zero_alloc_test) — everything else should
+// keep the system allocator's untouched fast path.
+#pragma once
+
+#include <cstdint>
+
+namespace asdf::allochook {
+
+struct Totals {
+  std::uint64_t allocs = 0;      // operator new calls
+  std::uint64_t frees = 0;       // operator delete calls
+  std::uint64_t bytes = 0;       // bytes requested from operator new
+};
+
+/// Snapshot of the counters since the last reset().
+Totals totals();
+
+/// Zeroes the counters.
+void reset();
+
+}  // namespace asdf::allochook

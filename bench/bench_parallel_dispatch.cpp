@@ -9,11 +9,13 @@
 // add up; with a ThreadPoolExecutor they overlap, so wall-clock time
 // shrinks by roughly the thread count even on a single core.
 //
-// Flags: --collectors=50 --ticks=20 --poll-ms=2 --threads=4
+// Flags: --collectors=50 --ticks=20 --poll-ms=2 --threads=4 --json
 //
 // Prints one row per executor plus the pool/serial speedup; exits
 // non-zero if results diverge across executors (they must not: the
 // level barrier makes the analysis input set executor-independent).
+// --json emits the same data machine-readably for
+// scripts/check_bench_regression.
 #include <chrono>
 #include <cstdio>
 #include <memory>
@@ -132,37 +134,69 @@ int main(int argc, char** argv) {
   const double pollMs = bench::flagDouble(argc, argv, "poll-ms", 2.0);
   const int threads =
       static_cast<int>(bench::flagInt(argc, argv, "threads", 4));
+  const bool json = bench::flagPresent(argc, argv, "json");
 
-  std::printf("parallel dispatch: %d collectors x %d ticks, %.1f ms poll\n",
-              collectors, ticks, pollMs);
-  bench::printRule();
-  std::printf("%-12s %12s %14s %10s\n", "executor", "wall (s)", "module runs",
-              "speedup");
-  bench::printRule();
+  if (!json) {
+    std::printf("parallel dispatch: %d collectors x %d ticks, %.1f ms poll\n",
+                collectors, ticks, pollMs);
+    bench::printRule();
+    std::printf("%-12s %12s %14s %10s\n", "executor", "wall (s)",
+                "module runs", "speedup");
+    bench::printRule();
+  }
 
   const RunResult serial =
       runWith(std::make_unique<core::SerialExecutor>(), collectors, pollMs,
               ticks);
-  std::printf("%-12s %12.3f %14llu %10s\n", "serial", serial.wallSeconds,
-              static_cast<unsigned long long>(serial.runs), "1.00x");
+  if (!json) {
+    std::printf("%-12s %12.3f %14llu %10s\n", "serial", serial.wallSeconds,
+                static_cast<unsigned long long>(serial.runs), "1.00x");
+  }
 
   bool ok = true;
+  struct Row {
+    std::string name;
+    RunResult result;
+  };
+  std::vector<Row> rows{{"serial", serial}};
   std::vector<int> widths{2};
   if (threads > 1 && threads != 2) widths.push_back(threads);
   for (int n : widths) {
     const RunResult pooled =
         runWith(std::make_unique<core::ThreadPoolExecutor>(n), collectors,
                 pollMs, ticks);
-    std::printf("%-12s %12.3f %14llu %9.2fx\n",
-                strformat("pool(%d)", n).c_str(), pooled.wallSeconds,
-                static_cast<unsigned long long>(pooled.runs),
-                serial.wallSeconds / pooled.wallSeconds);
+    rows.push_back({strformat("pool(%d)", n), pooled});
+    if (!json) {
+      std::printf("%-12s %12.3f %14llu %9.2fx\n",
+                  strformat("pool(%d)", n).c_str(), pooled.wallSeconds,
+                  static_cast<unsigned long long>(pooled.runs),
+                  serial.wallSeconds / pooled.wallSeconds);
+    }
     if (pooled.checksum != serial.checksum || pooled.runs != serial.runs) {
-      std::printf("DIVERGENCE: pool(%d) checksum %.1f vs serial %.1f\n", n,
-                  pooled.checksum, serial.checksum);
+      std::fprintf(stderr, "DIVERGENCE: pool(%d) checksum %.1f vs serial "
+                   "%.1f\n", n, pooled.checksum, serial.checksum);
       ok = false;
     }
   }
-  bench::printRule();
+  if (json) {
+    std::printf("{\n  \"bench\": \"parallel_dispatch\",\n"
+                "  \"collectors\": %d, \"ticks\": %d, \"poll_ms\": %.3f,\n"
+                "  \"executors\": [\n",
+                collectors, ticks, pollMs);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      std::printf("    {\"name\": \"%s\", \"wall_s\": %.3f, "
+                  "\"module_runs\": %llu, \"checksum\": %.1f, "
+                  "\"speedup\": %.2f}%s\n",
+                  r.name.c_str(), r.result.wallSeconds,
+                  static_cast<unsigned long long>(r.result.runs),
+                  r.result.checksum,
+                  serial.wallSeconds / r.result.wallSeconds,
+                  i + 1 < rows.size() ? "," : "");
+    }
+    std::printf("  ]\n}\n");
+  } else {
+    bench::printRule();
+  }
   return ok ? 0 : 1;
 }

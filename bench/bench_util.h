@@ -26,6 +26,19 @@ inline std::string flagValue(int argc, char** argv, const std::string& name,
   return fallback;
 }
 
+/// True when `--name` appears bare (no value) or as `--name=...`.
+inline bool flagPresent(int argc, char** argv, const std::string& name) {
+  const std::string bare = "--" + name;
+  const std::string prefix = bare + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (bare == argv[i] ||
+        std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
 inline double flagDouble(int argc, char** argv, const std::string& name,
                          double fallback) {
   const std::string v = flagValue(argc, argv, name, "");

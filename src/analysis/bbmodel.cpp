@@ -15,10 +15,16 @@ std::vector<double> BlackBoxModel::transform(
     const std::vector<double>& raw) const {
   assert(raw.size() == sigmas.size());
   std::vector<double> out(raw.size());
-  for (std::size_t i = 0; i < raw.size(); ++i) {
+  transformInto(raw.data(), raw.size(), out.data());
+  return out;
+}
+
+void BlackBoxModel::transformInto(const double* raw, std::size_t n,
+                                  double* out) const {
+  assert(n == sigmas.size());
+  for (std::size_t i = 0; i < n; ++i) {
     out[i] = std::log1p(std::max(0.0, raw[i])) / sigmas[i];
   }
-  return out;
 }
 
 std::size_t BlackBoxModel::classify(const std::vector<double>& raw) const {
@@ -46,13 +52,19 @@ BlackBoxModel trainBlackBoxModel(
     model.sigmas[d] = s > 1e-12 ? s : 1.0;
   }
 
-  std::vector<std::vector<double>> transformed;
-  transformed.reserve(rawTraining.size());
-  for (const auto& row : rawTraining) transformed.push_back(model.transform(row));
+  Matrix transformed;
+  transformed.reserveRows(rawTraining.size(), dims);
+  {
+    std::vector<double> row(dims);
+    for (const auto& raw : rawTraining) {
+      model.transformInto(raw.data(), raw.size(), row.data());
+      transformed.push_back(row);
+    }
+  }
 
   KMeansOptions options;
   options.k = k;
-  model.centroids = kmeans(transformed, options, rng).centroids;
+  model.centroids = std::move(kmeans(transformed, options, rng).centroids);
   return model;
 }
 
@@ -61,9 +73,12 @@ std::string serializeModel(const BlackBoxModel& model) {
   out << "sigmas";
   for (double s : model.sigmas) out << ',' << strformat("%.17g", s);
   out << '\n';
-  for (const auto& c : model.centroids) {
+  for (std::size_t r = 0; r < model.centroids.rows(); ++r) {
+    const double* c = model.centroids.row(r);
     out << "centroid";
-    for (double v : c) out << ',' << strformat("%.17g", v);
+    for (std::size_t d = 0; d < model.centroids.cols(); ++d) {
+      out << ',' << strformat("%.17g", c[d]);
+    }
     out << '\n';
   }
   return out.str();
@@ -90,7 +105,10 @@ BlackBoxModel deserializeModel(const std::string& text) {
     if (cells[0] == "sigmas") {
       model.sigmas = std::move(values);
     } else if (cells[0] == "centroid") {
-      model.centroids.push_back(std::move(values));
+      if (!model.centroids.empty() && values.size() != model.centroids.cols()) {
+        throw ConfigError("black-box model: centroid dimension mismatch");
+      }
+      model.centroids.push_back(values);
     } else {
       throw ConfigError("black-box model: unknown row tag '" + cells[0] + "'");
     }
@@ -98,10 +116,8 @@ BlackBoxModel deserializeModel(const std::string& text) {
   if (model.sigmas.empty() || model.centroids.empty()) {
     throw ConfigError("black-box model: missing sigmas or centroids");
   }
-  for (const auto& c : model.centroids) {
-    if (c.size() != model.sigmas.size()) {
-      throw ConfigError("black-box model: centroid dimension mismatch");
-    }
+  if (model.centroids.cols() != model.sigmas.size()) {
+    throw ConfigError("black-box model: centroid dimension mismatch");
   }
   return model;
 }

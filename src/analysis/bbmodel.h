@@ -9,9 +9,11 @@
 // matches at runtime.
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
+#include "common/matrix.h"
 #include "common/rng.h"
 
 namespace asdf::analysis {
@@ -21,8 +23,8 @@ struct BlackBoxModel {
   /// entries of exactly 0 are replaced by 1 (constant metrics carry no
   /// scale information but must not divide by zero).
   std::vector<double> sigmas;
-  /// Centroids in the transformed space.
-  std::vector<std::vector<double>> centroids;
+  /// Centroids in the transformed space (row-major, one per state).
+  Matrix centroids;
 
   std::size_t dims() const { return sigmas.size(); }
   std::size_t states() const { return centroids.size(); }
@@ -30,6 +32,10 @@ struct BlackBoxModel {
 
   /// Applies the log/sigma transform to a raw metric vector.
   std::vector<double> transform(const std::vector<double>& raw) const;
+
+  /// Flat form: writes dims() transformed values into out; the online
+  /// hot path (knn) feeds a preallocated scratch buffer.
+  void transformInto(const double* raw, std::size_t n, double* out) const;
 
   /// 1-NN state assignment for a raw metric vector.
   std::size_t classify(const std::vector<double>& raw) const;

@@ -13,58 +13,78 @@ namespace {
 
 double sq(double x) { return x * x; }
 
-double sqDistance(const std::vector<double>& a, const std::vector<double>& b) {
-  assert(a.size() == b.size());
-  double sum = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) sum += sq(a[i] - b[i]);
-  return sum;
-}
-
-std::vector<std::vector<double>> seedPlusPlus(
-    const std::vector<std::vector<double>>& points, int k, Rng& rng) {
-  std::vector<std::vector<double>> centroids;
-  centroids.reserve(static_cast<std::size_t>(k));
-  centroids.push_back(
-      points[static_cast<std::size_t>(rng.uniformInt(
-          0, static_cast<long>(points.size()) - 1))]);
-  std::vector<double> d2(points.size(),
-                         std::numeric_limits<double>::infinity());
-  while (static_cast<int>(centroids.size()) < k) {
+// k-means++ seeding with a fused weight pass: updating d^2 against the
+// newest centroid and accumulating the cumulative weights happen in
+// one sweep, and the chosen index falls out of a binary search over
+// the prefix sums instead of a second linear subtract-scan.
+void seedPlusPlus(const Matrix& points, int k, Rng& rng,
+                  std::vector<double>& d2, std::vector<double>& cum,
+                  Matrix& centroids) {
+  const std::size_t n = points.rows();
+  const std::size_t dims = points.cols();
+  centroids.resizeRows(static_cast<std::size_t>(k), dims);
+  std::size_t seeded = 1;
+  {
+    const auto first = static_cast<std::size_t>(
+        rng.uniformInt(0, static_cast<long>(n) - 1));
+    std::copy_n(points.row(first), dims, centroids.row(0));
+  }
+  d2.assign(n, std::numeric_limits<double>::infinity());
+  cum.resize(n);
+  while (seeded < static_cast<std::size_t>(k)) {
+    const double* latest = centroids.row(seeded - 1);
     double total = 0.0;
-    for (std::size_t i = 0; i < points.size(); ++i) {
-      d2[i] = std::min(d2[i], sqDistance(points[i], centroids.back()));
-      total += d2[i];
+    for (std::size_t i = 0; i < n; ++i) {
+      const double d =
+          std::min(d2[i], sqDistanceN(points.row(i), latest, dims));
+      d2[i] = d;
+      total += d;
+      cum[i] = total;
     }
     if (total <= 0.0) {
       // All points coincide with existing centroids; duplicate one.
-      centroids.push_back(centroids.back());
+      std::copy_n(centroids.row(seeded - 1), dims, centroids.row(seeded));
+      ++seeded;
       continue;
     }
-    double x = rng.uniform(0.0, total);
-    std::size_t chosen = points.size() - 1;
-    for (std::size_t i = 0; i < points.size(); ++i) {
-      x -= d2[i];
-      if (x < 0.0) {
-        chosen = i;
-        break;
-      }
-    }
-    centroids.push_back(points[chosen]);
+    const double x = rng.uniform(0.0, total);
+    const auto it = std::upper_bound(cum.begin(), cum.end(), x);
+    const std::size_t chosen =
+        it == cum.end() ? n - 1
+                        : static_cast<std::size_t>(it - cum.begin());
+    std::copy_n(points.row(chosen), dims, centroids.row(seeded));
+    ++seeded;
   }
-  return centroids;
 }
 
 }  // namespace
 
-KMeansResult kmeans(const std::vector<std::vector<double>>& points,
-                    const KMeansOptions& options, Rng& rng) {
-  assert(!points.empty());
-  assert(options.k >= 1);
-  const std::size_t dims = points.front().size();
+double sqDistanceN(const double* a, const double* b, std::size_t n) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) sum += sq(a[i] - b[i]);
+  return sum;
+}
 
+KMeansResult kmeans(const Matrix& points, const KMeansOptions& options,
+                    Rng& rng) {
+  KMeansScratch scratch;
   KMeansResult result;
-  result.centroids = seedPlusPlus(points, options.k, rng);
-  result.assignment.assign(points.size(), 0);
+  kmeans(points, options, rng, scratch, result);
+  return result;
+}
+
+void kmeans(const Matrix& points, const KMeansOptions& options, Rng& rng,
+            KMeansScratch& scratch, KMeansResult& result) {
+  assert(points.rows() > 0);
+  assert(options.k >= 1);
+  const std::size_t n = points.rows();
+  const std::size_t dims = points.cols();
+  const auto k = static_cast<std::size_t>(options.k);
+
+  seedPlusPlus(points, options.k, rng, scratch.d2, scratch.cum,
+               result.centroids);
+  result.assignment.assign(n, 0);
+  result.iterations = 0;
 
   double prevInertia = std::numeric_limits<double>::infinity();
   for (int iter = 0; iter < options.maxIterations; ++iter) {
@@ -72,27 +92,31 @@ KMeansResult kmeans(const std::vector<std::vector<double>>& points,
 
     // Assignment step.
     double inertia = 0.0;
-    for (std::size_t i = 0; i < points.size(); ++i) {
-      const std::size_t c = nearestCentroid(result.centroids, points[i]);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double* p = points.row(i);
+      const std::size_t c = nearestCentroid(result.centroids, p);
       result.assignment[i] = static_cast<int>(c);
-      inertia += sqDistance(points[i], result.centroids[c]);
+      inertia += sqDistanceN(p, result.centroids.row(c), dims);
     }
     result.inertia = inertia;
 
     // Update step.
-    std::vector<std::vector<double>> sums(
-        result.centroids.size(), std::vector<double>(dims, 0.0));
-    std::vector<std::size_t> counts(result.centroids.size(), 0);
-    for (std::size_t i = 0; i < points.size(); ++i) {
+    scratch.sums.resizeRows(k, dims);
+    std::fill(scratch.sums.flat().begin(), scratch.sums.flat().end(), 0.0);
+    scratch.counts.assign(k, 0);
+    for (std::size_t i = 0; i < n; ++i) {
       const auto c = static_cast<std::size_t>(result.assignment[i]);
-      ++counts[c];
-      for (std::size_t d = 0; d < dims; ++d) sums[c][d] += points[i][d];
+      ++scratch.counts[c];
+      const double* p = points.row(i);
+      double* s = scratch.sums.row(c);
+      for (std::size_t d = 0; d < dims; ++d) s[d] += p[d];
     }
-    for (std::size_t c = 0; c < result.centroids.size(); ++c) {
-      if (counts[c] == 0) continue;  // empty cluster keeps its centroid
+    for (std::size_t c = 0; c < k; ++c) {
+      if (scratch.counts[c] == 0) continue;  // empty cluster keeps centroid
+      const double* s = scratch.sums.row(c);
+      double* dst = result.centroids.row(c);
       for (std::size_t d = 0; d < dims; ++d) {
-        result.centroids[c][d] =
-            sums[c][d] / static_cast<double>(counts[c]);
+        dst[d] = s[d] / static_cast<double>(scratch.counts[c]);
       }
     }
 
@@ -107,22 +131,22 @@ KMeansResult kmeans(const std::vector<std::vector<double>>& points,
   // *final* centroids (the update step moved them after the last
   // assignment).
   double inertia = 0.0;
-  for (std::size_t i = 0; i < points.size(); ++i) {
-    const std::size_t c = nearestCentroid(result.centroids, points[i]);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* p = points.row(i);
+    const std::size_t c = nearestCentroid(result.centroids, p);
     result.assignment[i] = static_cast<int>(c);
-    inertia += sqDistance(points[i], result.centroids[c]);
+    inertia += sqDistanceN(p, result.centroids.row(c), dims);
   }
   result.inertia = inertia;
-  return result;
 }
 
-std::size_t nearestCentroid(const std::vector<std::vector<double>>& centroids,
-                            const std::vector<double>& x) {
-  assert(!centroids.empty());
+std::size_t nearestCentroid(const Matrix& centroids, const double* x) {
+  assert(centroids.rows() > 0);
+  const std::size_t dims = centroids.cols();
   std::size_t best = 0;
   double bestD = std::numeric_limits<double>::infinity();
-  for (std::size_t c = 0; c < centroids.size(); ++c) {
-    const double d = sqDistance(centroids[c], x);
+  for (std::size_t c = 0; c < centroids.rows(); ++c) {
+    const double d = sqDistanceN(centroids.row(c), x, dims);
     if (d < bestD) {
       bestD = d;
       best = c;
@@ -131,16 +155,38 @@ std::size_t nearestCentroid(const std::vector<std::vector<double>>& centroids,
   return best;
 }
 
-std::vector<std::size_t> nearestCentroids(
-    const std::vector<std::vector<double>>& centroids,
-    const std::vector<double>& x, std::size_t k) {
-  std::vector<std::size_t> order(centroids.size());
-  std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    return sqDistance(centroids[a], x) < sqDistance(centroids[b], x);
-  });
-  order.resize(std::min(k, order.size()));
-  return order;
+std::size_t nearestCentroid(const Matrix& centroids,
+                            const std::vector<double>& x) {
+  assert(x.size() == centroids.cols());
+  return nearestCentroid(centroids, x.data());
+}
+
+const std::vector<std::size_t>& nearestCentroids(const Matrix& centroids,
+                                                 const double* x,
+                                                 std::size_t k,
+                                                 NearestScratch& scratch) {
+  const std::size_t n = centroids.rows();
+  const std::size_t dims = centroids.cols();
+  scratch.dist.resize(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    scratch.dist[c] = sqDistanceN(centroids.row(c), x, dims);
+  }
+  scratch.order.resize(n);
+  std::iota(scratch.order.begin(), scratch.order.end(), 0);
+  std::sort(scratch.order.begin(), scratch.order.end(),
+            [&](std::size_t a, std::size_t b) {
+              return scratch.dist[a] < scratch.dist[b];
+            });
+  scratch.order.resize(std::min(k, n));
+  return scratch.order;
+}
+
+std::vector<std::size_t> nearestCentroids(const Matrix& centroids,
+                                          const std::vector<double>& x,
+                                          std::size_t k) {
+  assert(x.size() == centroids.cols());
+  NearestScratch scratch;
+  return nearestCentroids(centroids, x.data(), k, scratch);
 }
 
 }  // namespace asdf::analysis

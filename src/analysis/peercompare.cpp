@@ -7,32 +7,62 @@
 #include "common/stats.h"
 
 namespace asdf::analysis {
+namespace {
+
+std::vector<const double*> rowViews(
+    const std::vector<std::vector<double>>& rows) {
+  std::vector<const double*> out(rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) out[i] = rows[i].data();
+  return out;
+}
+
+}  // namespace
 
 std::vector<double> stateHistogram(const std::vector<double>& stateIndices,
                                    std::size_t numStates) {
   std::vector<double> hist(numStates, 0.0);
-  for (double raw : stateIndices) {
-    const long s = std::lround(raw);
+  stateHistogramInto(stateIndices.data(), stateIndices.size(), hist.data(),
+                     numStates);
+  return hist;
+}
+
+void stateHistogramInto(const double* stateIndices, std::size_t n,
+                        double* hist, std::size_t numStates) {
+  std::fill(hist, hist + numStates, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const long s = std::lround(stateIndices[i]);
     if (s >= 0 && static_cast<std::size_t>(s) < numStates) {
       hist[static_cast<std::size_t>(s)] += 1.0;
     }
   }
-  return hist;
 }
 
 PeerComparisonResult blackBoxCompare(
     const std::vector<std::vector<double>>& histograms, double threshold) {
   PeerComparisonResult result;
   if (histograms.empty()) return result;
-  const std::vector<double> medianHist = componentwiseMedian(histograms);
-  result.flags.reserve(histograms.size());
-  result.scores.reserve(histograms.size());
-  for (const auto& h : histograms) {
-    const double d = l1Distance(h, medianHist);
-    result.scores.push_back(d);
-    result.flags.push_back(d > threshold ? 1.0 : 0.0);
-  }
+  const std::size_t dims = histograms.front().size();
+  const auto rows = rowViews(histograms);
+  PeerScratch scratch;
+  result.flags.resize(histograms.size());
+  result.scores.resize(histograms.size());
+  blackBoxCompareInto(rows.data(), rows.size(), dims, threshold, scratch,
+                      result.flags.data(), result.scores.data());
   return result;
+}
+
+void blackBoxCompareInto(const double* const* histograms, std::size_t nodes,
+                         std::size_t dims, double threshold,
+                         PeerScratch& scratch, double* flags, double* scores) {
+  if (nodes == 0) return;
+  scratch.median.resize(dims);
+  componentwiseMedianInto(histograms, nodes, dims, scratch.median.data(),
+                          scratch.column);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    const double d = l1DistanceN(histograms[i], scratch.median.data(), dims);
+    scores[i] = d;
+    flags[i] = d > threshold ? 1.0 : 0.0;
+  }
 }
 
 PeerComparisonResult whiteBoxCompare(
@@ -41,31 +71,44 @@ PeerComparisonResult whiteBoxCompare(
   PeerComparisonResult result;
   if (means.empty()) return result;
   assert(means.size() == stddevs.size());
-  const std::size_t nodes = means.size();
   const std::size_t dims = means.front().size();
+  const auto meanRows = rowViews(means);
+  const auto stddevRows = rowViews(stddevs);
+  PeerScratch scratch;
+  result.flags.resize(means.size());
+  result.scores.resize(means.size());
+  whiteBoxCompareInto(meanRows.data(), stddevRows.data(), means.size(), dims,
+                      k, scratch, result.flags.data(), result.scores.data());
+  return result;
+}
 
-  const std::vector<double> medianMean = componentwiseMedian(means);
-  const std::vector<double> sigmaMedian = componentwiseMedian(stddevs);
+void whiteBoxCompareInto(const double* const* means,
+                         const double* const* stddevs, std::size_t nodes,
+                         std::size_t dims, double k, PeerScratch& scratch,
+                         double* flags, double* scores) {
+  if (nodes == 0) return;
+  scratch.median.resize(dims);
+  scratch.sigmaMedian.resize(dims);
+  componentwiseMedianInto(means, nodes, dims, scratch.median.data(),
+                          scratch.column);
+  componentwiseMedianInto(stddevs, nodes, dims, scratch.sigmaMedian.data(),
+                          scratch.column);
 
-  result.flags.assign(nodes, 0.0);
-  result.scores.assign(nodes, 0.0);
   for (std::size_t i = 0; i < nodes; ++i) {
-    assert(means[i].size() == dims && stddevs[i].size() == dims);
     double criticalK = 0.0;
     for (std::size_t m = 0; m < dims; ++m) {
-      const double diff = std::abs(means[i][m] - medianMean[m]);
+      const double diff = std::abs(means[i][m] - scratch.median[m]);
       if (diff <= 1.0) continue;  // below the max(1, .) floor at any k
-      const double sigma = sigmaMedian[m];
+      const double sigma = scratch.sigmaMedian[m];
       const double metricCritical =
           sigma > 1e-12 ? diff / sigma : kWhiteBoxAlwaysFlagged;
       criticalK = std::max(criticalK, metricCritical);
     }
-    result.scores[i] = criticalK;
+    scores[i] = criticalK;
     // Flagged iff some metric has diff > max(1, k*sigma), i.e. the
     // critical k is strictly above the configured k.
-    result.flags[i] = criticalK > k ? 1.0 : 0.0;
+    flags[i] = criticalK > k ? 1.0 : 0.0;
   }
-  return result;
 }
 
 }  // namespace asdf::analysis

@@ -18,8 +18,15 @@
 // smallest threshold at which the node would NOT be flagged — so
 // threshold sweeps (Figures 6a/6b) replay recorded windows without
 // re-running the cluster.
+//
+// The *Into forms are the online hot path: they take row-pointer views
+// plus a caller-owned PeerScratch, write flags/scores into caller
+// buffers, and allocate nothing once the scratch is warm. The
+// vector-of-vectors forms are retained as the reference surface
+// (tests, offline sweeps) and share the same arithmetic.
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 namespace asdf::analysis {
@@ -29,9 +36,21 @@ namespace asdf::analysis {
 std::vector<double> stateHistogram(const std::vector<double>& stateIndices,
                                    std::size_t numStates);
 
+/// Flat form: accumulates into hist[0..numStates) (zeroed first).
+void stateHistogramInto(const double* stateIndices, std::size_t n,
+                        double* hist, std::size_t numStates);
+
 struct PeerComparisonResult {
   std::vector<double> flags;   // 1.0 = fingerpointed
   std::vector<double> scores;  // sweepable per-node score (see above)
+};
+
+/// Reusable workspace for the *Into comparisons; capacity is retained
+/// across windows so the steady state allocates nothing.
+struct PeerScratch {
+  std::vector<double> median;       // component-wise median buffer
+  std::vector<double> sigmaMedian;  // white-box per-metric sigma medians
+  std::vector<double> column;       // componentwiseMedianInto scratch
 };
 
 /// Black-box window decision. `histograms` holds one StateVector per
@@ -39,6 +58,12 @@ struct PeerComparisonResult {
 /// flags[i] = scores[i] > threshold.
 PeerComparisonResult blackBoxCompare(
     const std::vector<std::vector<double>>& histograms, double threshold);
+
+/// Flat black-box form: histograms[i] points at a row of `dims`
+/// doubles; flags/scores must hold `nodes` doubles.
+void blackBoxCompareInto(const double* const* histograms, std::size_t nodes,
+                         std::size_t dims, double threshold,
+                         PeerScratch& scratch, double* flags, double* scores);
 
 /// White-box window decision. `means` / `stddevs` hold one vector per
 /// node (per-metric window mean / standard deviation). A node is
@@ -49,6 +74,13 @@ PeerComparisonResult blackBoxCompare(
 PeerComparisonResult whiteBoxCompare(
     const std::vector<std::vector<double>>& means,
     const std::vector<std::vector<double>>& stddevs, double k);
+
+/// Flat white-box form; same row-pointer conventions as
+/// blackBoxCompareInto.
+void whiteBoxCompareInto(const double* const* means,
+                         const double* const* stddevs, std::size_t nodes,
+                         std::size_t dims, double k, PeerScratch& scratch,
+                         double* flags, double* scores);
 
 /// The sentinel used for "flagged at every k" in white-box scores.
 inline constexpr double kWhiteBoxAlwaysFlagged = 1.0e9;

@@ -25,7 +25,9 @@ double stddev(const std::vector<double>& xs) {
   return std::sqrt(variance(xs));
 }
 
-double median(std::vector<double> xs) {
+double median(std::vector<double> xs) { return medianInPlace(xs); }
+
+double medianInPlace(std::vector<double>& xs) {
   if (xs.empty()) return 0.0;
   const std::size_t mid = xs.size() / 2;
   std::nth_element(xs.begin(), xs.begin() + mid, xs.end());
@@ -48,8 +50,12 @@ double percentile(std::vector<double> xs, double p) {
 
 double l1Distance(const std::vector<double>& a, const std::vector<double>& b) {
   assert(a.size() == b.size());
+  return l1DistanceN(a.data(), b.data(), a.size());
+}
+
+double l1DistanceN(const double* a, const double* b, std::size_t n) {
   double sum = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) sum += std::abs(a[i] - b[i]);
+  for (std::size_t i = 0; i < n; ++i) sum += std::abs(a[i] - b[i]);
   return sum;
 }
 
@@ -69,14 +75,23 @@ std::vector<double> componentwiseMedian(
   const std::size_t dims = rows.front().size();
   std::vector<double> out(dims, 0.0);
   std::vector<double> column(rows.size());
-  for (std::size_t d = 0; d < dims; ++d) {
-    for (std::size_t r = 0; r < rows.size(); ++r) {
-      assert(rows[r].size() == dims);
-      column[r] = rows[r][d];
-    }
-    out[d] = median(column);
+  std::vector<const double*> ptrs(rows.size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    assert(rows[r].size() == dims);
+    ptrs[r] = rows[r].data();
   }
+  componentwiseMedianInto(ptrs.data(), rows.size(), dims, out.data(), column);
   return out;
+}
+
+void componentwiseMedianInto(const double* const* rows, std::size_t n,
+                             std::size_t dims, double* out,
+                             std::vector<double>& column) {
+  column.resize(n);
+  for (std::size_t d = 0; d < dims; ++d) {
+    for (std::size_t r = 0; r < n; ++r) column[r] = rows[r][d];
+    out[d] = medianInPlace(column);
+  }
 }
 
 void RunningStats::add(double x) {

@@ -21,11 +21,18 @@ double stddev(const std::vector<double>& xs);
 /// Copies the input; the caller's vector is untouched.
 double median(std::vector<double> xs);
 
+/// Median that partitions the caller's buffer in place (no copy);
+/// identical arithmetic to median(). For scratch-buffer hot paths.
+double medianInPlace(std::vector<double>& xs);
+
 /// p-th percentile with linear interpolation, p in [0, 100].
 double percentile(std::vector<double> xs, double p);
 
 /// Sum of absolute component differences. Vectors must be equal size.
 double l1Distance(const std::vector<double>& a, const std::vector<double>& b);
+
+/// l1Distance over raw strided rows (the flat-kernel form).
+double l1DistanceN(const double* a, const double* b, std::size_t n);
 
 /// Euclidean distance. Vectors must be equal size.
 double l2Distance(const std::vector<double>& a, const std::vector<double>& b);
@@ -34,6 +41,15 @@ double l2Distance(const std::vector<double>& a, const std::vector<double>& b);
 /// both fingerpointing algorithms for peer comparison.
 std::vector<double> componentwiseMedian(
     const std::vector<std::vector<double>>& rows);
+
+/// Flat-kernel form: rows[r] points at a row of `dims` doubles; the
+/// per-component medians land in out[0..dims). `column` is caller
+/// scratch (resized to n, capacity retained across calls) so the
+/// steady state allocates nothing. Arithmetic is identical to
+/// componentwiseMedian().
+void componentwiseMedianInto(const double* const* rows, std::size_t n,
+                             std::size_t dims, double* out,
+                             std::vector<double>& column);
 
 /// Online mean/variance accumulator (Welford's algorithm).
 class RunningStats {

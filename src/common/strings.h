@@ -2,6 +2,8 @@
 // parser, and table formatting. Kept dependency-free.
 #pragma once
 
+#include <cstddef>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -31,6 +33,16 @@ std::string join(const std::vector<std::string>& pieces,
 /// printf-style formatting into a std::string.
 std::string strformat(const char* fmt, ...)
     __attribute__((format(printf, 1, 2)));
+
+/// Heterogeneous hash for unordered containers keyed by std::string:
+/// pair with std::equal_to<> to enable find(std::string_view) without
+/// materializing a temporary key string.
+struct TransparentStringHash {
+  using is_transparent = void;
+  std::size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+};
 
 /// Parses a double; returns false on malformed input (trailing junk
 /// counts as malformed).

@@ -41,7 +41,7 @@ void FptCore::configureFromFile(const std::string& path) {
   configure(parseIniFile(path));
 }
 
-ModuleInstance* FptCore::findInstance(const std::string& id) {
+ModuleInstance* FptCore::findInstance(std::string_view id) {
   const auto it = instanceIndex_.find(id);
   return it == instanceIndex_.end() ? nullptr : it->second;
 }
@@ -182,6 +182,14 @@ void FptCore::initializeGraph() {
         "fpt-core: DAG construction failed; uninitializable instances:" +
         detail);
   }
+
+  // Size the dispatcher's level-indexed frontier buckets once; the
+  // wavefront loop then reuses them without rehashing or tree churn.
+  int maxLevel = 0;
+  for (const auto& inst : instances_) {
+    maxLevel = std::max(maxLevel, inst->level_);
+  }
+  frontier_.resize(static_cast<std::size_t>(maxLevel) + 1);
 }
 
 void FptCore::wireInputs(ModuleInstance& instance) {
@@ -236,6 +244,15 @@ void FptCore::wireInputs(ModuleInstance& instance) {
       if (std::find(subs.begin(), subs.end(), &instance) == subs.end()) {
         subs.push_back(&instance);
       }
+      // Per-port listener list: lets a write publish by walking exactly
+      // the consumers of that port (deduplicated so one consumer with
+      // several connections to the port still counts one update per
+      // write, matching the historical notification semantics).
+      auto& listeners = port->listeners;
+      if (std::find(listeners.begin(), listeners.end(), &instance) ==
+          listeners.end()) {
+        listeners.push_back(&instance);
+      }
     }
   }
 }
@@ -257,21 +274,31 @@ void FptCore::noteOutputWritten(ModuleInstance& writer, OutputPort& port) {
 }
 
 void FptCore::onOutputWritten(OutputPort& port) {
-  for (ModuleInstance* sub : port.owner->subscribers_) {
-    // Count the update only if the subscriber actually listens to this
-    // specific port (it may subscribe to a sibling output only).
-    bool listens = false;
-    for (const auto& [name, conns] : sub->inputs_) {
-      for (const auto& conn : conns) {
-        if (conn.port == &port) {
-          listens = true;
-          break;
-        }
-      }
-      if (listens) break;
-    }
-    if (!listens) continue;
+  for (ModuleInstance* sub : port.listeners) {
     ++sub->pendingUpdates_;
+    sub->runQueued_ = true;
+    enqueueReady(*sub);
+  }
+}
+
+void FptCore::publishWrites(const std::vector<OutputPort*>& writes) {
+  // Stamp every port first (write order = deterministic stamp order),
+  // then deliver the whole batch: pendingUpdates_ counts one update
+  // per port-write per listener exactly as the per-port path would,
+  // but each distinct consumer is enqueued once.
+  batchTargets_.clear();
+  for (OutputPort* port : writes) {
+    port->writeSeq = ++writeSeq_;
+    for (ModuleInstance* sub : port->listeners) {
+      ++sub->pendingUpdates_;
+      if (!sub->inPublishBatch_) {
+        sub->inPublishBatch_ = true;
+        batchTargets_.push_back(sub);
+      }
+    }
+  }
+  for (ModuleInstance* sub : batchTargets_) {
+    sub->inPublishBatch_ = false;
     sub->runQueued_ = true;
     enqueueReady(*sub);
   }
@@ -291,8 +318,39 @@ void FptCore::scheduleWavefront() {
   engine_.scheduleAfter(0.0, [this] { dispatchWavefront(); });
 }
 
-std::vector<std::vector<FptCore::ReadyRun>> FptCore::exclusiveGroups(
-    const std::vector<ReadyRun>& runs) const {
+void FptCore::buildExclusiveGroups(const std::vector<ReadyRun>& runs) {
+  const auto appendToGroup = [this](std::size_t g, const ReadyRun& run) {
+    if (g == groups_.size()) groups_.emplace_back();
+    if (g >= groupCount_) {
+      groups_[g].clear();
+      groupCount_ = g + 1;
+    }
+    groups_[g].push_back(run);
+  };
+  groupCount_ = 0;
+
+  // Fast path: no instance in this level declares an exclusivity
+  // domain. Grouping then only merges the two entries of one instance
+  // (periodic + triggered), which are always adjacent — a single
+  // linear pass over reused buffers, no allocation in steady state.
+  bool anyDomain = false;
+  for (const ReadyRun& run : runs) {
+    if (!run.instance->exclusiveDomains_.empty()) {
+      anyDomain = true;
+      break;
+    }
+  }
+  if (!anyDomain) {
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      if (i > 0 && runs[i].instance == runs[i - 1].instance) {
+        groups_[groupCount_ - 1].push_back(runs[i]);
+      } else {
+        appendToGroup(groupCount_, runs[i]);
+      }
+    }
+    return;
+  }
+
   // Union-find over the level's runs: both entries of one instance and
   // all instances sharing an exclusivity domain collapse into one
   // group, which the executor runs as a single serial task.
@@ -323,15 +381,12 @@ std::vector<std::vector<FptCore::ReadyRun>> FptCore::exclusiveGroups(
     }
   }
 
-  std::vector<std::vector<ReadyRun>> groups;
   std::unordered_map<std::size_t, std::size_t> groupOfRoot;
   for (std::size_t i = 0; i < runs.size(); ++i) {
     const std::size_t root = find(i);
-    const auto [it, isNew] = groupOfRoot.try_emplace(root, groups.size());
-    if (isNew) groups.emplace_back();
-    groups[it->second].push_back(runs[i]);
+    const auto [it, isNew] = groupOfRoot.try_emplace(root, groupCount_);
+    appendToGroup(it->second, runs[i]);
   }
-  return groups;
 }
 
 void FptCore::dispatchWavefront() {
@@ -340,75 +395,76 @@ void FptCore::dispatchWavefront() {
   dispatching_ = true;
   ++wavefronts_;
 
-  // The working frontier, keyed by topological level. Notifications
-  // merged at a level barrier can only ready *deeper* instances (a
-  // subscriber's level strictly exceeds its producer's), so one
-  // ascending sweep covers everything this wavefront can reach.
-  std::map<int, std::vector<ModuleInstance*>> frontier;
+  // The working frontier, bucketed by topological level in reused
+  // member buffers (their capacity persists across wavefronts, so the
+  // steady state allocates nothing here). Notifications merged at a
+  // level barrier can only ready *deeper* instances (a subscriber's
+  // level strictly exceeds its producer's), so one ascending sweep
+  // covers everything this wavefront can reach.
   const auto absorbReadySet = [&] {
     for (ModuleInstance* inst : readySet_) {
       inst->inReadySet_ = false;
-      frontier[inst->level_].push_back(inst);
+      frontier_[static_cast<std::size_t>(inst->level_)].push_back(inst);
     }
     readySet_.clear();
   };
   absorbReadySet();
 
-  while (!frontier.empty()) {
-    const auto levelIt = frontier.begin();
-    std::vector<ModuleInstance*> levelInstances = std::move(levelIt->second);
-    frontier.erase(levelIt);
+  for (std::size_t lvl = 0; lvl < frontier_.size(); ++lvl) {
+    std::vector<ModuleInstance*>& levelInstances = frontier_[lvl];
+    if (levelInstances.empty()) continue;
     std::sort(levelInstances.begin(), levelInstances.end(),
               [](const ModuleInstance* a, const ModuleInstance* b) {
                 return a->order_ < b->order_;
               });
 
-    std::vector<ReadyRun> runs;
-    runs.reserve(levelInstances.size());
+    levelRuns_.clear();
     for (ModuleInstance* inst : levelInstances) {
       const bool periodic = inst->queuedPeriodic_;
       inst->queuedPeriodic_ = false;
       const bool triggered = inst->runQueued_;
       inst->runQueued_ = false;
-      if (periodic) runs.push_back(ReadyRun{inst, RunReason::kPeriodic});
+      if (periodic) levelRuns_.push_back(ReadyRun{inst, RunReason::kPeriodic});
       if (triggered && inst->pendingUpdates_ >= inst->inputTrigger_) {
         inst->pendingUpdates_ = 0;
-        runs.push_back(ReadyRun{inst, RunReason::kInputsUpdated});
+        levelRuns_.push_back(ReadyRun{inst, RunReason::kInputsUpdated});
       }
     }
-    if (runs.empty()) continue;
+    levelInstances.clear();
+    if (levelRuns_.empty()) continue;
 
-    std::vector<std::vector<ReadyRun>> groups = exclusiveGroups(runs);
-    std::vector<Executor::Task> tasks;
-    tasks.reserve(groups.size());
-    for (const std::vector<ReadyRun>& group : groups) {
-      tasks.push_back([this, &group] {
-        for (const ReadyRun& run : group) {
+    buildExclusiveGroups(levelRuns_);
+    tasks_.clear();
+    for (std::size_t g = 0; g < groupCount_; ++g) {
+      const std::vector<ReadyRun>* group = &groups_[g];
+      tasks_.push_back([this, group] {
+        for (const ReadyRun& run : *group) {
           runInstance(*run.instance, run.reason);
         }
       });
     }
     try {
-      executor_->runBatch(tasks);
+      executor_->runBatch(tasks_);
     } catch (...) {
-      for (const ReadyRun& run : runs) run.instance->deferredWrites_.clear();
+      for (const ReadyRun& run : levelRuns_) {
+        run.instance->deferredWrites_.clear();
+      }
+      for (auto& bucket : frontier_) bucket.clear();
       dispatching_ = false;
       throw;
     }
 
-    // Level barrier: every run of this level has completed. Merge the
-    // deferred write notifications in deterministic order — instances
-    // in configuration order, each instance's writes in its own write
-    // order — regardless of how the executor interleaved the runs.
-    for (const ReadyRun& run : runs) {
+    // Level barrier: every run of this level has completed. Publish
+    // each producer's whole deferred write set in deterministic order
+    // — instances in configuration order, each instance's writes in
+    // its own write order — regardless of how the executor interleaved
+    // the runs. (No module code runs during publishing, so draining in
+    // place is safe; clear() keeps the buffer's capacity.)
+    for (const ReadyRun& run : levelRuns_) {
       ModuleInstance* inst = run.instance;
       if (inst->deferredWrites_.empty()) continue;
-      std::vector<OutputPort*> writes;
-      writes.swap(inst->deferredWrites_);
-      for (OutputPort* port : writes) {
-        port->writeSeq = ++writeSeq_;
-        onOutputWritten(*port);
-      }
+      publishWrites(inst->deferredWrites_);
+      inst->deferredWrites_.clear();
     }
     absorbReadySet();
   }
@@ -435,9 +491,8 @@ std::size_t FptCore::memoryFootprintBytes() const {
     total += sizeof(ModuleInstance) + 256 /* module object estimate */;
     for (const auto& port : inst->outputs_) {
       total += sizeof(OutputPort);
-      if (const auto* vec = std::get_if<std::vector<double>>(
-              &port->latest.value)) {
-        total += vec->capacity() * sizeof(double);
+      if (const auto* vec = std::get_if<VecBuf>(&port->latest.value)) {
+        total += vec->payloadBytes();
       } else if (const auto* str =
                      std::get_if<std::string>(&port->latest.value)) {
         total += str->capacity();

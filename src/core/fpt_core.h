@@ -43,12 +43,14 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "common/cputime.h"
 #include "common/ini.h"
+#include "common/strings.h"
 #include "core/environment.h"
 #include "core/executor.h"
 #include "core/graph.h"
@@ -75,8 +77,10 @@ class FptCore {
   void configureFromText(const std::string& configText);
   void configureFromFile(const std::string& path);
 
-  /// Instance lookup by id (hash index; O(1)). nullptr when absent.
-  ModuleInstance* findInstance(const std::string& id);
+  /// Instance lookup by id (hash index; O(1), heterogeneous — a
+  /// string_view slice of a config ref needs no temporary string).
+  /// nullptr when absent.
+  ModuleInstance* findInstance(std::string_view id);
   const std::vector<std::unique_ptr<ModuleInstance>>& instances() const {
     return instances_;
   }
@@ -124,9 +128,13 @@ class FptCore {
   /// notification is deferred to the current level's barrier;
   /// otherwise (init-time writes) it fires immediately.
   void noteOutputWritten(ModuleInstance& writer, OutputPort& port);
-  /// Counts the update for every subscriber listening on `port` and
-  /// enqueues them for dispatch.
+  /// Counts the update for every listener of `port` and enqueues them
+  /// for dispatch.
   void onOutputWritten(OutputPort& port);
+  /// Batch form used at the level barrier: stamps and publishes a
+  /// producer's whole deferred write set in one pass, counting every
+  /// port update per listener but enqueueing each consumer once.
+  void publishWrites(const std::vector<OutputPort*>& writes);
   /// Adds an instance to the ready set and arms the dispatch event.
   void enqueueReady(ModuleInstance& instance);
   void scheduleWavefront();
@@ -136,18 +144,30 @@ class FptCore {
   void dispatchWavefront();
   /// Splits one level's runs into executor tasks: instances sharing an
   /// exclusivity domain form one serial task (configuration order);
-  /// all other instances get a task each.
-  std::vector<std::vector<ReadyRun>> exclusiveGroups(
-      const std::vector<ReadyRun>& runs) const;
+  /// all other instances get a task each. Fills groups_/groupCount_
+  /// from reused buffers; levels without exclusivity domains take an
+  /// allocation-free linear path.
+  void buildExclusiveGroups(const std::vector<ReadyRun>& runs);
 
   sim::SimEngine& engine_;
   Environment env_;
   ModuleRegistry* registry_;
   std::vector<std::unique_ptr<ModuleInstance>> instances_;
-  std::unordered_map<std::string, ModuleInstance*> instanceIndex_;
+  std::unordered_map<std::string, ModuleInstance*, TransparentStringHash,
+                     std::equal_to<>>
+      instanceIndex_;
   std::unique_ptr<Executor> executor_;
 
   std::vector<ModuleInstance*> readySet_;
+  // Reused dispatch buffers (wavefront hot path; capacity persists so
+  // the steady state allocates nothing). frontier_ is indexed by
+  // topological level, sized once the DAG is built.
+  std::vector<std::vector<ModuleInstance*>> frontier_;
+  std::vector<ReadyRun> levelRuns_;
+  std::vector<ModuleInstance*> batchTargets_;
+  std::vector<std::vector<ReadyRun>> groups_;  // first groupCount_ valid
+  std::size_t groupCount_ = 0;
+  std::vector<Executor::Task> tasks_;
   bool wavefrontScheduled_ = false;  // dispatch event already queued
   bool dispatching_ = false;         // inside dispatchWavefront
   std::uint64_t writeSeq_ = 0;       // deterministic global write stamp

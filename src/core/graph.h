@@ -38,6 +38,11 @@ struct OutputPort {
   std::uint64_t version = 0;   // bumped on every write (per-port)
   std::uint64_t writeSeq = 0;  // global stamp, assigned at merge time
   std::mutex slotMutex;        // guards latest/version during writes
+  /// Instances with a connection bound to *this specific port*,
+  /// deduplicated. Precomputed at wiring time so publishing a write is
+  /// one indexed walk instead of rescanning every subscriber's input
+  /// map per write.
+  std::vector<ModuleInstance*> listeners;
 };
 
 /// An edge: one bound output, as seen from the consuming instance.
@@ -107,6 +112,7 @@ class ModuleInstance {
   bool queuedPeriodic_ = false;  // a periodic firing awaits dispatch
   bool runQueued_ = false;       // an input-trigger check awaits dispatch
   bool inReadySet_ = false;      // already in the dispatcher's ready set
+  bool inPublishBatch_ = false;  // dedup mark while a batch publishes
   // Ports this instance wrote during its current run; drained by the
   // scheduler at the level barrier, where notifications are merged in
   // deterministic order. Only the running instance's thread appends,

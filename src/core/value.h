@@ -4,9 +4,26 @@
 // scalar, a numeric vector (metric vectors, state vectors, alarm
 // flags), or a string (diagnostics). Data-collection modules produce
 // them; analysis modules consume and transform them.
+//
+// Vector payloads are copy-on-write (VecBuf): the bytes live in one
+// shared immutable buffer, so fan-out to N consumers, the port's
+// latest-sample slot, and ibuffer history all alias the same storage
+// instead of deep-copying per edge. Small vectors (<= 4 elements,
+// e.g. alarm/health flags for a handful of streams) are stored inline
+// with no heap buffer at all. Mutation goes through an explicit
+// makeMutable(), which clones only when the buffer is aliased — the
+// immutability rule and its consequences are documented in
+// DESIGN.md §10.
 #pragma once
 
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
 #include <string>
+#include <utility>
 #include <variant>
 #include <vector>
 
@@ -14,7 +31,209 @@
 
 namespace asdf::core {
 
-using Value = std::variant<double, std::vector<double>, std::string>;
+/// Cheap global instrumentation of the data plane: how often a COW
+/// buffer actually had to clone, and how many bytes consumers
+/// materialized into private vectors. The counters are relaxed
+/// atomics — monitoring only, never control flow. bench_data_plane
+/// and the data-plane tests read and reset them.
+struct DataPlaneCounters {
+  std::atomic<std::uint64_t> cowClones{0};
+  std::atomic<std::uint64_t> cowCloneBytes{0};
+  std::atomic<std::uint64_t> materializations{0};
+  std::atomic<std::uint64_t> materializedBytes{0};
+
+  void reset() {
+    cowClones.store(0, std::memory_order_relaxed);
+    cowCloneBytes.store(0, std::memory_order_relaxed);
+    materializations.store(0, std::memory_order_relaxed);
+    materializedBytes.store(0, std::memory_order_relaxed);
+  }
+};
+
+inline DataPlaneCounters& dataPlaneCounters() {
+  static DataPlaneCounters counters;
+  return counters;
+}
+
+/// Immutable, shareable vector-of-double payload with small-buffer
+/// inline storage. Copying a VecBuf copies a handle (or <= 4 inline
+/// doubles), never the heap buffer. The contract:
+///
+///   - Readers treat the contents as immutable; every consumer of a
+///     port sees the same bytes.
+///   - Writers call makeMutable(), which returns a mutable view and
+///     clones the buffer first iff it is aliased (use_count > 1).
+///     Inline payloads are value-copied per handle, so they are never
+///     aliased and never clone.
+///   - A single VecBuf instance is confined to one thread at a time;
+///     *distinct* handles to the same buffer may be read concurrently
+///     (the refcount is atomic, the bytes never change in place).
+class VecBuf {
+ public:
+  static constexpr std::size_t kInlineCapacity = 4;
+
+  VecBuf() = default;
+
+  VecBuf(std::vector<double>&& v) {  // NOLINT(google-explicit-constructor)
+    if (v.size() <= kInlineCapacity) {
+      adoptInline(v.data(), v.size());
+    } else {
+      heap_ = std::make_shared<std::vector<double>>(std::move(v));
+      size_ = heap_->size();
+    }
+  }
+
+  VecBuf(const std::vector<double>& v)  // NOLINT(google-explicit-constructor)
+      : VecBuf(v.data(), v.size()) {}
+
+  VecBuf(std::initializer_list<double> init)
+      : VecBuf(init.begin(), init.size()) {}
+
+  VecBuf(const double* data, std::size_t n) {
+    if (n <= kInlineCapacity) {
+      adoptInline(data, n);
+    } else {
+      heap_ = std::make_shared<std::vector<double>>(data, data + n);
+      size_ = n;
+    }
+  }
+
+  /// Wraps an externally pooled buffer (VecBuilder). Small payloads
+  /// are copied inline so the pool slot frees up immediately.
+  explicit VecBuf(const std::shared_ptr<std::vector<double>>& shared) {
+    assert(shared != nullptr);
+    if (shared->size() <= kInlineCapacity) {
+      adoptInline(shared->data(), shared->size());
+    } else {
+      heap_ = shared;
+      size_ = shared->size();
+    }
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  const double* data() const {
+    return heap_ != nullptr ? heap_->data() : inline_;
+  }
+  const double* begin() const { return data(); }
+  const double* end() const { return data() + size_; }
+  double operator[](std::size_t i) const {
+    assert(i < size_);
+    return data()[i];
+  }
+  double front() const { return (*this)[0]; }
+  double back() const { return (*this)[size_ - 1]; }
+
+  /// True when this handle shares its heap buffer with other handles.
+  bool aliased() const { return heap_ != nullptr && heap_.use_count() > 1; }
+
+  /// Explicit mutation point: returns a writable view of the
+  /// payload, cloning the buffer first iff it is aliased so sibling
+  /// consumers (and buffered history) keep seeing the original bytes.
+  double* makeMutable() {
+    if (heap_ == nullptr) return inline_;
+    if (heap_.use_count() > 1) {
+      auto& c = dataPlaneCounters();
+      c.cowClones.fetch_add(1, std::memory_order_relaxed);
+      c.cowCloneBytes.fetch_add(size_ * sizeof(double),
+                                std::memory_order_relaxed);
+      heap_ = std::make_shared<std::vector<double>>(*heap_);
+    }
+    return heap_->data();
+  }
+
+  /// Materializes a private std::vector copy (counted; prefer views).
+  std::vector<double> toVector() const {
+    auto& c = dataPlaneCounters();
+    c.materializations.fetch_add(1, std::memory_order_relaxed);
+    c.materializedBytes.fetch_add(size_ * sizeof(double),
+                                  std::memory_order_relaxed);
+    return std::vector<double>(begin(), end());
+  }
+
+  /// Bytes of payload storage behind this handle (footprint metrics).
+  std::size_t payloadBytes() const {
+    return heap_ != nullptr ? heap_->capacity() * sizeof(double) : 0;
+  }
+
+  friend bool operator==(const VecBuf& a, const VecBuf& b) {
+    if (a.size_ != b.size_) return false;
+    const double* pa = a.data();
+    const double* pb = b.data();
+    for (std::size_t i = 0; i < a.size_; ++i) {
+      if (pa[i] != pb[i]) return false;
+    }
+    return true;
+  }
+  friend bool operator!=(const VecBuf& a, const VecBuf& b) {
+    return !(a == b);
+  }
+
+ private:
+  void adoptInline(const double* data, std::size_t n) {
+    assert(n <= kInlineCapacity);
+    for (std::size_t i = 0; i < n; ++i) inline_[i] = data[i];
+    size_ = n;
+  }
+
+  std::shared_ptr<std::vector<double>> heap_;  // null => inline payload
+  std::size_t size_ = 0;
+  double inline_[kInlineCapacity] = {0, 0, 0, 0};
+};
+
+/// Reusable output-buffer pool for producing modules. acquire() hands
+/// back a cleared std::vector whose storage is recycled from earlier
+/// emissions once all consumers released their handles (the port slot
+/// typically holds the only durable reference, so a producer ping-
+/// pongs between two pooled buffers and reaches zero steady-state
+/// allocations). share() snapshots the staged buffer into a VecBuf
+/// without copying (small payloads go inline, freeing the slot at
+/// once).
+class VecBuilder {
+ public:
+  std::vector<double>& acquire() {
+    current_.reset();
+    // Rotating scan: consumers release buffers roughly in acquisition
+    // order (window eviction), so the slot right after the last one we
+    // took is almost always free — O(1) steady state instead of
+    // walking every still-retained slot from the front.
+    const std::size_t n = pool_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      std::size_t idx = cursor_ + i;
+      if (idx >= n) idx -= n;
+      if (pool_[idx].use_count() == 1) {
+        current_ = pool_[idx];
+        cursor_ = idx + 1 == n ? 0 : idx + 1;
+        break;
+      }
+    }
+    if (current_ == nullptr) {
+      pool_.push_back(std::make_shared<std::vector<double>>());
+      current_ = pool_.back();
+      cursor_ = 0;
+    }
+    current_->clear();
+    return *current_;
+  }
+
+  /// Publishes the buffer staged by the last acquire().
+  VecBuf share() {
+    assert(current_ != nullptr && "share() without acquire()");
+    VecBuf out(current_);
+    current_.reset();
+    return out;
+  }
+
+  std::size_t poolSize() const { return pool_.size(); }
+
+ private:
+  std::vector<std::shared_ptr<std::vector<double>>> pool_;
+  std::shared_ptr<std::vector<double>> current_;
+  std::size_t cursor_ = 0;
+};
+
+using Value = std::variant<double, VecBuf, std::string>;
 
 struct Sample {
   SimTime time = kNoTime;
@@ -26,15 +245,17 @@ inline bool isScalar(const Value& v) {
   return std::holds_alternative<double>(v);
 }
 inline bool isVector(const Value& v) {
-  return std::holds_alternative<std::vector<double>>(v);
+  return std::holds_alternative<VecBuf>(v);
 }
 
 /// Returns the scalar payload; throws std::bad_variant_access when the
 /// value is not a scalar (a module wiring bug worth failing loudly on).
 inline double asScalar(const Value& v) { return std::get<double>(v); }
 
-inline const std::vector<double>& asVector(const Value& v) {
-  return std::get<std::vector<double>>(v);
-}
+/// Returns a view of the shared vector payload; throws
+/// std::bad_variant_access on non-vector values. The view is valid
+/// while the Value (or any other handle to the buffer) is alive;
+/// copy the VecBuf handle — not the bytes — to retain it.
+inline const VecBuf& asVector(const Value& v) { return std::get<VecBuf>(v); }
 
 }  // namespace asdf::core

@@ -29,6 +29,7 @@
 #include "analysis/bbmodel.h"
 #include "analysis/peercompare.h"
 #include "common/error.h"
+#include "common/matrix.h"
 #include "common/strings.h"
 #include "core/module.h"
 #include "modules/modules.h"
@@ -92,21 +93,24 @@ class AnalysisBbModule final : public core::Module {
       if (!ctx.inputHasData(name, 0) || !ctx.inputFresh(name, 0)) return;
     }
     const std::size_t n = inputs_.size();
-    std::vector<std::vector<double>> histograms;
-    histograms.reserve(n);
-    for (const auto& name : inputs_) {
-      const core::Sample& sample = ctx.input(name, 0);
+    // Per-node StateVectors land in one reused row-major matrix; the
+    // input windows are read in place from their shared buffers.
+    histograms_.resizeRows(n, numStates_);
+    for (std::size_t i = 0; i < n; ++i) {
+      const core::Sample& sample = ctx.input(inputs_[i], 0);
       if (!core::isVector(sample.value)) {
         throw ConfigError("analysis_bb expects array inputs");
       }
-      histograms.push_back(analysis::stateHistogram(
-          core::asVector(sample.value), numStates_));
+      const auto& window = core::asVector(sample.value);
+      analysis::stateHistogramInto(window.data(), window.size(),
+                                   histograms_.row(i), numStates_);
     }
 
     // Survivor selection from the health registry (everyone survives
     // when there is no fault-tolerant collection layer).
-    std::vector<double> health(n, 0.0);
-    std::vector<std::size_t> survivors;
+    std::vector<double>& health = healthBuilder_.acquire();
+    health.assign(n, 0.0);
+    survivors_.clear();
     std::vector<std::string> unmonitorable;
     for (std::size_t i = 0; i < n; ++i) {
       rpc::NodeHealth h = rpc::NodeHealth::kHealthy;
@@ -118,7 +122,7 @@ class AnalysisBbModule final : public core::Module {
       if (h == rpc::NodeHealth::kUnmonitorable) {
         unmonitorable.push_back(originLabels_[i]);
       } else {
-        survivors.push_back(i);
+        survivors_.push_back(i);
       }
     }
 
@@ -126,28 +130,33 @@ class AnalysisBbModule final : public core::Module {
     // meaningful median; below that (or below the configured quorum)
     // any flag would be guesswork — suppress.
     const bool belowQuorum =
-        static_cast<int>(survivors.size()) < std::max(quorum_, 3);
+        static_cast<int>(survivors_.size()) < std::max(quorum_, 3);
 
-    std::vector<double> flags(n, 0.0);
-    std::vector<double> scores(n, 0.0);
+    std::vector<double>& flags = flagsBuilder_.acquire();
+    std::vector<double>& scores = scoresBuilder_.acquire();
+    flags.assign(n, 0.0);
+    scores.assign(n, 0.0);
     if (!belowQuorum) {
-      std::vector<std::vector<double>> surviving;
-      surviving.reserve(survivors.size());
-      for (std::size_t idx : survivors) {
-        surviving.push_back(std::move(histograms[idx]));
+      rowPtrs_.resize(survivors_.size());
+      for (std::size_t j = 0; j < survivors_.size(); ++j) {
+        rowPtrs_[j] = histograms_.row(survivors_[j]);
       }
-      const analysis::PeerComparisonResult result =
-          analysis::blackBoxCompare(surviving, threshold_);
-      for (std::size_t j = 0; j < survivors.size(); ++j) {
-        flags[survivors[j]] = result.flags[j];
-        scores[survivors[j]] = result.scores[j];
+      survivorFlags_.resize(survivors_.size());
+      survivorScores_.resize(survivors_.size());
+      analysis::blackBoxCompareInto(rowPtrs_.data(), survivors_.size(),
+                                    numStates_, threshold_, scratch_,
+                                    survivorFlags_.data(),
+                                    survivorScores_.data());
+      for (std::size_t j = 0; j < survivors_.size(); ++j) {
+        flags[survivors_[j]] = survivorFlags_[j];
+        scores[survivors_[j]] = survivorScores_[j];
       }
     }
     emitTransitions(ctx, unmonitorable, belowQuorum,
-                    static_cast<int>(survivors.size()));
-    ctx.write(outAlarms_, flags);
-    ctx.write(outScores_, scores);
-    ctx.write(outHealth_, health);
+                    static_cast<int>(survivors_.size()));
+    ctx.write(outAlarms_, flagsBuilder_.share());
+    ctx.write(outScores_, scoresBuilder_.share());
+    ctx.write(outHealth_, healthBuilder_.share());
   }
 
  private:
@@ -175,6 +184,16 @@ class AnalysisBbModule final : public core::Module {
   int quorum_ = 0;
   std::size_t numStates_ = 0;
   rpc::RpcClient* client_ = nullptr;
+  // Reused per-window workspace: zero steady-state allocations.
+  Matrix histograms_;
+  analysis::PeerScratch scratch_;
+  std::vector<std::size_t> survivors_;
+  std::vector<const double*> rowPtrs_;
+  std::vector<double> survivorFlags_;
+  std::vector<double> survivorScores_;
+  core::VecBuilder flagsBuilder_;
+  core::VecBuilder scoresBuilder_;
+  core::VecBuilder healthBuilder_;
   std::vector<std::string> inputs_;
   std::vector<std::string> originLabels_;
   std::vector<NodeId> nodeIds_;

@@ -59,13 +59,15 @@ class AnalysisMadModule final : public core::Module {
       if (!core::isVector(sample.value)) {
         throw ConfigError("analysis_mad expects array inputs");
       }
-      histograms.push_back(analysis::stateHistogram(
-          core::asVector(sample.value), numStates_));
+      const auto& window = core::asVector(sample.value);
+      histograms.emplace_back(numStates_);
+      analysis::stateHistogramInto(window.data(), window.size(),
+                                   histograms.back().data(), numStates_);
     }
-    const analysis::PeerComparisonResult result =
+    analysis::PeerComparisonResult result =
         analysis::blackBoxMadCompare(histograms, k_);
-    ctx.write(outAlarms_, result.flags);
-    ctx.write(outScores_, result.scores);
+    ctx.write(outAlarms_, std::move(result.flags));
+    ctx.write(outScores_, std::move(result.scores));
   }
 
  private:

@@ -90,22 +90,31 @@ class AnalysisWbModule final : public core::Module {
       }
     }
     const std::size_t n = meanInputs_.size();
-    std::vector<std::vector<double>> means;
-    std::vector<std::vector<double>> stddevs;
-    means.reserve(n);
-    stddevs.reserve(n);
+    // The window means/stddevs are consumed *in place* as row views of
+    // the producers' shared buffers — the white-box path copies no
+    // payload bytes at all.
+    meanRows_.resize(n);
+    devRows_.resize(n);
+    std::size_t dims = 0;
     for (std::size_t i = 0; i < n; ++i) {
       const core::Sample& m = ctx.input(meanInputs_[i], 0);
       const core::Sample& d = ctx.input(devInputs_[i], 0);
       if (!core::isVector(m.value) || !core::isVector(d.value)) {
         throw ConfigError("analysis_wb expects vector inputs");
       }
-      means.push_back(core::asVector(m.value));
-      stddevs.push_back(core::asVector(d.value));
+      const auto& mean = core::asVector(m.value);
+      const auto& dev = core::asVector(d.value);
+      if (i == 0) dims = mean.size();
+      if (mean.size() != dims || dev.size() != dims) {
+        throw ConfigError("analysis_wb input dimension mismatch");
+      }
+      meanRows_[i] = mean.data();
+      devRows_[i] = dev.data();
     }
 
-    std::vector<double> health(n, 0.0);
-    std::vector<std::size_t> survivors;
+    std::vector<double>& health = healthBuilder_.acquire();
+    health.assign(n, 0.0);
+    survivors_.clear();
     std::vector<std::string> unmonitorable;
     for (std::size_t i = 0; i < n; ++i) {
       rpc::NodeHealth h = rpc::NodeHealth::kHealthy;
@@ -117,35 +126,39 @@ class AnalysisWbModule final : public core::Module {
       if (h == rpc::NodeHealth::kUnmonitorable) {
         unmonitorable.push_back(originLabels_[i]);
       } else {
-        survivors.push_back(i);
+        survivors_.push_back(i);
       }
     }
     const bool belowQuorum =
-        static_cast<int>(survivors.size()) < std::max(quorum_, 3);
+        static_cast<int>(survivors_.size()) < std::max(quorum_, 3);
 
-    std::vector<double> flags(n, 0.0);
-    std::vector<double> scores(n, 0.0);
+    std::vector<double>& flags = flagsBuilder_.acquire();
+    std::vector<double>& scores = scoresBuilder_.acquire();
+    flags.assign(n, 0.0);
+    scores.assign(n, 0.0);
     if (!belowQuorum) {
-      std::vector<std::vector<double>> survivingMeans;
-      std::vector<std::vector<double>> survivingDevs;
-      survivingMeans.reserve(survivors.size());
-      survivingDevs.reserve(survivors.size());
-      for (std::size_t idx : survivors) {
-        survivingMeans.push_back(std::move(means[idx]));
-        survivingDevs.push_back(std::move(stddevs[idx]));
+      // Compact the survivor rows in place (survivors_ is ascending,
+      // so reads stay ahead of writes).
+      for (std::size_t j = 0; j < survivors_.size(); ++j) {
+        meanRows_[j] = meanRows_[survivors_[j]];
+        devRows_[j] = devRows_[survivors_[j]];
       }
-      const analysis::PeerComparisonResult result =
-          analysis::whiteBoxCompare(survivingMeans, survivingDevs, k_);
-      for (std::size_t j = 0; j < survivors.size(); ++j) {
-        flags[survivors[j]] = result.flags[j];
-        scores[survivors[j]] = result.scores[j];
+      survivorFlags_.resize(survivors_.size());
+      survivorScores_.resize(survivors_.size());
+      analysis::whiteBoxCompareInto(meanRows_.data(), devRows_.data(),
+                                    survivors_.size(), dims, k_, scratch_,
+                                    survivorFlags_.data(),
+                                    survivorScores_.data());
+      for (std::size_t j = 0; j < survivors_.size(); ++j) {
+        flags[survivors_[j]] = survivorFlags_[j];
+        scores[survivors_[j]] = survivorScores_[j];
       }
     }
     emitTransitions(ctx, unmonitorable, belowQuorum,
-                    static_cast<int>(survivors.size()));
-    ctx.write(outAlarms_, flags);
-    ctx.write(outScores_, scores);
-    ctx.write(outHealth_, health);
+                    static_cast<int>(survivors_.size()));
+    ctx.write(outAlarms_, flagsBuilder_.share());
+    ctx.write(outScores_, scoresBuilder_.share());
+    ctx.write(outHealth_, healthBuilder_.share());
   }
 
  private:
@@ -172,6 +185,16 @@ class AnalysisWbModule final : public core::Module {
   double k_ = 3.0;
   int quorum_ = 0;
   rpc::RpcClient* client_ = nullptr;
+  // Reused per-window workspace: zero steady-state allocations.
+  analysis::PeerScratch scratch_;
+  std::vector<const double*> meanRows_;
+  std::vector<const double*> devRows_;
+  std::vector<std::size_t> survivors_;
+  std::vector<double> survivorFlags_;
+  std::vector<double> survivorScores_;
+  core::VecBuilder flagsBuilder_;
+  core::VecBuilder scoresBuilder_;
+  core::VecBuilder healthBuilder_;
   std::vector<std::string> meanInputs_;
   std::vector<std::string> devInputs_;
   std::vector<std::string> originLabels_;

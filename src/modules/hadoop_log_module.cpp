@@ -104,8 +104,7 @@ class HadoopLogModule final : public core::Module {
                      // the synchronized second order.
       ctx.write(out_, std::move(wb));
     }
-    ctx.write(healthOut_,
-              std::vector<double>{static_cast<double>(health)});
+    ctx.write(healthOut_, core::VecBuf{static_cast<double>(health)});
   }
 
  private:
@@ -140,10 +139,11 @@ class HadoopLogModule final : public core::Module {
       // pushes advance the anchor so a later outage resumes synthesis
       // from the last pushed second instead of re-pushing history.
       if (!anchored_ || second > lastSynthesized_) {
-        std::vector<double> wb = it->second.first;
+        std::vector<double>& wb = rowBuilder_.acquire();
+        wb.assign(it->second.first.begin(), it->second.first.end());
         wb.insert(wb.end(), it->second.second.begin(),
                   it->second.second.end());
-        sync_->push(node_, second, std::move(wb));
+        sync_->push(node_, second, rowBuilder_.share());
         lastSynthesized_ = second;
         anchored_ = true;
       }
@@ -166,14 +166,16 @@ class HadoopLogModule final : public core::Module {
     for (long s = lastSynthesized_ + 1; s <= uptoSecond; ++s) {
       // Prefer any real half that arrived before the daemon died.
       const auto it = partial_.find(s);
-      std::vector<double> wb =
+      const std::vector<double>& tt =
           (it != partial_.end() && partialHasTt_[s]) ? it->second.first
                                                      : lastTt_;
       const std::vector<double>& dn =
           (it != partial_.end() && partialHasDn_[s]) ? it->second.second
                                                      : lastDn_;
+      std::vector<double>& wb = rowBuilder_.acquire();
+      wb.assign(tt.begin(), tt.end());
       wb.insert(wb.end(), dn.begin(), dn.end());
-      sync_->push(node_, s, std::move(wb));
+      sync_->push(node_, s, rowBuilder_.share());
       if (it != partial_.end()) {
         partialHasTt_.erase(s);
         partialHasDn_.erase(s);
@@ -193,6 +195,9 @@ class HadoopLogModule final : public core::Module {
   /// only once anchored_ is set by the first push.
   bool anchored_ = false;
   long lastSynthesized_ = 0;
+  /// Pooled buffers for rows handed to the sync; once every consumer
+  /// of a row drops its handle the buffer returns to this pool.
+  core::VecBuilder rowBuilder_;
   std::vector<double> lastTt_;
   std::vector<double> lastDn_;
   std::map<long, std::pair<std::vector<double>, std::vector<double>>>
@@ -212,10 +217,10 @@ void registerHadoopLogModule(core::ModuleRegistry& registry) {
 void HadoopLogSync::registerNode(NodeId node) {
   std::lock_guard<std::mutex> lock(mutex_);
   nodes_.insert(node);
-  drainCursor_.emplace(node, released_.size());
+  drainCursor_.emplace(node, releasedBase_ + released_.size());
 }
 
-void HadoopLogSync::push(NodeId node, long second, std::vector<double> wb) {
+void HadoopLogSync::push(NodeId node, long second, core::VecBuf wb) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto& row = pending_[second];
   row[node] = std::move(wb);
@@ -235,18 +240,34 @@ void HadoopLogSync::push(NodeId node, long second, std::vector<double> wb) {
   }
 }
 
-std::vector<std::pair<long, std::vector<double>>> HadoopLogSync::drain(
+std::vector<std::pair<long, core::VecBuf>> HadoopLogSync::drain(
     NodeId node) {
   std::lock_guard<std::mutex> lock(mutex_);
-  std::vector<std::pair<long, std::vector<double>>> out;
+  std::vector<std::pair<long, core::VecBuf>> out;
   auto& cursor = drainCursor_[node];
-  while (cursor < released_.size()) {
-    const ReleasedRow& row = released_[cursor];
+  if (cursor < releasedBase_) cursor = releasedBase_;
+  const std::size_t end = releasedBase_ + released_.size();
+  while (cursor < end) {
+    const ReleasedRow& row = released_[cursor - releasedBase_];
     const auto it = row.byNode.find(node);
     if (it != row.byNode.end()) {
-      out.emplace_back(row.second, it->second);
+      out.emplace_back(row.second, it->second);  // shares the buffer
     }
     ++cursor;
+  }
+  // Prune rows every registered node has drained: dropping the last
+  // handle releases each row's buffer back to its producer's pool.
+  std::size_t minCursor = end;
+  for (const NodeId n : nodes_) {
+    const auto it = drainCursor_.find(n);
+    const std::size_t c = it != drainCursor_.end() ? it->second : 0;
+    if (c < minCursor) minCursor = c;
+  }
+  if (minCursor > releasedBase_) {
+    released_.erase(released_.begin(),
+                    released_.begin() +
+                        static_cast<std::ptrdiff_t>(minCursor - releasedBase_));
+    releasedBase_ = minCursor;
   }
   return out;
 }

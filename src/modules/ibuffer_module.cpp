@@ -28,7 +28,7 @@
 // `reset_on_gap = 1` (with a `gap` threshold in seconds): a gap then
 // discards the stale window instead of emitting windows that straddle
 // the outage.
-#include <deque>
+#include <vector>
 
 #include "common/error.h"
 #include "core/module.h"
@@ -68,16 +68,32 @@ class IBufferModule final : public core::Module {
     }
     if (resetOnGap_ && lastTime_ != kNoTime &&
         sample.time - lastTime_ > gap_) {
-      buf_.clear();
+      count_ = 0;
+      head_ = 0;
       sinceEmit_ = 0;
     }
     lastTime_ = sample.time;
-    buf_.push_back(core::asScalar(sample.value));
-    while (buf_.size() > size_) buf_.pop_front();
+    // Fixed ring of the most recent `size_` samples; emission copies
+    // the window in order into a pooled builder buffer, so history
+    // consumers share one immutable snapshot per emission and the
+    // steady state allocates nothing.
+    if (ring_.size() < size_) ring_.resize(size_);
+    if (count_ < size_) {
+      ring_[(head_ + count_) % size_] = core::asScalar(sample.value);
+      ++count_;
+    } else {
+      ring_[head_] = core::asScalar(sample.value);
+      head_ = (head_ + 1) % size_;
+    }
     ++sinceEmit_;
-    if (buf_.size() == size_ && sinceEmit_ >= slide_) {
+    if (count_ == size_ && sinceEmit_ >= slide_) {
       sinceEmit_ = 0;
-      ctx.write(out_, std::vector<double>(buf_.begin(), buf_.end()));
+      std::vector<double>& out = builder_.acquire();
+      out.resize(size_);
+      for (std::size_t i = 0; i < size_; ++i) {
+        out[i] = ring_[(head_ + i) % size_];
+      }
+      ctx.write(out_, builder_.share());
     }
   }
 
@@ -88,7 +104,10 @@ class IBufferModule final : public core::Module {
   double gap_ = 0.0;
   bool resetOnGap_ = false;
   SimTime lastTime_ = kNoTime;
-  std::deque<double> buf_;
+  std::vector<double> ring_;  // oldest at head_ once full
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+  core::VecBuilder builder_;
   int out_ = -1;
 };
 

@@ -77,9 +77,12 @@ class KnnModule final : public core::Module {
           "knn input dimension %zu does not match model dimension %zu",
           raw.size(), model_->dims()));
     }
-    const auto nearest =
-        analysis::nearestCentroids(model_->centroids, model_->transform(raw),
-                                   k_);
+    // Flat hot path: transform into a preallocated scratch row and
+    // rank centroids without per-sample allocation.
+    transformed_.resize(model_->dims());
+    model_->transformInto(raw.data(), raw.size(), transformed_.data());
+    const auto& nearest = analysis::nearestCentroids(
+        model_->centroids, transformed_.data(), k_, nearestScratch_);
     for (std::size_t i = 0; i < nearest.size(); ++i) {
       ctx.write(outs_[i], static_cast<double>(nearest[i]));
     }
@@ -89,6 +92,8 @@ class KnnModule final : public core::Module {
   std::size_t k_ = 1;
   const analysis::BlackBoxModel* model_ = nullptr;
   analysis::BlackBoxModel ownedModel_;
+  std::vector<double> transformed_;
+  analysis::NearestScratch nearestScratch_;
   std::vector<int> outs_;
 };
 

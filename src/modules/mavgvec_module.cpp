@@ -59,17 +59,20 @@ class MavgvecModule final : public core::Module {
     if (!windows_.front().full() || sinceEmit_ < slide_) return;
     sinceEmit_ = 0;
 
-    std::vector<double> mean(windows_.size());
-    std::vector<double> var(windows_.size());
-    std::vector<double> stddev(windows_.size());
+    std::vector<double>& mean = meanBuilder_.acquire();
+    std::vector<double>& var = varBuilder_.acquire();
+    std::vector<double>& stddev = stddevBuilder_.acquire();
+    mean.resize(windows_.size());
+    var.resize(windows_.size());
+    stddev.resize(windows_.size());
     for (std::size_t d = 0; d < windows_.size(); ++d) {
       mean[d] = windows_[d].mean();
       var[d] = windows_[d].variance();
       stddev[d] = windows_[d].stddev();
     }
-    ctx.write(outMean_, std::move(mean));
-    ctx.write(outVar_, std::move(var));
-    ctx.write(outStddev_, std::move(stddev));
+    ctx.write(outMean_, meanBuilder_.share());
+    ctx.write(outVar_, varBuilder_.share());
+    ctx.write(outStddev_, stddevBuilder_.share());
   }
 
  private:
@@ -77,6 +80,9 @@ class MavgvecModule final : public core::Module {
   std::size_t slide_ = 5;
   std::size_t sinceEmit_ = 0;
   std::vector<SlidingWindow> windows_;
+  core::VecBuilder meanBuilder_;
+  core::VecBuilder varBuilder_;
+  core::VecBuilder stddevBuilder_;
   int outMean_ = -1;
   int outVar_ = -1;
   int outStddev_ = -1;

@@ -30,6 +30,7 @@
 
 #include "common/types.h"
 #include "core/registry.h"
+#include "core/value.h"
 
 namespace asdf::modules {
 
@@ -63,11 +64,14 @@ class HadoopLogSync {
   void registerNode(NodeId node);
 
   /// Adds node's white-box vector for `second`; may release rows.
-  void push(NodeId node, long second, std::vector<double> wb);
+  /// Rows are immutable COW buffers, so every instance draining the
+  /// same second shares one payload instead of copying it.
+  void push(NodeId node, long second, core::VecBuf wb);
 
-  /// Released (second, vector) rows for this node that have not been
-  /// drained yet, in second order.
-  std::vector<std::pair<long, std::vector<double>>> drain(NodeId node);
+  /// Released (second, row) handles for this node that have not been
+  /// drained yet, in second order. Draining hands out cheap buffer
+  /// references; the payload bytes are never duplicated.
+  std::vector<std::pair<long, core::VecBuf>> drain(NodeId node);
 
   long droppedSeconds() const {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -81,14 +85,19 @@ class HadoopLogSync {
  private:
   struct ReleasedRow {
     long second;
-    std::map<NodeId, std::vector<double>> byNode;
+    std::map<NodeId, core::VecBuf> byNode;
   };
 
   mutable std::mutex mutex_;
   std::set<NodeId> nodes_;
-  std::map<long, std::map<NodeId, std::vector<double>>> pending_;
+  std::map<long, std::map<NodeId, core::VecBuf>> pending_;
+  /// Released rows not yet drained by every node. released_[i] holds
+  /// absolute row index releasedBase_ + i; rows every cursor has
+  /// passed are pruned so their buffers return to the producers'
+  /// pools (zero steady-state allocations end to end).
   std::vector<ReleasedRow> released_;
-  std::map<NodeId, std::size_t> drainCursor_;
+  std::size_t releasedBase_ = 0;
+  std::map<NodeId, std::size_t> drainCursor_;  // absolute row indices
   long dropped_ = 0;
 };
 

@@ -38,17 +38,18 @@ class NodeHealthModule final : public core::Module {
   }
 
   void run(core::ModuleContext& ctx, core::RunReason) override {
-    std::vector<double> codes;
+    std::vector<double>& codes = builder_.acquire();
     codes.reserve(nodes_.size());
     for (NodeId node : nodes_) {
       codes.push_back(static_cast<double>(registry_->aggregate(node)));
     }
-    ctx.write(out_, std::move(codes));
+    ctx.write(out_, builder_.share());
   }
 
  private:
   rpc::NodeHealthRegistry* registry_ = nullptr;
   std::vector<NodeId> nodes_;
+  core::VecBuilder builder_;
   int out_ = -1;
 };
 

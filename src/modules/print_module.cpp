@@ -60,14 +60,14 @@ class PrintModule final : public core::Module {
     core::Alarm alarm;
     alarm.time = sample.time;
     alarm.channel = ctx.instanceId();
-    alarm.flags = core::asVector(sample.value);
+    alarm.flags = core::asVector(sample.value).toVector();
     alarm.origins = split(ctx.inputOrigin(inputName_, a), ';');
     if (scoresIdx_ >= 0 &&
         ctx.inputHasData(inputName_, static_cast<std::size_t>(scoresIdx_))) {
       const core::Sample& scores =
           ctx.input(inputName_, static_cast<std::size_t>(scoresIdx_));
       if (core::isVector(scores.value)) {
-        alarm.scores = core::asVector(scores.value);
+        alarm.scores = core::asVector(scores.value).toVector();
       }
     }
     if (healthIdx_ >= 0 &&
@@ -75,7 +75,7 @@ class PrintModule final : public core::Module {
       const core::Sample& health =
           ctx.input(inputName_, static_cast<std::size_t>(healthIdx_));
       if (core::isVector(health.value)) {
-        alarm.health = core::asVector(health.value);
+        alarm.health = core::asVector(health.value).toVector();
       }
     }
 

@@ -71,9 +71,13 @@ class SadcModule final : public core::Module {
     if (lastKnown_.empty()) {
       lastKnown_.assign(metrics::kFlatNodeVectorSize, 0.0);
     }
-    ctx.write(out_, lastKnown_);
-    ctx.write(healthOut_,
-              std::vector<double>{static_cast<double>(health)});
+    // Publish through a pooled buffer: the ~82-metric vector is staged
+    // once and shared by every consumer instead of deep-copied per
+    // tick (lastKnown_ stays private for fault-tolerant re-emission).
+    std::vector<double>& out = builder_.acquire();
+    out.assign(lastKnown_.begin(), lastKnown_.end());
+    ctx.write(out_, builder_.share());
+    ctx.write(healthOut_, core::VecBuf{static_cast<double>(health)});
   }
 
  private:
@@ -83,6 +87,7 @@ class SadcModule final : public core::Module {
   int out_ = -1;
   int healthOut_ = -1;
   std::vector<double> lastKnown_;
+  core::VecBuilder builder_;
 };
 
 void registerSadcModule(core::ModuleRegistry& registry) {

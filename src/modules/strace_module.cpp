@@ -63,7 +63,7 @@ class StraceModule final : public core::Module {
         // score at all during warmup — there is nothing to train on).
         ++seconds_;
         if (seconds_ > warmup_) {
-          ctx.write(out_, std::vector<double>{lastScore_});
+          ctx.write(out_, core::VecBuf{lastScore_});  // inline, no alloc
         }
         return;
       }
@@ -84,7 +84,7 @@ class StraceModule final : public core::Module {
     const double evidence =
         std::min(1.0, static_cast<double>(trace.size()) / 64.0);
     lastScore_ = scale_ * deviation * evidence;
-    ctx.write(out_, std::vector<double>{lastScore_});
+    ctx.write(out_, core::VecBuf{lastScore_});  // inline, no alloc
   }
 
  private:

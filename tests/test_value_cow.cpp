@@ -1,0 +1,311 @@
+// Copy-on-write payload semantics: VecBuf sharing and cloning rules,
+// VecBuilder pooling, and aliasing safety when fpt-core fans one
+// buffer out to mutating, reading, and history-retaining consumers.
+#include "core/value.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "core/fpt_core.h"
+#include "core/module.h"
+#include "core/registry.h"
+#include "sim/engine.h"
+
+namespace asdf::core {
+namespace {
+
+std::vector<double> iota(std::size_t n, double start) {
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = start + static_cast<double>(i);
+  return v;
+}
+
+TEST(VecBuf, SmallPayloadsStayInline) {
+  const VecBuf a{1.0, 2.0, 3.0, 4.0};
+  EXPECT_EQ(a.size(), 4u);
+  EXPECT_EQ(a.payloadBytes(), 0u);  // no heap buffer behind it
+  EXPECT_FALSE(a.aliased());
+
+  VecBuf b = a;  // value copy, not a shared handle
+  EXPECT_FALSE(a.aliased());
+  EXPECT_FALSE(b.aliased());
+
+  dataPlaneCounters().reset();
+  b.makeMutable()[0] = 99.0;
+  EXPECT_EQ(dataPlaneCounters().cowClones.load(), 0u);  // never clones
+  EXPECT_DOUBLE_EQ(a[0], 1.0);
+  EXPECT_DOUBLE_EQ(b[0], 99.0);
+}
+
+TEST(VecBuf, AliasedTracksLiveHandles) {
+  VecBuf a(iota(8, 0.0));
+  EXPECT_FALSE(a.aliased());
+  {
+    VecBuf b = a;
+    EXPECT_TRUE(a.aliased());
+    EXPECT_TRUE(b.aliased());
+    EXPECT_EQ(a.data(), b.data());  // one buffer, two handles
+  }
+  EXPECT_FALSE(a.aliased());  // sibling released
+}
+
+TEST(VecBuf, MakeMutableClonesOnlyWhenAliased) {
+  VecBuf a(iota(8, 0.0));
+  VecBuf b = a;
+  dataPlaneCounters().reset();
+
+  b.makeMutable()[0] = -1.0;
+  EXPECT_EQ(dataPlaneCounters().cowClones.load(), 1u);
+  EXPECT_EQ(dataPlaneCounters().cowCloneBytes.load(), 8 * sizeof(double));
+  EXPECT_DOUBLE_EQ(a[0], 0.0);  // sibling sees the original bytes
+  EXPECT_DOUBLE_EQ(b[0], -1.0);
+  EXPECT_NE(a.data(), b.data());
+
+  // b is now unique: further mutation reuses its buffer in place.
+  const double* before = b.data();
+  b.makeMutable()[1] = -2.0;
+  EXPECT_EQ(dataPlaneCounters().cowClones.load(), 1u);
+  EXPECT_EQ(b.data(), before);
+}
+
+TEST(VecBuf, ToVectorIsCountedMaterialization) {
+  const VecBuf a(iota(6, 1.0));
+  dataPlaneCounters().reset();
+  const std::vector<double> copy = a.toVector();
+  EXPECT_EQ(copy, iota(6, 1.0));
+  EXPECT_EQ(dataPlaneCounters().materializations.load(), 1u);
+  EXPECT_EQ(dataPlaneCounters().materializedBytes.load(), 6 * sizeof(double));
+}
+
+TEST(VecBuf, EqualityComparesBytesAcrossStorage) {
+  const VecBuf inlineBuf{1.0, 2.0, 3.0};
+  const VecBuf heapA(iota(8, 0.0));
+  const VecBuf heapB(iota(8, 0.0));
+  EXPECT_EQ(heapA, heapB);  // distinct buffers, same bytes
+  EXPECT_NE(heapA, inlineBuf);
+  EXPECT_EQ(inlineBuf, (VecBuf{1.0, 2.0, 3.0}));
+  EXPECT_NE(inlineBuf, (VecBuf{1.0, 2.0, 4.0}));
+}
+
+TEST(VecBuilder, PingPongsBetweenTwoBuffersWhenOneConsumerHolds) {
+  VecBuilder builder;
+  VecBuf slot;  // models the port's latest-sample slot
+  for (int i = 0; i < 100; ++i) {
+    std::vector<double>& v = builder.acquire();
+    v.assign(8, static_cast<double>(i));
+    slot = builder.share();
+    EXPECT_DOUBLE_EQ(slot[0], static_cast<double>(i));
+  }
+  EXPECT_LE(builder.poolSize(), 2u);
+}
+
+TEST(VecBuilder, SmallPayloadsFreeTheSlotImmediately) {
+  VecBuilder builder;
+  VecBuf slot;
+  for (int i = 0; i < 50; ++i) {
+    std::vector<double>& v = builder.acquire();
+    v.assign(2, static_cast<double>(i));  // <= inline capacity
+    slot = builder.share();               // copied inline, slot released
+  }
+  EXPECT_EQ(builder.poolSize(), 1u);
+}
+
+TEST(VecBuilder, PoolGrowsToRetentionDepthAndReusesWithoutScribbling) {
+  VecBuilder builder;
+  std::vector<VecBuf> window(10);  // consumer retains the last 10
+  for (int i = 0; i < 100; ++i) {
+    std::vector<double>& v = builder.acquire();
+    v.assign(8, static_cast<double>(i));
+    window[static_cast<std::size_t>(i) % 10] = builder.share();
+    // Every retained handle must still hold the bytes it was given.
+    for (int back = 0; back <= std::min(i, 9); ++back) {
+      const VecBuf& held = window[static_cast<std::size_t>(i - back) % 10];
+      ASSERT_DOUBLE_EQ(held[0], static_cast<double>(i - back));
+    }
+  }
+  // One buffer per retained slot plus the one in flight.
+  EXPECT_LE(builder.poolSize(), 11u);
+}
+
+// ---------------------------------------------------------------------------
+// Aliasing safety through fpt-core: one producer buffer fans out to a
+// mutating consumer, a plain reader, and a history retainer. The
+// mutator must never corrupt what its siblings (or retained history)
+// observe, under both executors.
+
+constexpr std::size_t kDims = 8;
+
+class VecSource final : public Module {
+ public:
+  void init(ModuleContext& ctx) override {
+    out_ = ctx.addOutput("output0");
+    ctx.requestPeriodic(1.0);
+  }
+  void run(ModuleContext& ctx, RunReason) override {
+    ++tick_;
+    std::vector<double>& v = builder_.acquire();
+    v.resize(kDims);
+    for (std::size_t d = 0; d < kDims; ++d) {
+      v[d] = static_cast<double>(tick_) * 10.0 + static_cast<double>(d);
+    }
+    ctx.write(out_, builder_.share());
+  }
+
+ private:
+  long tick_ = 0;
+  VecBuilder builder_;
+  int out_ = -1;
+};
+
+/// Copies the input handle, mutates its view, and republishes it.
+class VecMutator final : public Module {
+ public:
+  void init(ModuleContext& ctx) override {
+    out_ = ctx.addOutput("output0");
+    ctx.setInputTrigger(1);
+  }
+  void run(ModuleContext& ctx, RunReason) override {
+    if (!ctx.inputFresh("input", 0)) return;
+    VecBuf mine = asVector(ctx.input("input", 0).value);
+    double* w = mine.makeMutable();
+    for (std::size_t d = 0; d < kDims; ++d) w[d] = -w[d];
+    ctx.write(out_, std::move(mine));
+  }
+
+ private:
+  int out_ = -1;
+};
+
+/// Records a private copy of every fresh payload it observes, into
+/// the channel selected by its config (so two instances can record
+/// different streams through one static).
+class VecRecorder final : public Module {
+ public:
+  static std::vector<std::vector<double>>* channels[2];
+  void init(ModuleContext& ctx) override {
+    channel_ = static_cast<int>(ctx.intParam("channel", 0));
+    ctx.setInputTrigger(1);
+  }
+  void run(ModuleContext& ctx, RunReason) override {
+    if (!ctx.inputFresh("input", 0)) return;
+    const VecBuf& v = asVector(ctx.input("input", 0).value);
+    channels[channel_]->emplace_back(v.begin(), v.end());
+  }
+
+ private:
+  int channel_ = 0;
+};
+std::vector<std::vector<double>>* VecRecorder::channels[2] = {nullptr,
+                                                              nullptr};
+
+/// Retains the raw handles (ibuffer-style history) without copying.
+class VecHistory final : public Module {
+ public:
+  static std::vector<VecBuf>* held;
+  void init(ModuleContext& ctx) override { ctx.setInputTrigger(1); }
+  void run(ModuleContext& ctx, RunReason) override {
+    if (!ctx.inputFresh("input", 0)) return;
+    held->push_back(asVector(ctx.input("input", 0).value));
+  }
+};
+std::vector<VecBuf>* VecHistory::held = nullptr;
+
+struct AliasingRun {
+  std::vector<std::vector<double>> reader;   // sibling consumer's view
+  std::vector<std::vector<double>> mutated;  // mutator's output
+  std::vector<VecBuf> history;               // retained source handles
+};
+
+AliasingRun runAliasingPipeline(std::unique_ptr<Executor> executor,
+                                double until) {
+  ModuleRegistry registry;
+  registry.registerType("vsrc", [] { return std::make_unique<VecSource>(); });
+  registry.registerType("vmut", [] { return std::make_unique<VecMutator>(); });
+  registry.registerType("vrec",
+                        [] { return std::make_unique<VecRecorder>(); });
+  registry.registerType("vhist",
+                        [] { return std::make_unique<VecHistory>(); });
+
+  AliasingRun out;
+  VecRecorder::channels[0] = &out.reader;
+  VecRecorder::channels[1] = &out.mutated;
+  VecHistory::held = &out.history;
+
+  sim::SimEngine engine;
+  FptCore core(engine, Environment{}, &registry);
+  core.setExecutor(std::move(executor));
+  core.configureFromText(R"(
+[vsrc]
+id = src
+
+[vmut]
+id = mut
+input[input] = src.output0
+
+[vrec]
+id = reader
+channel = 0
+input[input] = src.output0
+
+[vhist]
+id = hist
+input[input] = src.output0
+
+[vrec]
+id = mutwatch
+channel = 1
+input[input] = mut.output0
+)");
+  engine.runUntil(until);
+  return out;
+}
+
+void expectAliasingInvariants(const AliasingRun& run, long ticks) {
+  ASSERT_EQ(run.reader.size(), static_cast<std::size_t>(ticks));
+  ASSERT_EQ(run.mutated.size(), static_cast<std::size_t>(ticks));
+  ASSERT_EQ(run.history.size(), static_cast<std::size_t>(ticks));
+  for (long t = 1; t <= ticks; ++t) {
+    const auto i = static_cast<std::size_t>(t - 1);
+    for (std::size_t d = 0; d < kDims; ++d) {
+      const double expected =
+          static_cast<double>(t) * 10.0 + static_cast<double>(d);
+      // The sibling reader saw the original bytes...
+      ASSERT_DOUBLE_EQ(run.reader[i][d], expected);
+      // ...the retained history handle still holds them...
+      ASSERT_DOUBLE_EQ(run.history[i][d], expected);
+      // ...and the mutator's private clone diverged.
+      ASSERT_DOUBLE_EQ(run.mutated[i][d], -expected);
+    }
+  }
+}
+
+TEST(VecBufAliasing, MutatingConsumerNeverCorruptsSiblings_Serial) {
+  const AliasingRun run =
+      runAliasingPipeline(std::make_unique<SerialExecutor>(), 12.0);
+  expectAliasingInvariants(run, 12);
+}
+
+TEST(VecBufAliasing, MutatingConsumerNeverCorruptsSiblings_ThreadPool) {
+  const AliasingRun run =
+      runAliasingPipeline(std::make_unique<ThreadPoolExecutor>(4), 12.0);
+  expectAliasingInvariants(run, 12);
+}
+
+TEST(VecBufAliasing, ExecutorsSeeByteIdenticalSequences) {
+  const AliasingRun serial =
+      runAliasingPipeline(std::make_unique<SerialExecutor>(), 12.0);
+  const AliasingRun pooled =
+      runAliasingPipeline(std::make_unique<ThreadPoolExecutor>(4), 12.0);
+  EXPECT_EQ(serial.reader, pooled.reader);
+  EXPECT_EQ(serial.mutated, pooled.mutated);
+  ASSERT_EQ(serial.history.size(), pooled.history.size());
+  for (std::size_t i = 0; i < serial.history.size(); ++i) {
+    EXPECT_EQ(serial.history[i], pooled.history[i]);
+  }
+}
+
+}  // namespace
+}  // namespace asdf::core

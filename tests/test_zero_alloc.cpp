@@ -1,0 +1,141 @@
+// Asserts the ISSUE's core data-plane claim with the counting
+// allocator: once scratch buffers and builder pools are warm, the
+// analysis loop — flat kernels plus pooled emission and handle
+// retention — performs zero heap allocations per iteration.
+//
+// This lives in its own test binary (asdf_zero_alloc_test) because it
+// links the global operator new/delete replacements from
+// bench/alloc_hook.cpp, which must not leak into the main suite.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "alloc_hook.h"
+#include "analysis/kmeans.h"
+#include "analysis/peercompare.h"
+#include "common/matrix.h"
+#include "common/rng.h"
+#include "core/value.h"
+
+namespace asdf {
+namespace {
+
+constexpr std::size_t kNodes = 50;
+constexpr std::size_t kDims = 16;
+
+Matrix makePoints(std::size_t rows, std::size_t cols) {
+  Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      m.row(r)[c] = static_cast<double>((r * 31 + c * 7) % 23);
+    }
+  }
+  return m;
+}
+
+TEST(ZeroAlloc, KMeansSteadyStateAllocatesNothing) {
+  const Matrix points = makePoints(64, 8);
+  analysis::KMeansOptions options;
+  options.k = 4;
+  analysis::KMeansScratch scratch;
+  analysis::KMeansResult result;
+
+  // Warm: scratch, result, and centroid storage reach capacity.
+  for (int i = 0; i < 3; ++i) {
+    Rng rng(42);
+    analysis::kmeans(points, options, rng, scratch, result);
+  }
+
+  allochook::reset();
+  Rng rng(42);
+  analysis::kmeans(points, options, rng, scratch, result);
+  const allochook::Totals t = allochook::totals();
+  EXPECT_EQ(t.allocs, 0u) << "kmeans allocated in steady state";
+}
+
+TEST(ZeroAlloc, NearestCentroidsSteadyStateAllocatesNothing) {
+  const Matrix centroids = makePoints(8, kDims);
+  std::vector<double> x(kDims, 3.0);
+  analysis::NearestScratch scratch;
+  (void)analysis::nearestCentroids(centroids, x.data(), 3, scratch);  // warm
+
+  allochook::reset();
+  for (int i = 0; i < 100; ++i) {
+    x[0] = static_cast<double>(i);
+    const auto& order = analysis::nearestCentroids(centroids, x.data(), 3,
+                                                   scratch);
+    ASSERT_EQ(order.size(), 3u);
+  }
+  EXPECT_EQ(allochook::totals().allocs, 0u);
+}
+
+TEST(ZeroAlloc, PeerComparisonSteadyStateAllocatesNothing) {
+  // One histogram/mean/stddev row per node, flat storage.
+  Matrix hists = makePoints(kNodes, kDims);
+  Matrix means = makePoints(kNodes, kDims);
+  Matrix stddevs(kNodes, kDims);
+  for (std::size_t r = 0; r < kNodes; ++r) {
+    for (std::size_t c = 0; c < kDims; ++c) stddevs.row(r)[c] = 1.0;
+  }
+  std::vector<const double*> histRows(kNodes);
+  std::vector<const double*> meanRows(kNodes);
+  std::vector<const double*> sdRows(kNodes);
+  for (std::size_t r = 0; r < kNodes; ++r) {
+    histRows[r] = hists.row(r);
+    meanRows[r] = means.row(r);
+    sdRows[r] = stddevs.row(r);
+  }
+  std::vector<double> flags(kNodes);
+  std::vector<double> scores(kNodes);
+  std::vector<double> stateSeq(60);
+  for (std::size_t i = 0; i < stateSeq.size(); ++i) {
+    stateSeq[i] = static_cast<double>(i % kDims);
+  }
+  std::vector<double> hist(kDims);
+  analysis::PeerScratch scratch;
+
+  // Warm both comparisons once.
+  analysis::blackBoxCompareInto(histRows.data(), kNodes, kDims, 40.0, scratch,
+                                flags.data(), scores.data());
+  analysis::whiteBoxCompareInto(meanRows.data(), sdRows.data(), kNodes, kDims,
+                                2.0, scratch, flags.data(), scores.data());
+
+  allochook::reset();
+  for (int i = 0; i < 100; ++i) {
+    analysis::stateHistogramInto(stateSeq.data(), stateSeq.size(),
+                                 hist.data(), kDims);
+    analysis::blackBoxCompareInto(histRows.data(), kNodes, kDims, 40.0,
+                                  scratch, flags.data(), scores.data());
+    analysis::whiteBoxCompareInto(meanRows.data(), sdRows.data(), kNodes,
+                                  kDims, 2.0, scratch, flags.data(),
+                                  scores.data());
+  }
+  EXPECT_EQ(allochook::totals().allocs, 0u);
+}
+
+TEST(ZeroAlloc, BuilderEmissionAndRetentionAllocateNothing) {
+  core::VecBuilder builder;
+  core::VecBuf portSlot;                  // the port's latest sample
+  std::vector<core::VecBuf> window(10);   // a consumer's history ring
+
+  // Warm: pool grows to retention depth + 1, vectors reach capacity.
+  for (int i = 0; i < 30; ++i) {
+    std::vector<double>& v = builder.acquire();
+    v.assign(82, static_cast<double>(i));
+    portSlot = builder.share();
+    window[static_cast<std::size_t>(i) % 10] = portSlot;
+  }
+
+  allochook::reset();
+  for (int i = 30; i < 130; ++i) {
+    std::vector<double>& v = builder.acquire();
+    v.assign(82, static_cast<double>(i));
+    portSlot = builder.share();
+    window[static_cast<std::size_t>(i) % 10] = portSlot;
+  }
+  EXPECT_EQ(allochook::totals().allocs, 0u);
+  EXPECT_LE(builder.poolSize(), 12u);
+}
+
+}  // namespace
+}  // namespace asdf
