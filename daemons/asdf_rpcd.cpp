@@ -12,6 +12,7 @@
 //   --fault-start=T     fault activation time        (default 300)
 //   --fault-end=T       fault end time (<0 = run end)
 //   --mix-change=T      GridMix mix flip time (<0 = never)
+//   --archive-dir=DIR   flight recorder: archive every served response
 //
 // With --source=sim the daemon hosts the monitored-cluster simulation
 // itself, seeded exactly like harness::runExperiment, and advances it
@@ -22,8 +23,10 @@
 // hadoop-log rows.
 #include <csignal>
 #include <cstdio>
+#include <memory>
 
 #include "../examples/example_util.h"
+#include "archive/writer.h"
 #include "faults/faults.h"
 #include "net/rpcd_server.h"
 
@@ -61,7 +64,26 @@ int main(int argc, char** argv) {
   opts.fault.endTime = flagDouble(argc, argv, "fault-end", kNoTime);
   if (opts.fault.endTime < 0) opts.fault.endTime = kNoTime;
 
+  const std::string archiveDir = flagValue(argc, argv, "archive-dir", "");
+
   try {
+    std::unique_ptr<archive::ArchiveWriter> recorder;
+    if (!archiveDir.empty()) {
+      archive::ArchiveWriterOptions aopts;
+      aopts.dir = archiveDir;
+      archive::ArchiveMeta meta;
+      meta.seed = opts.seed;
+      meta.slaves = opts.slaves;
+      meta.source = "rpcd-" + opts.source;
+      meta.faultType = static_cast<std::uint32_t>(opts.fault.type);
+      meta.faultNode = opts.fault.node;
+      meta.faultStart = opts.fault.startTime;
+      meta.faultEnd = opts.fault.endTime;
+      meta.mixChangeTime = opts.mixChangeTime;
+      recorder = std::make_unique<archive::ArchiveWriter>(std::move(aopts),
+                                                          std::move(meta));
+      opts.observer = recorder.get();
+    }
     net::RpcdServer server(opts);
     g_server = &server;
     std::signal(SIGINT, handleSignal);
@@ -75,6 +97,29 @@ int main(int argc, char** argv) {
     server.run();
     std::printf("asdf_rpcd: served %ld frames (%ld connections rejected)\n",
                 server.framesServed(), server.connectionsRejected());
+    if (recorder != nullptr) {
+      // A clean shutdown stamps ground truth + cluster counters into
+      // the archive; a SIGKILLed daemon leaves the ".open" segment for
+      // the reader's crash recovery instead.
+      const net::ClusterStatsWire stats = server.snapshotStats(0.0);
+      archive::TruthRecord truth;
+      truth.slaveIndex = opts.fault.type == faults::FaultType::kNone
+                             ? -1
+                             : static_cast<int>(opts.fault.node) - 1;
+      truth.faultStart = opts.fault.startTime;
+      truth.faultEnd = stats.faultEndedAt != kNoTime ? stats.faultEndedAt
+                                                     : opts.fault.endTime;
+      truth.simulatedSeconds = stats.simNow;
+      truth.jobsSubmitted = stats.jobsSubmitted;
+      truth.jobsCompleted = stats.jobsCompleted;
+      truth.tasksCompleted = stats.tasksCompleted;
+      truth.tasksFailed = stats.tasksFailed;
+      truth.speculativeLaunches = stats.speculativeLaunches;
+      recorder->writeTruth(truth);
+      recorder->close();
+      std::printf("asdf_rpcd: archived %ld records to %s\n",
+                  recorder->recordsWritten(), archiveDir.c_str());
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "asdf_rpcd: %s\n", e.what());
     return 1;

@@ -11,6 +11,7 @@
 //
 // Other flags: --fault=... --node=N --inject-at=T --slaves=N
 //              --duration=T --seed=N --scale=X (virtual s per wall s)
+//              --record=DIR (flight-record every collection round)
 //              --verbose
 //
 // Exits 0 only when the combined analysis localized the fault (a
@@ -59,6 +60,7 @@ int main(int argc, char** argv) {
   // so give each attempt breathing room.
   spec.rpcPolicy.timeoutSeconds =
       flagDouble(argc, argv, "rpc-timeout", 5.0);
+  spec.archiveDir = flagValue(argc, argv, "record", "");
 
   // Optionally host the daemon inside this process on an ephemeral
   // port — the zero-setup demo path, and exactly what CI's external

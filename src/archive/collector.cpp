@@ -1,0 +1,110 @@
+#include "archive/collector.h"
+
+#include <bit>
+
+#include "rpc/payloads.h"
+
+namespace asdf::archive {
+namespace {
+
+// Timestamps key bit-exactly: the replayed module schedule computes
+// the same doubles the recording run computed, not merely close ones.
+std::uint64_t timeKey(SimTime now) {
+  return std::bit_cast<std::uint64_t>(now);
+}
+
+}  // namespace
+
+ArchiveCollector::ArchiveCollector(const std::string& dir) : reader_(dir) {
+  for (const SampleRecord& rec : reader_.records()) {
+    // Duplicate keys keep the first occurrence (a daemon-side archive
+    // can hold one record per *served attempt* of a retried round).
+    index_.emplace(std::make_tuple(static_cast<int>(rec.kind), rec.node,
+                                   timeKey(rec.now)),
+                   Entry{&rec, 0});
+  }
+}
+
+const SampleRecord* ArchiveCollector::attempt(rpc::CollectKind kind,
+                                              NodeId node, SimTime now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(
+      std::make_tuple(static_cast<int>(kind), node, timeKey(now)));
+  if (it == index_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  Entry& e = it->second;
+  if (!e.rec->ok) {
+    ++replayedFailures_;
+    return nullptr;
+  }
+  if (e.failuresServed < e.rec->attempts - 1) {
+    ++e.failuresServed;
+    ++replayedFailures_;
+    return nullptr;
+  }
+  ++hits_;
+  return e.rec;
+}
+
+bool ArchiveCollector::fetchSadc(NodeId node, SimTime now,
+                                 metrics::SadcSnapshot& out,
+                                 std::size_t& responseBytes) {
+  const SampleRecord* rec = attempt(rpc::CollectKind::kSadc, node, now);
+  if (rec == nullptr) return false;
+  rpc::Decoder dec(rec->payload);
+  out = rpc::decodeSnapshot(dec);
+  responseBytes = rec->payload.size();
+  return true;
+}
+
+bool ArchiveCollector::fetchTt(NodeId node, SimTime now, SimTime /*watermark*/,
+                               std::vector<hadooplog::StateSample>& out,
+                               std::size_t& responseBytes) {
+  const SampleRecord* rec = attempt(rpc::CollectKind::kTt, node, now);
+  if (rec == nullptr) return false;
+  rpc::Decoder dec(rec->payload);
+  out = rpc::decodeSamples(dec);
+  responseBytes = rec->payload.size();
+  return true;
+}
+
+bool ArchiveCollector::fetchDn(NodeId node, SimTime now, SimTime /*watermark*/,
+                               std::vector<hadooplog::StateSample>& out,
+                               std::size_t& responseBytes) {
+  const SampleRecord* rec = attempt(rpc::CollectKind::kDn, node, now);
+  if (rec == nullptr) return false;
+  rpc::Decoder dec(rec->payload);
+  out = rpc::decodeSamples(dec);
+  responseBytes = rec->payload.size();
+  return true;
+}
+
+bool ArchiveCollector::fetchStrace(NodeId node, SimTime now,
+                                   syscalls::TraceSecond& out,
+                                   std::size_t& responseBytes) {
+  const SampleRecord* rec = attempt(rpc::CollectKind::kStrace, node, now);
+  if (rec == nullptr) return false;
+  rpc::Decoder dec(rec->payload);
+  out = rpc::decodeTrace(dec);
+  responseBytes = rec->payload.size();
+  return true;
+}
+
+long ArchiveCollector::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+long ArchiveCollector::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+long ArchiveCollector::replayedFailures() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return replayedFailures_;
+}
+
+}  // namespace asdf::archive

@@ -1,0 +1,178 @@
+#include "archive/format.h"
+
+#include "common/strings.h"
+
+namespace asdf::archive {
+namespace {
+
+// XDR-opaque payload bytes ride in the codec's string type (length
+// prefix + zero padding); std::string carries arbitrary bytes.
+std::string bytesToString(const std::uint8_t* data, std::size_t size) {
+  return std::string(reinterpret_cast<const char*>(data), size);
+}
+
+std::vector<std::uint8_t> stringToBytes(const std::string& s) {
+  return std::vector<std::uint8_t>(s.begin(), s.end());
+}
+
+}  // namespace
+
+void encodeMeta(rpc::Encoder& enc, const ArchiveMeta& meta) {
+  enc.putU32(kFormatVersion);
+  enc.putI64(static_cast<std::int64_t>(meta.seed));
+  enc.putU32(static_cast<std::uint32_t>(meta.slaves));
+  enc.putString(meta.source);
+  enc.putDouble(meta.duration);
+  enc.putDouble(meta.trainDuration);
+  enc.putDouble(meta.trainWarmup);
+  enc.putU32(static_cast<std::uint32_t>(meta.centroids));
+  enc.putU32(meta.faultType);
+  enc.putI64(static_cast<std::int64_t>(meta.faultNode));
+  enc.putDouble(meta.faultStart);
+  enc.putDouble(meta.faultEnd);
+  enc.putDouble(meta.mixChangeTime);
+}
+
+ArchiveMeta decodeMeta(rpc::Decoder& dec) {
+  const std::uint32_t version = dec.getU32();
+  if (version != kFormatVersion) {
+    throw ArchiveError("archive: format version " + std::to_string(version) +
+                       " (this build reads version " +
+                       std::to_string(kFormatVersion) + ")");
+  }
+  ArchiveMeta meta;
+  meta.seed = static_cast<std::uint64_t>(dec.getI64());
+  meta.slaves = static_cast<int>(dec.getU32());
+  meta.source = dec.getString();
+  meta.duration = dec.getDouble();
+  meta.trainDuration = dec.getDouble();
+  meta.trainWarmup = dec.getDouble();
+  meta.centroids = static_cast<int>(dec.getU32());
+  meta.faultType = dec.getU32();
+  meta.faultNode = static_cast<NodeId>(dec.getI64());
+  meta.faultStart = dec.getDouble();
+  meta.faultEnd = dec.getDouble();
+  meta.mixChangeTime = dec.getDouble();
+  return meta;
+}
+
+namespace {
+
+void encodeSampleFields(rpc::Encoder& enc, rpc::CollectKind kind, NodeId node,
+                        std::int64_t seq, double now, double watermark,
+                        int attempts, bool ok, const std::uint8_t* payload,
+                        std::size_t payloadSize) {
+  enc.putU32(static_cast<std::uint32_t>(kind));
+  enc.putU32(static_cast<std::uint32_t>(node));
+  enc.putI64(seq);
+  enc.putDouble(now);
+  enc.putDouble(watermark);
+  enc.putU32(static_cast<std::uint32_t>(attempts));
+  enc.putU32(ok ? 1 : 0);
+  enc.putString(bytesToString(payload, payloadSize));
+}
+
+}  // namespace
+
+void encodeSample(rpc::Encoder& enc, const rpc::CollectSample& sample,
+                  std::int64_t seq) {
+  encodeSampleFields(enc, sample.kind, sample.node, seq, sample.now,
+                     sample.watermark, sample.attempts, sample.ok,
+                     sample.payload, sample.payloadSize);
+}
+
+void encodeSample(rpc::Encoder& enc, const SampleRecord& rec) {
+  encodeSampleFields(enc, rec.kind, rec.node, rec.seq, rec.now, rec.watermark,
+                     rec.attempts, rec.ok, rec.payload.data(),
+                     rec.payload.size());
+}
+
+SampleRecord decodeSample(rpc::Decoder& dec) {
+  SampleRecord rec;
+  const std::uint32_t kind = dec.getU32();
+  if (kind >= static_cast<std::uint32_t>(rpc::kCollectKindCount)) {
+    throw ArchiveError("archive: unknown collect kind " +
+                       std::to_string(kind));
+  }
+  rec.kind = static_cast<rpc::CollectKind>(kind);
+  rec.node = static_cast<NodeId>(dec.getU32());
+  rec.seq = dec.getI64();
+  rec.now = dec.getDouble();
+  rec.watermark = dec.getDouble();
+  rec.attempts = static_cast<int>(dec.getU32());
+  rec.ok = dec.getU32() != 0;
+  rec.payload = stringToBytes(dec.getString());
+  return rec;
+}
+
+void encodeTruth(rpc::Encoder& enc, const TruthRecord& truth) {
+  enc.putI64(truth.slaveIndex);
+  enc.putDouble(truth.faultStart);
+  enc.putDouble(truth.faultEnd);
+  enc.putDouble(truth.simulatedSeconds);
+  enc.putI64(truth.jobsSubmitted);
+  enc.putI64(truth.jobsCompleted);
+  enc.putI64(truth.tasksCompleted);
+  enc.putI64(truth.tasksFailed);
+  enc.putI64(truth.speculativeLaunches);
+  enc.putI64(truth.syncDroppedSeconds);
+}
+
+TruthRecord decodeTruth(rpc::Decoder& dec) {
+  TruthRecord truth;
+  truth.slaveIndex = static_cast<int>(dec.getI64());
+  truth.faultStart = dec.getDouble();
+  truth.faultEnd = dec.getDouble();
+  truth.simulatedSeconds = dec.getDouble();
+  truth.jobsSubmitted = dec.getI64();
+  truth.jobsCompleted = dec.getI64();
+  truth.tasksCompleted = dec.getI64();
+  truth.tasksFailed = dec.getI64();
+  truth.speculativeLaunches = dec.getI64();
+  truth.syncDroppedSeconds = dec.getI64();
+  return truth;
+}
+
+void encodeFooter(rpc::Encoder& enc, const SegmentFooter& footer) {
+  enc.putI64(footer.recordCount);
+  enc.putDouble(footer.firstNow);
+  enc.putDouble(footer.lastNow);
+  for (std::int64_t count : footer.kindCounts) enc.putI64(count);
+  enc.putI64(footer.payloadBytes);
+}
+
+SegmentFooter decodeFooter(rpc::Decoder& dec) {
+  SegmentFooter footer;
+  footer.recordCount = dec.getI64();
+  footer.firstNow = dec.getDouble();
+  footer.lastNow = dec.getDouble();
+  for (std::int64_t& count : footer.kindCounts) count = dec.getI64();
+  footer.payloadBytes = dec.getI64();
+  return footer;
+}
+
+std::vector<std::uint8_t> encodeTrailer(std::uint64_t footerOffset) {
+  rpc::Encoder enc;
+  enc.putU32(kTrailerMagic);
+  enc.putU32(kFormatVersion);
+  enc.putI64(static_cast<std::int64_t>(footerOffset));
+  return enc.bytes();
+}
+
+bool decodeTrailer(const std::uint8_t* data, std::size_t size,
+                   std::uint64_t& footerOffset) {
+  if (size != kTrailerBytes) return false;
+  const std::vector<std::uint8_t> bytes(data, data + size);
+  rpc::Decoder dec(bytes);
+  if (dec.getU32() != kTrailerMagic) return false;
+  if (dec.getU32() != kFormatVersion) return false;
+  footerOffset = static_cast<std::uint64_t>(dec.getI64());
+  return true;
+}
+
+std::string segmentFileName(std::uint64_t index) {
+  return strformat("seg-%08llu.asar",
+                   static_cast<unsigned long long>(index));
+}
+
+}  // namespace asdf::archive

@@ -1,0 +1,150 @@
+// On-disk format of the telemetry flight recorder (DESIGN.md §11).
+//
+// An archive is a directory of segment files:
+//
+//   seg-00000001.asar        sealed segment (footer + trailer present)
+//   seg-00000002.asar.open   active segment (crash-recoverable prefix)
+//
+// A segment is a stream of frames in the live wire framing
+// (src/net/frame.h: 16-byte header with magic/version/type/length and
+// a CRC-32 of the payload), using record types from a range disjoint
+// from the live protocol's message types:
+//
+//   kMetaRecord   (0x40)  first frame: run parameters (seed, slaves,
+//                         fault, durations) — enough to replay
+//   kSampleRecord (0x41)  one collection round: kind, node, seq, now,
+//                         watermark, attempts, ok, payload bytes
+//   kTruthRecord  (0x42)  ground truth + cluster counters, written
+//                         when the recording run ends
+//   kFooterRecord (0x43)  record counts + time range, sealed segments
+//
+// A sealed segment ends with a fixed 16-byte raw trailer:
+//
+//   offset  size  field
+//   0       4     magic 0x41534654 ("ASFT"), big-endian
+//   4       4     format version (big-endian)
+//   8       8     file offset of the footer frame (big-endian)
+//
+// so a reader can locate the footer without scanning — and any torn or
+// truncated seal is detectable because the trailer is the very last
+// thing written before fsync + rename-into-place. Active segments have
+// no footer/trailer; on crash-recovery open the reader walks frames
+// sequentially and tolerates a torn final record (the committed prefix
+// is intact because records hit the file with unbuffered writes).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "net/frame.h"
+#include "rpc/collection_tap.h"
+#include "rpc/wire.h"
+
+namespace asdf::archive {
+
+/// Raised on unreadable, corrupt, or version-skewed archives.
+class ArchiveError : public std::runtime_error {
+ public:
+  explicit ArchiveError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+// Archive record types share the frame header's u16 type field with
+// the live protocol but start at 0x40, so a stray archive segment fed
+// to a live decoder (or vice versa) is unmistakable.
+inline constexpr net::MsgType kMetaRecord = static_cast<net::MsgType>(0x40);
+inline constexpr net::MsgType kSampleRecord = static_cast<net::MsgType>(0x41);
+inline constexpr net::MsgType kTruthRecord = static_cast<net::MsgType>(0x42);
+inline constexpr net::MsgType kFooterRecord = static_cast<net::MsgType>(0x43);
+
+inline constexpr std::uint32_t kTrailerMagic = 0x41534654u;  // "ASFT"
+inline constexpr std::size_t kTrailerBytes = 16;
+
+/// Run parameters stamped into every segment's first frame. Everything
+/// `asdf_archive replay` needs to retrain the model and rebuild the
+/// pipeline for a faithful re-run.
+struct ArchiveMeta {
+  std::uint64_t seed = 0;
+  int slaves = 0;
+  std::string source;  // "sim" | "live" | "rpcd-sim" | "rpcd-proc"
+  double duration = 0.0;
+  double trainDuration = 0.0;
+  double trainWarmup = 0.0;
+  int centroids = 0;
+  std::uint32_t faultType = 0;  // faults::FaultType as stored
+  NodeId faultNode = 0;
+  double faultStart = kNoTime;
+  double faultEnd = kNoTime;
+  double mixChangeTime = -1.0;
+};
+
+/// One archived collection round (the durable form of CollectSample).
+/// `seq` numbers records per (kind, node) stream for gap diagnostics.
+struct SampleRecord {
+  rpc::CollectKind kind = rpc::CollectKind::kSadc;
+  NodeId node = 0;
+  std::int64_t seq = 0;
+  double now = kNoTime;
+  double watermark = kNoTime;
+  int attempts = 1;
+  bool ok = true;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Ground truth + cluster counters of the recording run, written when
+/// it ends. Absent from archives whose recorder was killed mid-run —
+/// replay then falls back to the meta frame's fault fields.
+struct TruthRecord {
+  int slaveIndex = -1;
+  double faultStart = kNoTime;
+  double faultEnd = kNoTime;
+  double simulatedSeconds = 0.0;
+  std::int64_t jobsSubmitted = 0;
+  std::int64_t jobsCompleted = 0;
+  std::int64_t tasksCompleted = 0;
+  std::int64_t tasksFailed = 0;
+  std::int64_t speculativeLaunches = 0;
+  std::int64_t syncDroppedSeconds = 0;
+};
+
+/// Per-segment index written as the sealed segment's last frame.
+struct SegmentFooter {
+  std::int64_t recordCount = 0;  // sample records only
+  double firstNow = kNoTime;
+  double lastNow = kNoTime;
+  std::array<std::int64_t, rpc::kCollectKindCount> kindCounts{};
+  std::int64_t payloadBytes = 0;
+};
+
+void encodeMeta(rpc::Encoder& enc, const ArchiveMeta& meta);
+ArchiveMeta decodeMeta(rpc::Decoder& dec);
+
+/// Encodes a sample straight from the observer callback (no
+/// intermediate SampleRecord copy on the write path).
+void encodeSample(rpc::Encoder& enc, const rpc::CollectSample& sample,
+                  std::int64_t seq);
+void encodeSample(rpc::Encoder& enc, const SampleRecord& rec);
+SampleRecord decodeSample(rpc::Decoder& dec);
+
+void encodeTruth(rpc::Encoder& enc, const TruthRecord& truth);
+TruthRecord decodeTruth(rpc::Decoder& dec);
+
+void encodeFooter(rpc::Encoder& enc, const SegmentFooter& footer);
+SegmentFooter decodeFooter(rpc::Decoder& dec);
+
+std::vector<std::uint8_t> encodeTrailer(std::uint64_t footerOffset);
+/// False when the 16 bytes are not a valid v1 trailer.
+bool decodeTrailer(const std::uint8_t* data, std::size_t size,
+                   std::uint64_t& footerOffset);
+
+/// "seg-%08llu.asar" — sealed name; active segments append ".open".
+std::string segmentFileName(std::uint64_t index);
+inline constexpr const char* kOpenSuffix = ".open";
+
+}  // namespace asdf::archive

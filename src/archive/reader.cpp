@@ -1,0 +1,245 @@
+#include "archive/reader.h"
+
+#include <dirent.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "archive/writer.h"
+
+namespace asdf::archive {
+namespace {
+
+struct SegmentPath {
+  std::string path;
+  std::uint64_t index = 0;
+  bool sealed = false;
+};
+
+std::vector<SegmentPath> listSegments(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    throw ArchiveError("archive: cannot open directory " + dir);
+  }
+  std::vector<SegmentPath> out;
+  while (dirent* entry = ::readdir(d)) {
+    unsigned long long index = 0;
+    char suffix[16] = {0};
+    if (std::sscanf(entry->d_name, "seg-%8llu%15s", &index, suffix) != 2) {
+      continue;
+    }
+    SegmentPath sp;
+    if (std::strcmp(suffix, ".asar") == 0) {
+      sp.sealed = true;
+    } else if (std::strcmp(suffix, ".asar.open") == 0) {
+      sp.sealed = false;
+    } else {
+      continue;
+    }
+    sp.index = index;
+    sp.path = dir + "/" + entry->d_name;
+    out.push_back(std::move(sp));
+  }
+  ::closedir(d);
+  std::sort(out.begin(), out.end(),
+            [](const SegmentPath& a, const SegmentPath& b) {
+              return a.index < b.index;
+            });
+  return out;
+}
+
+std::vector<std::uint8_t> readFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw ArchiveError("archive: cannot read " + path);
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>());
+}
+
+}  // namespace
+
+ArchiveReader::ArchiveReader(const std::string& dir) {
+  const std::vector<SegmentPath> paths = listSegments(dir);
+  if (paths.empty()) {
+    throw ArchiveError("archive: no segments in " + dir);
+  }
+  for (const SegmentPath& sp : paths) {
+    loadSegment(sp.path, sp.index, sp.sealed);
+  }
+}
+
+void ArchiveReader::loadSegment(const std::string& path, std::uint64_t index,
+                                bool sealed) {
+  const std::vector<std::uint8_t> bytes = readFile(path);
+  SegmentInfo info;
+  info.path = path;
+  info.index = index;
+  info.sealed = sealed;
+  info.fileBytes = static_cast<std::int64_t>(bytes.size());
+
+  std::size_t framedBytes = bytes.size();
+  std::uint64_t footerOffset = 0;
+  if (sealed) {
+    if (bytes.size() < kTrailerBytes) {
+      throw ArchiveError("archive: " + path + ": sealed segment shorter "
+                         "than its trailer");
+    }
+    framedBytes = bytes.size() - kTrailerBytes;
+    if (!decodeTrailer(bytes.data() + framedBytes, kTrailerBytes,
+                       footerOffset)) {
+      throw ArchiveError("archive: " + path + ": invalid trailer");
+    }
+    if (footerOffset >= framedBytes) {
+      throw ArchiveError("archive: " + path + ": trailer points past "
+                         "the footer region");
+    }
+  }
+
+  net::FrameDecoder decoder;
+  decoder.feed(bytes.data(), framedBytes);
+  if (decoder.error() != net::FrameDecoder::Error::kNone) {
+    throw ArchiveError("archive: " + path + ": frame decode failed (" +
+                       net::frameErrorName(decoder.error()) + ")");
+  }
+
+  bool sawMeta = false;
+  bool sawFooter = false;
+  SegmentFooter footer;
+  SegmentFooter counted;
+  std::size_t offset = 0;  // file offset of the frame being decoded
+  net::Frame frame;
+  while (decoder.next(frame)) {
+    const std::size_t frameStart = offset;
+    offset += net::kFrameHeaderBytes + frame.payload.size();
+    if (sawFooter) {
+      throw ArchiveError("archive: " + path + ": frames after the footer");
+    }
+    rpc::Decoder dec(frame.payload);
+    if (!sawMeta) {
+      if (frame.type != kMetaRecord) {
+        throw ArchiveError("archive: " + path + ": first frame is not a "
+                           "meta record");
+      }
+      // Segments written by later sessions in the same directory carry
+      // their own meta; the archive's parameters come from the first.
+      const ArchiveMeta meta = decodeMeta(dec);
+      if (segments_.empty()) meta_ = meta;
+      sawMeta = true;
+    } else if (frame.type == kSampleRecord) {
+      SampleRecord rec = decodeSample(dec);
+      if (counted.recordCount == 0) counted.firstNow = rec.now;
+      counted.lastNow = rec.now;
+      ++counted.recordCount;
+      ++counted.kindCounts[static_cast<int>(rec.kind)];
+      counted.payloadBytes += static_cast<std::int64_t>(rec.payload.size());
+      records_.push_back(std::move(rec));
+    } else if (frame.type == kTruthRecord) {
+      truth_ = decodeTruth(dec);
+    } else if (frame.type == kFooterRecord) {
+      if (sealed && frameStart != footerOffset) {
+        throw ArchiveError("archive: " + path + ": footer frame not at "
+                           "the trailer's offset");
+      }
+      footer = decodeFooter(dec);
+      sawFooter = true;
+    } else if (frame.type == kMetaRecord) {
+      throw ArchiveError("archive: " + path + ": duplicate meta record");
+    } else {
+      throw ArchiveError("archive: " + path + ": unexpected record type " +
+                         std::to_string(static_cast<int>(frame.type)));
+    }
+    if (!dec.exhausted()) {
+      throw ArchiveError("archive: " + path + ": record payload has "
+                         "trailing bytes");
+    }
+  }
+
+  if (!sawMeta) {
+    throw ArchiveError("archive: " + path + ": no meta record");
+  }
+  if (sealed) {
+    if (!sawFooter) {
+      throw ArchiveError("archive: " + path + ": sealed segment has no "
+                         "footer frame");
+    }
+    if (decoder.pendingBytes() != 0) {
+      throw ArchiveError("archive: " + path + ": sealed segment has " +
+                         std::to_string(decoder.pendingBytes()) +
+                         " unframed bytes");
+    }
+    if (footer.recordCount != counted.recordCount ||
+        footer.kindCounts != counted.kindCounts ||
+        footer.payloadBytes != counted.payloadBytes ||
+        (footer.recordCount > 0 && (footer.firstNow != counted.firstNow ||
+                                    footer.lastNow != counted.lastNow))) {
+      throw ArchiveError("archive: " + path + ": footer index disagrees "
+                         "with the records present");
+    }
+  } else {
+    if (sawFooter) {
+      // A crash between footer write and rename: the segment is
+      // complete in content, only the sealed name is missing.
+    }
+    info.tornTailBytes = decoder.pendingBytes();
+  }
+
+  info.records = counted.recordCount;
+  info.firstNow = counted.firstNow;
+  info.lastNow = counted.lastNow;
+  segments_.push_back(std::move(info));
+}
+
+double ArchiveReader::firstNow() const {
+  for (const SegmentInfo& s : segments_) {
+    if (s.records > 0) return s.firstNow;
+  }
+  return kNoTime;
+}
+
+double ArchiveReader::lastNow() const {
+  double last = kNoTime;
+  for (const SegmentInfo& s : segments_) {
+    if (s.records > 0) last = s.lastNow;
+  }
+  return last;
+}
+
+std::size_t ArchiveReader::tornTailBytes() const {
+  std::size_t total = 0;
+  for (const SegmentInfo& s : segments_) total += s.tornTailBytes;
+  return total;
+}
+
+ArchiveReader::VerifyResult ArchiveReader::verify(const std::string& dir) {
+  VerifyResult out;
+  try {
+    const ArchiveReader reader(dir);
+    out.ok = true;
+    out.recordsVerified = static_cast<std::int64_t>(reader.records().size());
+    out.tornTailBytes = reader.tornTailBytes();
+  } catch (const std::exception& e) {
+    out.ok = false;
+    out.errors.push_back(e.what());
+  }
+  return out;
+}
+
+std::int64_t trimArchive(const std::string& srcDir, const std::string& dstDir,
+                         double fromTime, double toTime) {
+  const ArchiveReader reader(srcDir);
+  ArchiveWriterOptions opts;
+  opts.dir = dstDir;
+  ArchiveWriter writer(opts, reader.meta());
+  std::int64_t kept = 0;
+  for (const SampleRecord& rec : reader.records()) {
+    if (rec.now < fromTime || rec.now > toTime) continue;
+    writer.append(rec);
+    ++kept;
+  }
+  if (reader.truth().has_value()) writer.writeTruth(*reader.truth());
+  writer.close();
+  return kept;
+}
+
+}  // namespace asdf::archive

@@ -1,0 +1,83 @@
+// ArchiveReader — crash-recovering, integrity-checking archive loads.
+//
+// Opening an archive directory scans its segments in index order and
+// loads every record into memory (a 50-node, 30-minute run is a few
+// tens of MB — replay needs random access by timestamp anyway).
+//
+// Integrity contract:
+//   * Sealed segments (".asar") must verify end to end: valid trailer,
+//     footer frame exactly where the trailer points, every frame CRC
+//     good, zero unframed bytes, and footer counts matching the
+//     records actually present. Any single flipped bit fails the open
+//     (the frame CRC-32 covers payloads; header fields are validated
+//     structurally; the trailer is checked field by field).
+//   * Active segments (".asar.open" — a crashed or still-running
+//     writer) tolerate exactly one torn tail: trailing bytes that do
+//     not yet assemble into a frame are reported via tornTailBytes().
+//     A decode *error* (bad magic / CRC) is still corruption.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "archive/format.h"
+
+namespace asdf::archive {
+
+struct SegmentInfo {
+  std::string path;
+  std::uint64_t index = 0;
+  bool sealed = false;
+  std::int64_t fileBytes = 0;
+  std::int64_t records = 0;
+  double firstNow = kNoTime;
+  double lastNow = kNoTime;
+  std::size_t tornTailBytes = 0;  // .open segments only
+};
+
+class ArchiveReader {
+ public:
+  /// Loads and validates every segment. Throws ArchiveError on an
+  /// unreadable directory, an empty archive, or any corruption the
+  /// integrity contract above rejects.
+  explicit ArchiveReader(const std::string& dir);
+
+  const ArchiveMeta& meta() const { return meta_; }
+  const std::optional<TruthRecord>& truth() const { return truth_; }
+  const std::vector<SegmentInfo>& segments() const { return segments_; }
+  /// All sample records in file order (per-stream seq ascending).
+  const std::vector<SampleRecord>& records() const { return records_; }
+
+  double firstNow() const;
+  double lastNow() const;
+  std::size_t tornTailBytes() const;
+
+  struct VerifyResult {
+    bool ok = false;
+    std::int64_t recordsVerified = 0;
+    std::size_t tornTailBytes = 0;
+    std::vector<std::string> errors;
+  };
+  /// Full-archive integrity check (the `asdf_archive verify` command):
+  /// ok iff the archive loads under the contract above.
+  static VerifyResult verify(const std::string& dir);
+
+ private:
+  void loadSegment(const std::string& path, std::uint64_t index,
+                   bool sealed);
+
+  ArchiveMeta meta_;
+  std::optional<TruthRecord> truth_;
+  std::vector<SegmentInfo> segments_;
+  std::vector<SampleRecord> records_;
+};
+
+/// Copies records with `fromTime <= now <= toTime` (plus meta + truth)
+/// into a fresh archive at dstDir. Returns the number of records kept.
+std::int64_t trimArchive(const std::string& srcDir, const std::string& dstDir,
+                         double fromTime, double toTime);
+
+}  // namespace asdf::archive

@@ -1,0 +1,249 @@
+#include "archive/writer.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace asdf::archive {
+namespace {
+
+std::string errnoString() { return std::strerror(errno); }
+
+// mkdir -p: creates every missing component. EEXIST is fine (races
+// with a concurrent writer or a pre-created directory).
+void ensureDir(const std::string& dir) {
+  std::string partial;
+  for (std::size_t i = 0; i <= dir.size(); ++i) {
+    if (i < dir.size() && dir[i] != '/') {
+      partial.push_back(dir[i]);
+      continue;
+    }
+    if (!partial.empty() && partial != "." && partial != "..") {
+      if (::mkdir(partial.c_str(), 0777) != 0 && errno != EEXIST) {
+        throw ArchiveError("archive: mkdir " + partial + ": " +
+                           errnoString());
+      }
+    }
+    if (i < dir.size()) partial.push_back('/');
+  }
+  struct stat st{};
+  if (::stat(dir.c_str(), &st) != 0 || !S_ISDIR(st.st_mode)) {
+    throw ArchiveError("archive: " + dir + " is not a directory");
+  }
+}
+
+// Highest segment index present (sealed or .open); 0 when none.
+std::uint64_t maxSegmentIndex(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    throw ArchiveError("archive: opendir " + dir + ": " + errnoString());
+  }
+  std::uint64_t maxIndex = 0;
+  while (dirent* entry = ::readdir(d)) {
+    unsigned long long index = 0;
+    char suffix[16] = {0};
+    // Matches both "seg-%08llu.asar" and its ".open" form.
+    if (std::sscanf(entry->d_name, "seg-%8llu%15s", &index, suffix) == 2 &&
+        (std::strcmp(suffix, ".asar") == 0 ||
+         std::strcmp(suffix, ".asar.open") == 0)) {
+      maxIndex = std::max<std::uint64_t>(maxIndex, index);
+    }
+  }
+  ::closedir(d);
+  return maxIndex;
+}
+
+void fsyncDir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return;  // best effort: some filesystems refuse dir fds
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+ArchiveWriter::ArchiveWriter(ArchiveWriterOptions opts, ArchiveMeta meta)
+    : opts_(std::move(opts)), meta_(std::move(meta)) {
+  if (opts_.dir.empty()) {
+    throw ArchiveError("archive: writer needs a directory");
+  }
+  ensureDir(opts_.dir);
+  nextIndex_ = maxSegmentIndex(opts_.dir) + 1;
+  std::lock_guard<std::mutex> lock(mutex_);
+  openSegmentLocked();
+}
+
+ArchiveWriter::~ArchiveWriter() {
+  try {
+    close();
+  } catch (const std::exception&) {
+    // Destructor: the .open segment stays recoverable on disk.
+  }
+}
+
+void ArchiveWriter::writeAllLocked(const std::uint8_t* data,
+                                   std::size_t size) {
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::write(fd_, data + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw ArchiveError("archive: write " + activePath_ + ": " +
+                         errnoString());
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  segmentBytes_ += static_cast<std::int64_t>(size);
+  bytesWritten_ += static_cast<std::int64_t>(size);
+}
+
+void ArchiveWriter::writeFrameLocked(net::MsgType type,
+                                     const rpc::Encoder& enc) {
+  const std::vector<std::uint8_t> frame = net::encodeFrame(type, enc);
+  writeAllLocked(frame.data(), frame.size());
+}
+
+void ArchiveWriter::openSegmentLocked() {
+  activePath_ =
+      opts_.dir + "/" + segmentFileName(nextIndex_) + kOpenSuffix;
+  fd_ = ::open(activePath_.c_str(),
+               O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd_ < 0) {
+    throw ArchiveError("archive: open " + activePath_ + ": " +
+                       errnoString());
+  }
+  segmentBytes_ = 0;
+  segmentStartNow_ = kNoTime;
+  footer_ = SegmentFooter{};
+  rpc::Encoder enc;
+  encodeMeta(enc, meta_);
+  writeFrameLocked(kMetaRecord, enc);
+}
+
+void ArchiveWriter::sealSegmentLocked() {
+  const std::uint64_t footerOffset =
+      static_cast<std::uint64_t>(segmentBytes_);
+  rpc::Encoder enc;
+  encodeFooter(enc, footer_);
+  writeFrameLocked(kFooterRecord, enc);
+  const std::vector<std::uint8_t> trailer = encodeTrailer(footerOffset);
+  writeAllLocked(trailer.data(), trailer.size());
+  // Durability order: data + footer + trailer must be on disk before
+  // the rename publishes the sealed name.
+  if (::fsync(fd_) != 0) {
+    throw ArchiveError("archive: fsync " + activePath_ + ": " +
+                       errnoString());
+  }
+  ::close(fd_);
+  fd_ = -1;
+  const std::string sealedPath =
+      activePath_.substr(0, activePath_.size() - std::strlen(kOpenSuffix));
+  if (::rename(activePath_.c_str(), sealedPath.c_str()) != 0) {
+    throw ArchiveError("archive: rename " + activePath_ + ": " +
+                       errnoString());
+  }
+  fsyncDir(opts_.dir);
+  ++segmentsSealed_;
+  ++nextIndex_;
+}
+
+void ArchiveWriter::maybeRotateLocked(double now) {
+  if (footer_.recordCount == 0) return;  // never seal an empty segment
+  const bool bySize =
+      segmentBytes_ >= static_cast<std::int64_t>(opts_.maxSegmentBytes);
+  const bool byAge = segmentStartNow_ != kNoTime && now != kNoTime &&
+                     now - segmentStartNow_ >= opts_.maxSegmentSeconds;
+  if (!bySize && !byAge) return;
+  sealSegmentLocked();
+  openSegmentLocked();
+}
+
+void ArchiveWriter::writeSampleLocked(const rpc::CollectSample& sample,
+                                      std::int64_t seq) {
+  maybeRotateLocked(sample.now);
+  rpc::Encoder enc;
+  encodeSample(enc, sample, seq);
+  writeFrameLocked(kSampleRecord, enc);
+  if (footer_.recordCount == 0) {
+    segmentStartNow_ = sample.now;
+    footer_.firstNow = sample.now;
+  }
+  footer_.lastNow = sample.now;
+  ++footer_.recordCount;
+  ++footer_.kindCounts[static_cast<int>(sample.kind)];
+  footer_.payloadBytes += static_cast<std::int64_t>(sample.payloadSize);
+  ++recordsWritten_;
+}
+
+void ArchiveWriter::onSample(const rpc::CollectSample& sample) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ < 0) return;
+  const std::int64_t seq =
+      nextSeq_[{static_cast<int>(sample.kind), sample.node}]++;
+  writeSampleLocked(sample, seq);
+}
+
+void ArchiveWriter::append(const SampleRecord& rec) {
+  rpc::CollectSample sample;
+  sample.kind = rec.kind;
+  sample.node = rec.node;
+  sample.now = rec.now;
+  sample.watermark = rec.watermark;
+  sample.attempts = rec.attempts;
+  sample.ok = rec.ok;
+  sample.payload = rec.payload.data();
+  sample.payloadSize = rec.payload.size();
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ < 0) return;
+  writeSampleLocked(sample, rec.seq);  // original seq preserved
+}
+
+void ArchiveWriter::writeTruth(const TruthRecord& truth) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ < 0) return;
+  rpc::Encoder enc;
+  encodeTruth(enc, truth);
+  writeFrameLocked(kTruthRecord, enc);
+}
+
+void ArchiveWriter::close() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ < 0) return;
+  sealSegmentLocked();
+}
+
+void ArchiveWriter::abandonForTest() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ < 0) return;
+  ::close(fd_);
+  fd_ = -1;
+}
+
+long ArchiveWriter::recordsWritten() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return recordsWritten_;
+}
+
+long ArchiveWriter::segmentsSealed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return segmentsSealed_;
+}
+
+std::int64_t ArchiveWriter::bytesWritten() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bytesWritten_;
+}
+
+std::int64_t ArchiveWriter::activeSegmentBytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return segmentBytes_;
+}
+
+}  // namespace asdf::archive

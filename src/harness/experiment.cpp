@@ -5,6 +5,8 @@
 #include <memory>
 #include <mutex>
 
+#include "archive/collector.h"
+#include "archive/writer.h"
 #include "common/logging.h"
 #include "core/fpt_core.h"
 #include "core/realtime.h"
@@ -101,6 +103,49 @@ void recordChannelReports(ExperimentResult& result,
   }
 }
 
+archive::ArchiveMeta metaFromSpec(const ExperimentSpec& spec,
+                                  const std::string& source) {
+  archive::ArchiveMeta meta;
+  meta.seed = spec.seed;
+  meta.slaves = spec.slaves;
+  meta.source = source;
+  meta.duration = spec.duration;
+  meta.trainDuration = spec.trainDuration;
+  meta.trainWarmup = spec.trainWarmup;
+  meta.centroids = spec.centroids;
+  meta.faultType = static_cast<std::uint32_t>(spec.fault.type);
+  meta.faultNode = spec.fault.node;
+  meta.faultStart = spec.fault.startTime;
+  meta.faultEnd = spec.fault.endTime;
+  meta.mixChangeTime = spec.mixChangeTime;
+  return meta;
+}
+
+archive::TruthRecord truthFromResult(const ExperimentResult& result) {
+  archive::TruthRecord truth;
+  truth.slaveIndex = result.truth.slaveIndex;
+  truth.faultStart = result.truth.faultStart;
+  truth.faultEnd = result.truth.faultEnd;
+  truth.simulatedSeconds = result.simulatedSeconds;
+  truth.jobsSubmitted = result.jobsSubmitted;
+  truth.jobsCompleted = result.jobsCompleted;
+  truth.tasksCompleted = result.tasksCompleted;
+  truth.tasksFailed = result.tasksFailed;
+  truth.speculativeLaunches = result.speculativeLaunches;
+  truth.syncDroppedSeconds = result.syncDroppedSeconds;
+  return truth;
+}
+
+std::unique_ptr<archive::ArchiveWriter> makeRecorder(
+    const ExperimentSpec& spec, const std::string& source) {
+  if (spec.archiveDir.empty()) return nullptr;
+  archive::ArchiveWriterOptions opts;
+  opts.dir = spec.archiveDir;
+  opts.maxSegmentBytes = spec.archiveSegmentBytes;
+  return std::make_unique<archive::ArchiveWriter>(std::move(opts),
+                                                  metaFromSpec(spec, source));
+}
+
 /// Live transport: the monitored cluster lives inside asdf_rpcd; the
 /// control node here runs only fpt-core + the RpcClient over real
 /// sockets, pumped by a RealTimeDriver. Monitoring-fault injectors are
@@ -121,6 +166,9 @@ ExperimentResult runLiveExperiment(const ExperimentSpec& spec,
   }
   rpc::RpcClient client(transport, spec.rpcPolicy,
                         spec.seed * 2654435761ULL + 97);
+  std::unique_ptr<archive::ArchiveWriter> recorder =
+      makeRecorder(spec, "live");
+  if (recorder != nullptr) client.setObserver(recorder.get());
 
   sim::SimEngine engine;
   modules::HadoopLogSync sync;
@@ -185,6 +233,80 @@ ExperimentResult runLiveExperiment(const ExperimentSpec& spec,
   recordChannelReports(result, client.transports(), spec);
   result.syncDroppedSeconds = sync.droppedSeconds();
   recordClientCounters(result, client);
+  if (recorder != nullptr) {
+    recorder->writeTruth(truthFromResult(result));
+    recorder->close();
+  }
+  return result;
+}
+
+/// Replay transport: no cluster, no daemons — an ArchiveCollector
+/// serves the recorded rounds to the same RpcClient the live path
+/// uses, and the pipeline runs on the sim clock. The module schedule
+/// is deterministic, so every fetch finds its archived record and the
+/// run reproduces the recording run's alarms byte-for-byte.
+ExperimentResult runReplayExperiment(const ExperimentSpec& spec,
+                                     const analysis::BlackBoxModel& model) {
+  archive::ArchiveCollector collector(spec.archiveDir);
+  if (collector.slaves() != spec.slaves) {
+    logWarn("replay: archive holds " + std::to_string(collector.slaves()) +
+            " slaves but the spec says " + std::to_string(spec.slaves));
+  }
+  rpc::RpcClient client(collector, spec.rpcPolicy,
+                        spec.seed * 2654435761ULL + 97,
+                        /*realBackoff=*/false);
+
+  sim::SimEngine engine;
+  modules::HadoopLogSync sync;
+  ExperimentResult result;
+
+  core::Environment env;
+  env.provide("bb_model", const_cast<analysis::BlackBoxModel*>(&model));
+  env.provide("hl_sync", &sync);
+  env.provide("rpc_client", &client);
+  env.provide("node_health", &client.health());
+  std::mutex eventMutex;
+  wireSinks(env, result, eventMutex);
+
+  core::FptCore fpt(engine, env);
+  fpt.setExecutor(core::makeExecutor(spec.threads));
+  PipelineParams pipeline = spec.pipeline;
+  pipeline.slaves = spec.slaves;
+  fpt.configureFromText(buildCombinedConfig(pipeline));
+
+  engine.runUntil(spec.duration);
+
+  sortMonitoringEvents(result);
+
+  // Ground truth: the recorded run's truth record when the recorder
+  // shut down cleanly, else the meta frame's fault parameters (a
+  // killed recorder still leaves a localizable archive).
+  if (collector.truth().has_value()) {
+    const archive::TruthRecord& truth = *collector.truth();
+    result.truth.slaveIndex = truth.slaveIndex;
+    result.truth.faultStart = truth.faultStart;
+    result.truth.faultEnd = truth.faultEnd;
+    result.jobsSubmitted = truth.jobsSubmitted;
+    result.jobsCompleted = truth.jobsCompleted;
+    result.tasksCompleted = truth.tasksCompleted;
+    result.tasksFailed = truth.tasksFailed;
+    result.speculativeLaunches = truth.speculativeLaunches;
+  } else {
+    const archive::ArchiveMeta& meta = collector.meta();
+    result.truth.slaveIndex =
+        meta.faultType == 0 ? -1 : static_cast<int>(meta.faultNode) - 1;
+    result.truth.faultStart = meta.faultStart;
+    result.truth.faultEnd = meta.faultEnd;
+  }
+  result.simulatedSeconds = spec.duration;
+
+  result.fptCoreCpuPct = 100.0 * fpt.cpuSeconds() / spec.duration;
+  result.fptCoreMemMb =
+      static_cast<double>(fpt.memoryFootprintBytes()) / 1.0e6;
+
+  recordChannelReports(result, client.transports(), spec);
+  result.syncDroppedSeconds = sync.droppedSeconds();
+  recordClientCounters(result, client);
   return result;
 }
 
@@ -224,6 +346,9 @@ ExperimentResult runExperiment(const ExperimentSpec& spec,
   if (spec.transport == TransportMode::kLive) {
     return runLiveExperiment(spec, model);
   }
+  if (spec.transport == TransportMode::kReplay) {
+    return runReplayExperiment(spec, model);
+  }
   sim::SimEngine engine;
   hadoop::Cluster cluster(hadoopParamsFor(spec), spec.seed * 6151 + 3,
                           engine);
@@ -244,6 +369,18 @@ ExperimentResult runExperiment(const ExperimentSpec& spec,
   if (ftRpc) {
     client = std::make_unique<rpc::RpcClient>(
         cluster, hub, spec.rpcPolicy, spec.seed * 2654435761ULL + 97);
+  }
+
+  // Flight recorder: fault-tolerant runs tap the client (round
+  // outcomes included); the plain path taps the hub's daemons.
+  std::unique_ptr<archive::ArchiveWriter> recorder =
+      makeRecorder(spec, "sim");
+  if (recorder != nullptr) {
+    if (client != nullptr) {
+      client->setObserver(recorder.get());
+    } else {
+      hub.setObserver(recorder.get(), [&engine] { return engine.now(); });
+    }
   }
 
   core::Environment env;
@@ -322,6 +459,10 @@ ExperimentResult runExperiment(const ExperimentSpec& spec,
 
   if (client != nullptr) {
     recordClientCounters(result, *client);
+  }
+  if (recorder != nullptr) {
+    recorder->writeTruth(truthFromResult(result));
+    recorder->close();
   }
   return result;
 }

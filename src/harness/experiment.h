@@ -30,11 +30,14 @@
 namespace asdf::harness {
 
 /// How the collection plane reaches the monitored cluster.
-///   kSim  — in-process RpcHub daemons on the simulated clock (the
-///           default; byte-identical to the pre-live-transport runs).
-///   kLive — real framed-TCP sockets to an asdf_rpcd daemon; module
-///           cadence is driven by a RealTimeDriver against wall time.
-enum class TransportMode : int { kSim = 0, kLive = 1 };
+///   kSim    — in-process RpcHub daemons on the simulated clock (the
+///             default; byte-identical to the pre-live-transport runs).
+///   kLive   — real framed-TCP sockets to an asdf_rpcd daemon; module
+///             cadence is driven by a RealTimeDriver against wall time.
+///   kReplay — an ArchiveCollector serving recorded rounds from
+///             `archiveDir`; the pipeline runs on the sim clock and
+///             reproduces the recording run's alarms byte-identically.
+enum class TransportMode : int { kSim = 0, kLive = 1, kReplay = 2 };
 
 struct ExperimentSpec {
   int slaves = 16;
@@ -68,6 +71,12 @@ struct ExperimentSpec {
   std::string liveHost = "127.0.0.1";
   std::uint16_t livePort = 4588;
   double realtimeScale = 1.0;
+
+  /// Flight recorder. In sim/live modes a non-empty directory records
+  /// every collection round there (the --record flag); in replay mode
+  /// it names the archive to play back. Empty disables recording.
+  std::string archiveDir;
+  std::size_t archiveSegmentBytes = 8u << 20;  // recorder rotation size
 };
 
 struct RpcChannelReport {

@@ -64,7 +64,23 @@ void RpcdServer::advanceTo(double now) {
   }
 }
 
-void RpcdServer::handleStats(TcpServer::Connection& conn, double now) {
+void RpcdServer::observeSample(rpc::CollectKind kind, NodeId node,
+                               double now, double watermark,
+                               const rpc::Encoder& enc) {
+  if (opts_.observer == nullptr) return;
+  rpc::CollectSample sample;
+  sample.kind = kind;
+  sample.node = node;
+  sample.now = now;
+  sample.watermark = watermark;
+  sample.attempts = 1;
+  sample.ok = true;
+  sample.payload = enc.bytes().data();
+  sample.payloadSize = enc.size();
+  opts_.observer->onSample(sample);
+}
+
+ClusterStatsWire RpcdServer::snapshotStats(double now) {
   advanceTo(now);
   ClusterStatsWire stats;
   if (engine_ != nullptr) {
@@ -90,8 +106,12 @@ void RpcdServer::handleStats(TcpServer::Connection& conn, double now) {
     stats.simNow = now;
     stats.faultEndedAt = kNoTime;
   }
+  return stats;
+}
+
+void RpcdServer::handleStats(TcpServer::Connection& conn, double now) {
   rpc::Encoder enc;
-  encodeClusterStats(enc, stats);
+  encodeClusterStats(enc, snapshotStats(now));
   conn.send(MsgType::kStatsData, enc);
 }
 
@@ -132,6 +152,7 @@ void RpcdServer::handleFrame(TcpServer::Connection& conn, Frame&& frame) {
       }
       rpc::Encoder enc;
       rpc::encodeSnapshot(enc, snap);
+      observeSample(rpc::CollectKind::kSadc, node, now, kNoTime, enc);
       conn.send(MsgType::kSadcData, enc);
       return;
     }
@@ -157,6 +178,8 @@ void RpcdServer::handleFrame(TcpServer::Connection& conn, Frame&& frame) {
       }
       rpc::Encoder enc;
       rpc::encodeSamples(enc, rows);
+      observeSample(tt ? rpc::CollectKind::kTt : rpc::CollectKind::kDn,
+                    node, now, watermark, enc);
       conn.send(tt ? MsgType::kTtData : MsgType::kDnData, enc);
       return;
     }
@@ -177,6 +200,7 @@ void RpcdServer::handleFrame(TcpServer::Connection& conn, Frame&& frame) {
       const syscalls::TraceSecond trace = hub_->strace(node).fetch();
       rpc::Encoder enc;
       rpc::encodeTrace(enc, trace);
+      observeSample(rpc::CollectKind::kStrace, node, now, kNoTime, enc);
       conn.send(MsgType::kStraceData, enc);
       return;
     }

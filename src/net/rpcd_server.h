@@ -24,6 +24,7 @@
 
 #include "faults/faults.h"
 #include "hadoop/cluster.h"
+#include "net/cluster_stats.h"
 #include "net/event_loop.h"
 #include "net/proc_source.h"
 #include "net/tcp_server.h"
@@ -40,6 +41,9 @@ struct RpcdOptions {
   std::string source = "sim";    // "sim" | "proc"
   faults::FaultSpec fault;       // sim source only
   double mixChangeTime = -1.0;   // sim source only
+  /// Flight-recorder tap (--archive-dir): every served data response
+  /// is reported here. Not owned; must outlive the server.
+  rpc::CollectionObserver* observer = nullptr;
 };
 
 class RpcdServer {
@@ -59,10 +63,17 @@ class RpcdServer {
   long framesServed() const { return server_.framesServed(); }
   long connectionsRejected() const { return server_.connectionsRejected(); }
 
+  /// Cluster-side accounting as of virtual time `now` (the payload the
+  /// kStats request returns; the daemon main also stamps it into the
+  /// archive's truth record on shutdown).
+  ClusterStatsWire snapshotStats(double now);
+
  private:
   void handleFrame(TcpServer::Connection& conn, Frame&& frame);
   void advanceTo(double now);
   void handleStats(TcpServer::Connection& conn, double now);
+  void observeSample(rpc::CollectKind kind, NodeId node, double now,
+                     double watermark, const rpc::Encoder& enc);
 
   RpcdOptions opts_;
   EventLoop loop_;

@@ -206,8 +206,8 @@ RpcClient::RpcClient(hadoop::Cluster& cluster, RpcHub& hub, RpcPolicy policy,
 }
 
 RpcClient::RpcClient(LiveCollector& live, RpcPolicy policy,
-                     std::uint64_t seed)
-    : live_(&live), policy_(policy) {
+                     std::uint64_t seed, bool realBackoff)
+    : live_(&live), realBackoff_(realBackoff), policy_(policy) {
   for (NodeId node = 1; node <= live.slaves(); ++node) {
     states_.emplace(node, NodeState(mixSeed(seed, node), policy_));
     registry_.registerNode(node);
@@ -346,7 +346,7 @@ RpcClient::RoundOutcome RpcClient::liveRound(
     // A failed attempt still put the request (+ framing overhead) on
     // the wire — charge it exactly like the simulated path.
     channel.recordFailedCall(kCollectRequestBytes);
-    if (i + 1 < maxAttempts) {
+    if (realBackoff_ && i + 1 < maxAttempts) {
       const double backoff = std::min(
           policy_.backoffMax, policy_.backoffBase * std::pow(2.0, i));
       const double jitter =
@@ -362,6 +362,24 @@ RpcClient::RoundOutcome RpcClient::liveRound(
   return out;
 }
 
+void RpcClient::emitSample(CollectKind kind, NodeId node, SimTime now,
+                           SimTime watermark, const RoundOutcome& r,
+                           const std::function<void(Encoder&)>& encode) {
+  if (observer_ == nullptr) return;
+  Encoder enc;
+  if (r.ok) encode(enc);
+  CollectSample sample;
+  sample.kind = kind;
+  sample.node = node;
+  sample.now = now;
+  sample.watermark = watermark;
+  sample.attempts = r.attempts;
+  sample.ok = r.ok;
+  sample.payload = enc.bytes().data();
+  sample.payloadSize = enc.size();
+  observer_->onSample(sample);
+}
+
 Fetched<metrics::SadcSnapshot> RpcClient::fetchSadc(NodeId node,
                                                     SimTime now) {
   Fetched<metrics::SadcSnapshot> out;
@@ -375,6 +393,8 @@ Fetched<metrics::SadcSnapshot> RpcClient::fetchSadc(NodeId node,
     r = round(node, Daemon::kSadc, "sadc-tcp", now);
     if (r.ok) out.value = hub_->sadc(node).fetch();
   }
+  emitSample(CollectKind::kSadc, node, now, kNoTime, r,
+             [&](Encoder& enc) { encodeSnapshot(enc, out.value); });
   out.ok = r.ok;
   out.retried = r.retried;
   out.attempts = r.attempts;
@@ -395,6 +415,8 @@ Fetched<std::vector<hadooplog::StateSample>> RpcClient::fetchTt(
     r = round(node, Daemon::kHadoopLog, "hl-tt-tcp", now);
     if (r.ok) out.value = hub_->hadoopLog(node).fetchTt(watermark);
   }
+  emitSample(CollectKind::kTt, node, now, watermark, r,
+             [&](Encoder& enc) { encodeSamples(enc, out.value); });
   out.ok = r.ok;
   out.retried = r.retried;
   out.attempts = r.attempts;
@@ -415,6 +437,8 @@ Fetched<std::vector<hadooplog::StateSample>> RpcClient::fetchDn(
     r = round(node, Daemon::kHadoopLog, "hl-dn-tcp", now);
     if (r.ok) out.value = hub_->hadoopLog(node).fetchDn(watermark);
   }
+  emitSample(CollectKind::kDn, node, now, watermark, r,
+             [&](Encoder& enc) { encodeSamples(enc, out.value); });
   out.ok = r.ok;
   out.retried = r.retried;
   out.attempts = r.attempts;
@@ -440,6 +464,8 @@ Fetched<syscalls::TraceSecond> RpcClient::fetchStrace(NodeId node,
     r = round(node, Daemon::kStrace, "strace-tcp", now);
     if (r.ok) out.value = hub_->strace(node).fetch();
   }
+  emitSample(CollectKind::kStrace, node, now, kNoTime, r,
+             [&](Encoder& enc) { encodeTrace(enc, out.value); });
   out.ok = r.ok;
   out.retried = r.retried;
   out.attempts = r.attempts;

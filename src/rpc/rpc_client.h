@@ -42,6 +42,7 @@
 #include "hadoop/cluster.h"
 #include "rpc/daemons.h"
 #include "rpc/live_collector.h"
+#include "rpc/wire.h"
 
 namespace asdf::rpc {
 
@@ -198,8 +199,11 @@ class RpcClient {
   /// bookkeeping and per-channel byte accounting are identical to the
   /// simulated constructor — the accounting lands in this client's own
   /// TransportRegistry (see transports()) since there is no hub.
-  /// Backoffs between live attempts are real sleeps.
-  RpcClient(LiveCollector& live, RpcPolicy policy, std::uint64_t seed);
+  /// Backoffs between live attempts are real sleeps; pass
+  /// `realBackoff = false` for replay collectors, whose "attempts"
+  /// resolve instantly from the archive.
+  RpcClient(LiveCollector& live, RpcPolicy policy, std::uint64_t seed,
+            bool realBackoff = true);
   RpcClient(const RpcClient&) = delete;
   RpcClient& operator=(const RpcClient&) = delete;
 
@@ -211,6 +215,14 @@ class RpcClient {
                                                        SimTime now,
                                                        SimTime watermark);
   Fetched<syscalls::TraceSecond> fetchStrace(NodeId node, SimTime now);
+
+  /// Flight-recorder tap: after every fetch round the observer sees
+  /// the outcome (attempts/ok) plus, on success, the value re-encoded
+  /// through the payload codec — byte-identical to what the daemon
+  /// marshalled, so an archive written here replays exactly. Null
+  /// detaches. Thread-safety matches the health registry's: set it
+  /// before the run starts.
+  void setObserver(CollectionObserver* observer) { observer_ = observer; }
 
   MonitoringFaultBoard& faults() { return board_; }
   NodeHealthRegistry& health() { return registry_; }
@@ -272,10 +284,17 @@ class RpcClient {
   RoundOutcome liveRound(NodeId node, Daemon d,
                          const std::string& channelName, SimTime now,
                          const std::function<bool(std::size_t&)>& attempt);
+  /// Reports one fetch round to the observer (no-op when detached).
+  /// `encode` marshals the fetched value; only called when ok.
+  void emitSample(CollectKind kind, NodeId node, SimTime now,
+                  SimTime watermark, const RoundOutcome& r,
+                  const std::function<void(Encoder&)>& encode);
 
   hadoop::Cluster* cluster_ = nullptr;
   RpcHub* hub_ = nullptr;
   LiveCollector* live_ = nullptr;
+  CollectionObserver* observer_ = nullptr;
+  bool realBackoff_ = true;
   RpcPolicy policy_;
   MonitoringFaultBoard board_;
   NodeHealthRegistry registry_;

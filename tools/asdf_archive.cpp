@@ -1,0 +1,243 @@
+// asdf_archive — flight-recorder archive inspector (DESIGN.md §11).
+//
+// Usage: asdf_archive <command> <dir> [flags]
+//
+//   info <dir> [--brief]       run parameters, segments, record counts.
+//                              --brief prints one parseable line
+//                              (records=N last_now=T) for scripts that
+//                              poll a recording in progress.
+//   verify <dir>               full integrity check: every frame CRC,
+//                              footer indexes, trailer fields. Exits
+//                              nonzero on any corruption; tolerates the
+//                              torn tail of a crashed recorder.
+//   cat <dir> [--kind=K]       one line per record
+//       [--node=N] [--limit=N]
+//   trim <dir> --out=DIR       copy records in [--from, --to] (plus
+//       [--from=T] [--to=T]    meta + truth) into a fresh archive
+//   replay <dir> [--threads=N] re-run the analysis pipeline from the
+//       [--require-localized]  archive: retrains the model from the
+//                              archived parameters, replays every
+//                              collection round through the
+//                              fault-tolerant client, and prints the
+//                              same report live_fingerpoint prints.
+//                              Alarms reproduce the recording run
+//                              byte-identically.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/strings.h"
+#include "archive/collector.h"
+#include "archive/reader.h"
+#include "examples/example_util.h"
+#include "faults/faults.h"
+#include "harness/experiment.h"
+#include "modules/modules.h"
+
+namespace {
+
+using namespace asdf;
+using examples::flagDouble;
+using examples::flagInt;
+using examples::flagPresent;
+using examples::flagValue;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: asdf_archive <info|verify|cat|trim|replay> <dir> "
+               "[flags]\n");
+  return 2;
+}
+
+void printMeta(const archive::ArchiveMeta& meta) {
+  std::printf("  source=%s seed=%llu slaves=%d duration=%.0f\n",
+              meta.source.c_str(),
+              static_cast<unsigned long long>(meta.seed), meta.slaves,
+              meta.duration);
+  std::printf("  train: %.0f s (warmup %.0f s), %d centroids\n",
+              meta.trainDuration, meta.trainWarmup, meta.centroids);
+  std::printf("  fault: %s on slave %d at %.0f s\n",
+              faults::faultName(
+                  static_cast<faults::FaultType>(meta.faultType)),
+              meta.faultNode, meta.faultStart);
+}
+
+int cmdInfo(const std::string& dir, int argc, char** argv) {
+  archive::ArchiveReader reader(dir);
+  if (flagPresent(argc, argv, "brief")) {
+    std::printf("records=%zu last_now=%.3f torn_tail_bytes=%zu\n",
+                reader.records().size(), reader.lastNow(),
+                reader.tornTailBytes());
+    return 0;
+  }
+  std::printf("archive %s\n", dir.c_str());
+  printMeta(reader.meta());
+  std::printf("  %zu segments, %zu records, now [%.3f, %.3f]\n",
+              reader.segments().size(), reader.records().size(),
+              reader.firstNow(), reader.lastNow());
+  for (const archive::SegmentInfo& seg : reader.segments()) {
+    std::printf("  %-24s %s %8lld bytes %7lld records [%.3f, %.3f]%s\n",
+                seg.path.substr(seg.path.find_last_of('/') + 1).c_str(),
+                seg.sealed ? "sealed" : "open  ",
+                static_cast<long long>(seg.fileBytes),
+                static_cast<long long>(seg.records), seg.firstNow,
+                seg.lastNow,
+                seg.tornTailBytes > 0
+                    ? strformat(" (torn tail %zu B)", seg.tornTailBytes)
+                          .c_str()
+                    : "");
+  }
+  if (reader.truth().has_value()) {
+    std::printf("  truth: slave index %d, fault [%.0f, %.0f], %.0f s run\n",
+                reader.truth()->slaveIndex, reader.truth()->faultStart,
+                reader.truth()->faultEnd, reader.truth()->simulatedSeconds);
+  } else {
+    std::printf("  truth: absent (recorder did not shut down cleanly)\n");
+  }
+  return 0;
+}
+
+int cmdVerify(const std::string& dir) {
+  const archive::ArchiveReader::VerifyResult result =
+      archive::ArchiveReader::verify(dir);
+  if (result.ok) {
+    std::printf("OK: %lld records verified (%zu torn tail bytes)\n",
+                static_cast<long long>(result.recordsVerified),
+                result.tornTailBytes);
+    return 0;
+  }
+  for (const std::string& err : result.errors) {
+    std::fprintf(stderr, "CORRUPT: %s\n", err.c_str());
+  }
+  return 1;
+}
+
+int cmdCat(const std::string& dir, int argc, char** argv) {
+  archive::ArchiveReader reader(dir);
+  const std::string kindFilter = flagValue(argc, argv, "kind", "");
+  const long nodeFilter = flagInt(argc, argv, "node", -1);
+  const long limit = flagInt(argc, argv, "limit", -1);
+  long printed = 0;
+  for (const archive::SampleRecord& rec : reader.records()) {
+    if (!kindFilter.empty() &&
+        kindFilter != rpc::collectKindName(rec.kind)) {
+      continue;
+    }
+    if (nodeFilter >= 0 && rec.node != static_cast<NodeId>(nodeFilter)) {
+      continue;
+    }
+    std::printf("%10.3f %-6s node=%-3d seq=%-6lld attempts=%d %s %zu B\n",
+                rec.now, rpc::collectKindName(rec.kind), rec.node,
+                static_cast<long long>(rec.seq), rec.attempts,
+                rec.ok ? "ok  " : "fail", rec.payload.size());
+    if (limit >= 0 && ++printed >= limit) break;
+  }
+  return 0;
+}
+
+int cmdTrim(const std::string& dir, int argc, char** argv) {
+  const std::string out = flagValue(argc, argv, "out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "asdf_archive trim: --out=DIR is required\n");
+    return 2;
+  }
+  const double from = flagDouble(argc, argv, "from", 0.0);
+  const double to = flagDouble(argc, argv, "to", 1.0e18);
+  const std::int64_t kept = archive::trimArchive(dir, out, from, to);
+  std::printf("trimmed %s -> %s: kept %lld records in [%.3f, %.3f]\n",
+              dir.c_str(), out.c_str(), static_cast<long long>(kept), from,
+              to);
+  return 0;
+}
+
+int cmdReplay(const std::string& dir, int argc, char** argv) {
+  modules::registerBuiltinModules();
+
+  archive::ArchiveReader probe(dir);
+  const archive::ArchiveMeta& meta = probe.meta();
+
+  harness::ExperimentSpec spec;
+  spec.transport = harness::TransportMode::kReplay;
+  spec.archiveDir = dir;
+  spec.seed = meta.seed;
+  spec.slaves = meta.slaves;
+  // Durations stamped by harness recorders; daemon-side archives
+  // (rpcd-*) have no run plan, so fall back to the archived time range
+  // and the stock training regimen.
+  spec.duration = meta.duration > 0 ? meta.duration : probe.lastNow();
+  spec.trainDuration = meta.trainDuration > 0 ? meta.trainDuration : 300.0;
+  spec.trainWarmup = meta.trainWarmup > 0 ? meta.trainWarmup : 90.0;
+  spec.centroids = meta.centroids > 0 ? meta.centroids : 8;
+  spec.mixChangeTime = meta.mixChangeTime;
+  spec.fault.type = static_cast<faults::FaultType>(meta.faultType);
+  spec.fault.node = meta.faultNode;
+  spec.fault.startTime = meta.faultStart;
+  spec.fault.endTime = meta.faultEnd;
+  spec.threads = static_cast<int>(flagInt(argc, argv, "threads", 1));
+  spec.duration = flagDouble(argc, argv, "duration", spec.duration);
+  spec.trainDuration =
+      flagDouble(argc, argv, "train-duration", spec.trainDuration);
+  spec.pipeline.quietPrint = !flagPresent(argc, argv, "verbose");
+
+  std::printf("replaying %s\n", dir.c_str());
+  printMeta(meta);
+  std::printf("training black-box model (fault-free %.0f s sim run)...\n",
+              spec.trainDuration);
+  const analysis::BlackBoxModel model = harness::trainModel(spec);
+
+  std::printf("replaying %zu archived records over %.0f s...\n",
+              probe.records().size(), spec.duration);
+  const harness::ExperimentResult result =
+      harness::runExperiment(spec, model);
+  std::printf("  rpc rounds %ld (%ld retries, %ld failed)\n",
+              result.rpcRounds, result.rpcRetries, result.rpcFailedRounds);
+  std::printf("  alarm windows: %zu black-box, %zu white-box\n",
+              result.blackBox.size(), result.whiteBox.size());
+
+  const harness::ExperimentSummary summary = harness::summarize(result);
+  auto show = [](const char* name, const harness::ApproachSummary& s) {
+    std::printf("  %-10s balanced accuracy %5.1f%%  latency %s\n", name,
+                s.eval.balancedAccuracyPct(),
+                s.latencySeconds < 0
+                    ? "n/a"
+                    : strformat("%.0f s", s.latencySeconds).c_str());
+  };
+  std::printf("results:\n");
+  show("black-box", summary.blackBox);
+  show("white-box", summary.whiteBox);
+  show("combined", summary.combined);
+
+  for (const harness::RpcChannelReport& ch : result.rpcChannels) {
+    std::printf("  channel %-10s %ld calls (%ld failed), %.2f KB/s/node\n",
+                ch.name.c_str(), ch.calls, ch.failedCalls,
+                ch.perIterationKbPerSec);
+  }
+
+  const bool localized = summary.combined.latencySeconds >= 0;
+  std::printf(localized ? "fault localized from archive (latency %.0f s)\n"
+                        : "fault not localized from archive\n",
+              summary.combined.latencySeconds);
+  if (flagPresent(argc, argv, "require-localized") && !localized) {
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string command = argv[1];
+  const std::string dir = argv[2];
+  try {
+    if (command == "info") return cmdInfo(dir, argc, argv);
+    if (command == "verify") return cmdVerify(dir);
+    if (command == "cat") return cmdCat(dir, argc, argv);
+    if (command == "trim") return cmdTrim(dir, argc, argv);
+    if (command == "replay") return cmdReplay(dir, argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "asdf_archive %s: %s\n", command.c_str(), e.what());
+    return 1;
+  }
+  return usage();
+}
