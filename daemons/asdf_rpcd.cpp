@@ -46,6 +46,17 @@ int main(int argc, char** argv) {
   using examples::flagInt;
   using examples::flagValue;
 
+  if (!examples::checkFlags(
+          argc, argv,
+          {"port", "slaves", "seed", "source", "fault", "fault-node",
+           "fault-start", "fault-end", "mix-change", "archive-dir"},
+          "asdf_rpcd [--port=N] [--slaves=N] [--seed=N] "
+          "[--source=sim|proc] [--fault=NAME] [--fault-node=N] "
+          "[--fault-start=T] [--fault-end=T] [--mix-change=T] "
+          "[--archive-dir=DIR]\n")) {
+    return 2;
+  }
+
   net::RpcdOptions opts;
   opts.port = static_cast<std::uint16_t>(flagInt(argc, argv, "port", 4588));
   opts.slaves = static_cast<int>(flagInt(argc, argv, "slaves", 16));

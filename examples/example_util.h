@@ -1,8 +1,10 @@
 // Tiny command-line flag helpers shared by the example binaries.
 #pragma once
 
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <initializer_list>
 #include <string>
 
 namespace asdf::examples {
@@ -29,6 +31,37 @@ inline long flagInt(int argc, char** argv, const std::string& name,
                     long fallback) {
   const std::string v = flagValue(argc, argv, name, "");
   return v.empty() ? fallback : std::atol(v.c_str());
+}
+
+/// Strict argument validation: every argument must be "--name" or
+/// "--name=value" with `name` in `allowed`. On the first unknown
+/// argument prints an error plus `usage` to stderr and returns false
+/// (callers exit nonzero) — a mistyped flag must not silently fall
+/// back to a default.
+inline bool checkFlags(int argc, char** argv,
+                       std::initializer_list<const char*> allowed,
+                       const std::string& usage) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    bool known = false;
+    if (arg.size() > 2 && arg.compare(0, 2, "--") == 0) {
+      const std::size_t eq = arg.find('=');
+      const std::string name =
+          eq == std::string::npos ? arg.substr(2) : arg.substr(2, eq - 2);
+      for (const char* a : allowed) {
+        if (name == a) {
+          known = true;
+          break;
+        }
+      }
+    }
+    if (!known) {
+      std::fprintf(stderr, "unknown option '%s'\nusage: %s", arg.c_str(),
+                   usage.c_str());
+      return false;
+    }
+  }
+  return true;
 }
 
 inline bool flagPresent(int argc, char** argv, const std::string& name) {

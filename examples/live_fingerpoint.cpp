@@ -35,6 +35,19 @@ int main(int argc, char** argv) {
   using examples::flagPresent;
   using examples::flagValue;
 
+  if (!examples::checkFlags(
+          argc, argv,
+          {"self-host", "host", "port", "fault", "node", "inject-at",
+           "slaves", "duration", "train-duration", "seed", "scale",
+           "rpc-timeout", "record", "source", "verbose"},
+          "live_fingerpoint [--self-host | --host=H --port=N] "
+          "[--fault=NAME] [--node=N] [--inject-at=T] [--slaves=N] "
+          "[--duration=T] [--train-duration=T] [--seed=N] [--scale=X] "
+          "[--rpc-timeout=T] [--record=DIR] [--source=sim|proc] "
+          "[--verbose]\n")) {
+    return 2;
+  }
+
   modules::registerBuiltinModules();
   if (flagPresent(argc, argv, "verbose")) {
     setLogLevel(LogLevel::kInfo);

@@ -95,20 +95,27 @@ void whiteBoxCompareInto(const double* const* means,
                           scratch.column);
 
   for (std::size_t i = 0; i < nodes; ++i) {
-    double criticalK = 0.0;
-    for (std::size_t m = 0; m < dims; ++m) {
-      const double diff = std::abs(means[i][m] - scratch.median[m]);
-      if (diff <= 1.0) continue;  // below the max(1, .) floor at any k
-      const double sigma = scratch.sigmaMedian[m];
-      const double metricCritical =
-          sigma > 1e-12 ? diff / sigma : kWhiteBoxAlwaysFlagged;
-      criticalK = std::max(criticalK, metricCritical);
-    }
+    const double criticalK = whiteBoxCriticalK(
+        means[i], scratch.median.data(), scratch.sigmaMedian.data(), dims);
     scores[i] = criticalK;
     // Flagged iff some metric has diff > max(1, k*sigma), i.e. the
     // critical k is strictly above the configured k.
     flags[i] = criticalK > k ? 1.0 : 0.0;
   }
+}
+
+double whiteBoxCriticalK(const double* mean, const double* median,
+                         const double* sigmaMedian, std::size_t dims) {
+  double criticalK = 0.0;
+  for (std::size_t m = 0; m < dims; ++m) {
+    const double diff = std::abs(mean[m] - median[m]);
+    if (diff <= 1.0) continue;  // below the max(1, .) floor at any k
+    const double sigma = sigmaMedian[m];
+    const double metricCritical =
+        sigma > 1e-12 ? diff / sigma : kWhiteBoxAlwaysFlagged;
+    criticalK = std::max(criticalK, metricCritical);
+  }
+  return criticalK;
 }
 
 }  // namespace asdf::analysis

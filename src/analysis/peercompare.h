@@ -82,6 +82,13 @@ void whiteBoxCompareInto(const double* const* means,
                          std::size_t dims, double k, PeerScratch& scratch,
                          double* flags, double* scores);
 
+/// One node's white-box score given already-computed medians: the
+/// critical k above which the node is no longer flagged. Shared by
+/// the flat kernel and the tiered merge (analysis/partials.h) so the
+/// two topologies are arithmetic-identical by construction.
+double whiteBoxCriticalK(const double* mean, const double* median,
+                         const double* sigmaMedian, std::size_t dims);
+
 /// The sentinel used for "flagged at every k" in white-box scores.
 inline constexpr double kWhiteBoxAlwaysFlagged = 1.0e9;
 

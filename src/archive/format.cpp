@@ -1,5 +1,6 @@
 #include "archive/format.h"
 
+#include "common/bytes.h"
 #include "common/strings.h"
 
 namespace asdf::archive {
@@ -152,21 +153,20 @@ SegmentFooter decodeFooter(rpc::Decoder& dec) {
 }
 
 std::vector<std::uint8_t> encodeTrailer(std::uint64_t footerOffset) {
-  rpc::Encoder enc;
-  enc.putU32(kTrailerMagic);
-  enc.putU32(kFormatVersion);
-  enc.putI64(static_cast<std::int64_t>(footerOffset));
-  return enc.bytes();
+  std::vector<std::uint8_t> out;
+  out.reserve(kTrailerBytes);
+  bytes::putU32(out, kTrailerMagic);
+  bytes::putU32(out, kFormatVersion);
+  bytes::putU64(out, footerOffset);
+  return out;
 }
 
 bool decodeTrailer(const std::uint8_t* data, std::size_t size,
                    std::uint64_t& footerOffset) {
   if (size != kTrailerBytes) return false;
-  const std::vector<std::uint8_t> bytes(data, data + size);
-  rpc::Decoder dec(bytes);
-  if (dec.getU32() != kTrailerMagic) return false;
-  if (dec.getU32() != kFormatVersion) return false;
-  footerOffset = static_cast<std::uint64_t>(dec.getI64());
+  if (bytes::readU32(data) != kTrailerMagic) return false;
+  if (bytes::readU32(data + 4) != kFormatVersion) return false;
+  footerOffset = bytes::readU64(data + 8);
   return true;
 }
 

@@ -1,0 +1,92 @@
+// The aggregation tier's live processes (DESIGN.md §12).
+//
+// AggregatorNode is the heart of asdf_aggd: one region's collection
+// and reduce stages. It runs the buildAggregatorConfig() pipeline —
+// per-leaf collection chains feeding one agg_bb and one agg_wb — on a
+// RealTimeDriver against the region's leaf asdf_rpcd daemons, and
+// re-serves the published GroupSummary windows upward through a
+// net::AggServer on the same CRC-framed protocol.
+//
+// runTieredLiveExperiment() is the root: it fetches summaries from
+// every aggregator, aligns windows across regions by virtual time,
+// merges them with the exact kernels the sim merge modules use
+// (analysis/partials.h), and applies the same quorum gating and
+// MonitoringEvent semantics. An aggregator that stops answering is
+// declared dead after a failure streak and its whole region merges as
+// unmonitorable — degraded analysis, not a crash.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "rpc/summary.h"
+
+namespace asdf {
+namespace net {
+class AggServer;
+class FanoutCollector;
+}  // namespace net
+namespace core {
+class FptCore;
+class RealTimeDriver;
+}  // namespace core
+namespace archive {
+class ArchiveWriter;
+}  // namespace archive
+}  // namespace asdf
+
+namespace asdf::harness {
+
+struct AggregatorOptions {
+  /// The whole experiment's spec: total slave count, seed, window
+  /// geometry, rpc policy, realtimeScale, duration — shared by every
+  /// tier so the schedules line up. archiveDir, when set, flight-
+  /// records this aggregator's collection rounds (the per-tier tap).
+  ExperimentSpec base;
+  /// The region: monitored nodes [firstNode, firstNode + groupSize).
+  int firstNode = 1;
+  int groupSize = 0;
+  /// Leaf asdf_rpcd endpoints ("host:port"): one per node, or fewer
+  /// shared ones (see net::FanoutCollector routing).
+  std::vector<std::string> leafEndpoints;
+  std::uint16_t port = 0;  // summary serving port (0 = ephemeral)
+};
+
+class AggregatorNode {
+ public:
+  /// Connects to every leaf (throws NetError when one is unreachable).
+  /// The model must be the same one every other tier trained — same
+  /// base seed, same derivations (trainModel()).
+  AggregatorNode(const AggregatorOptions& opts,
+                 const analysis::BlackBoxModel& model);
+  ~AggregatorNode();
+  AggregatorNode(const AggregatorNode&) = delete;
+  AggregatorNode& operator=(const AggregatorNode&) = delete;
+
+  std::uint16_t port() const;
+  const rpc::SummaryBoard& board() const { return board_; }
+
+  /// Pumps the pipeline for base.duration virtual seconds while
+  /// serving summary fetches; keeps serving after the pipeline
+  /// finishes until stop() or a kShutdown frame. Blocks.
+  void run();
+  /// Thread-safe; makes run() return.
+  void stop();
+
+ private:
+  struct Impl;
+  rpc::SummaryBoard board_;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// The root of a live tiered deployment: merges summaries fetched
+/// from spec.aggEndpoints (one per tierGroupsFor(spec) entry) into
+/// the same alarms, monitoring events and per-tier Table 4 channel
+/// reports runExperiment() produces. Dispatched by runExperiment()
+/// when transport == kLive && tiered.
+ExperimentResult runTieredLiveExperiment(const ExperimentSpec& spec);
+
+}  // namespace asdf::harness

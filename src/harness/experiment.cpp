@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <memory>
 #include <mutex>
 
 #include "archive/collector.h"
+#include "harness/aggregator.h"
 #include "archive/writer.h"
 #include "common/logging.h"
 #include "core/fpt_core.h"
@@ -90,6 +92,7 @@ void recordChannelReports(ExperimentResult& result,
     if (ch->calls() == 0 && ch->failedCalls() == 0) continue;
     RpcChannelReport report;
     report.name = ch->name();
+    report.tier = ch->tier();
     report.connects = ch->connects();
     report.calls = ch->calls();
     report.failedCalls = ch->failedCalls();
@@ -265,6 +268,7 @@ ExperimentResult runReplayExperiment(const ExperimentSpec& spec,
   env.provide("hl_sync", &sync);
   env.provide("rpc_client", &client);
   env.provide("node_health", &client.health());
+  if (spec.tiered) env.provide("transports", &client.transports());
   std::mutex eventMutex;
   wireSinks(env, result, eventMutex);
 
@@ -272,6 +276,7 @@ ExperimentResult runReplayExperiment(const ExperimentSpec& spec,
   fpt.setExecutor(core::makeExecutor(spec.threads));
   PipelineParams pipeline = spec.pipeline;
   pipeline.slaves = spec.slaves;
+  if (spec.tiered) pipeline.tierGroups = tierGroupsFor(spec);
   fpt.configureFromText(buildCombinedConfig(pipeline));
 
   engine.runUntil(spec.duration);
@@ -312,6 +317,25 @@ ExperimentResult runReplayExperiment(const ExperimentSpec& spec,
 
 }  // namespace
 
+std::vector<int> tierGroupsFor(const ExperimentSpec& spec) {
+  if (!spec.tierGroups.empty()) return spec.tierGroups;
+  const int n = spec.slaves;
+  int groups = spec.aggregators;
+  if (groups <= 0) {
+    // ~sqrt(n) regions keeps both the per-aggregator fan-in and the
+    // root fan-in around sqrt(n) (5000 leaves -> ~71 aggregators).
+    groups = static_cast<int>(
+        std::lround(std::ceil(std::sqrt(static_cast<double>(n)))));
+  }
+  if (groups < 1) groups = 1;
+  if (groups > n) groups = n;
+  std::vector<int> sizes(static_cast<std::size_t>(groups), n / groups);
+  for (int i = 0; i < n % groups; ++i) {
+    sizes[static_cast<std::size_t>(i)] += 1;
+  }
+  return sizes;
+}
+
 analysis::BlackBoxModel trainModel(const ExperimentSpec& spec) {
   sim::SimEngine engine;
   hadoop::Cluster cluster(hadoopParamsFor(spec), spec.seed * 7919 + 17,
@@ -344,6 +368,9 @@ analysis::BlackBoxModel trainModel(const ExperimentSpec& spec) {
 ExperimentResult runExperiment(const ExperimentSpec& spec,
                                const analysis::BlackBoxModel& model) {
   if (spec.transport == TransportMode::kLive) {
+    // Tiered live runs merge aggregator summaries instead of
+    // collecting from leaves; the model lives in the aggregators.
+    if (spec.tiered) return runTieredLiveExperiment(spec);
     return runLiveExperiment(spec, model);
   }
   if (spec.transport == TransportMode::kReplay) {
@@ -391,6 +418,11 @@ ExperimentResult runExperiment(const ExperimentSpec& spec,
     env.provide("rpc_client", client.get());
     env.provide("node_health", &client->health());
   }
+  // Tiered analysis reduces per group before the root merge; the agg
+  // modules charge the summary traffic to tier-2 channels in the
+  // hub's registry so Table 4 reports bandwidth per tier. (FptCore
+  // copies the environment, so this must precede its construction.)
+  if (spec.tiered) env.provide("transports", &hub.transports());
   std::mutex eventMutex;
   wireSinks(env, result, eventMutex);
 
@@ -398,6 +430,7 @@ ExperimentResult runExperiment(const ExperimentSpec& spec,
   fpt.setExecutor(core::makeExecutor(spec.threads));
   PipelineParams pipeline = spec.pipeline;
   pipeline.slaves = spec.slaves;
+  if (spec.tiered) pipeline.tierGroups = tierGroupsFor(spec);
   fpt.configureFromText(buildCombinedConfig(pipeline));
 
   faults::FaultInjector injector(cluster, spec.fault);

@@ -77,10 +77,33 @@ struct ExperimentSpec {
   /// it names the archive to play back. Empty disables recording.
   std::string archiveDir;
   std::size_t archiveSegmentBytes = 8u << 20;  // recorder rotation size
+
+  /// Aggregation-tier topology (DESIGN.md §12), orthogonal to
+  /// `transport`. When `tiered` is set the analysis pipeline splits
+  /// into per-group reduce (agg_bb/agg_wb) and root merge stages;
+  /// alarms stay byte-identical to the flat topology on the same
+  /// seed. Groups cover the slaves in ascending contiguous ranges:
+  /// `tierGroups` gives explicit sizes, otherwise the slaves split
+  /// evenly across `aggregators` regions (0 = ~sqrt(slaves)).
+  bool tiered = false;
+  int aggregators = 0;
+  std::vector<int> tierGroups;
+  /// Live tiered runs (transport == kLive && tiered): the root fetches
+  /// summaries from these aggregator endpoints ("host:port", one per
+  /// group, same order as the topology) instead of contacting leaf
+  /// daemons itself.
+  std::vector<std::string> aggEndpoints;
 };
+
+/// The group sizes a spec's topology resolves to (explicit tierGroups,
+/// else an even split across the aggregator count).
+std::vector<int> tierGroupsFor(const ExperimentSpec& spec);
 
 struct RpcChannelReport {
   std::string name;
+  /// 1 = leaf collection traffic, 2 = aggregator->root summary
+  /// traffic. Tiered runs report Table 4 bandwidth per tier.
+  int tier = 1;
   long connects = 0;
   long calls = 0;
   long failedCalls = 0;  // attempts that timed out / were refused

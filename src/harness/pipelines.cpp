@@ -1,14 +1,32 @@
 #include "harness/pipelines.h"
 
+#include <numeric>
 #include <sstream>
 
+#include "common/error.h"
 #include "common/strings.h"
 
 namespace asdf::harness {
 namespace {
 
-void appendBlackBox(std::ostringstream& out, const PipelineParams& p) {
-  for (int i = 1; i <= p.slaves; ++i) {
+void checkTierGroups(const PipelineParams& p) {
+  if (p.tierGroups.empty()) return;
+  int total = 0;
+  for (const int g : p.tierGroups) {
+    if (g < 1) throw ConfigError("pipelines: tier group sizes must be >= 1");
+    total += g;
+  }
+  if (total != p.slaves) {
+    throw ConfigError(
+        strformat("pipelines: tier groups cover %d slaves, expected %d",
+                  total, p.slaves));
+  }
+}
+
+void appendBlackBoxCollection(std::ostringstream& out,
+                              const PipelineParams& p, int firstNode,
+                              int count) {
+  for (int i = firstNode; i < firstNode + count; ++i) {
     out << strformat(
         "[sadc]\n"
         "id = sadc%d\n"
@@ -29,16 +47,53 @@ void appendBlackBox(std::ostringstream& out, const PipelineParams& p) {
         "slide = %d\n\n",
         i, i, p.windowSize, p.windowSlide);
   }
+}
+
+void appendAggBb(std::ostringstream& out, int group, int firstNode,
+                 int count) {
   out << strformat(
-      "[analysis_bb]\n"
-      "id = analysis_bb\n"
-      "threshold = %g\n"
-      "window = %d\n"
-      "slide = %d\n"
-      "quorum = %d\n",
-      p.bbThreshold, p.windowSize, p.windowSlide, p.quorum);
-  for (int i = 1; i <= p.slaves; ++i) {
-    out << strformat("input[l%d] = buf%d.output0\n", i - 1, i);
+      "[agg_bb]\n"
+      "id = aggbb%d\n",
+      group);
+  for (int i = 0; i < count; ++i) {
+    out << strformat("input[l%d] = buf%d.output0\n", i, firstNode + i);
+  }
+  out << "\n";
+}
+
+void appendBlackBox(std::ostringstream& out, const PipelineParams& p) {
+  appendBlackBoxCollection(out, p, 1, p.slaves);
+  if (p.tierGroups.empty()) {
+    out << strformat(
+        "[analysis_bb]\n"
+        "id = analysis_bb\n"
+        "threshold = %g\n"
+        "window = %d\n"
+        "slide = %d\n"
+        "quorum = %d\n",
+        p.bbThreshold, p.windowSize, p.windowSlide, p.quorum);
+    for (int i = 1; i <= p.slaves; ++i) {
+      out << strformat("input[l%d] = buf%d.output0\n", i - 1, i);
+    }
+  } else {
+    int firstNode = 1;
+    for (std::size_t g = 0; g < p.tierGroups.size(); ++g) {
+      appendAggBb(out, static_cast<int>(g + 1), firstNode, p.tierGroups[g]);
+      firstNode += p.tierGroups[g];
+    }
+    // The merge instance keeps the flat id so alarm channels, origins
+    // and MonitoringEvents are byte-identical across topologies.
+    out << strformat(
+        "[analysis_bb_merge]\n"
+        "id = analysis_bb\n"
+        "threshold = %g\n"
+        "window = %d\n"
+        "slide = %d\n"
+        "quorum = %d\n",
+        p.bbThreshold, p.windowSize, p.windowSlide, p.quorum);
+    for (std::size_t g = 0; g < p.tierGroups.size(); ++g) {
+      out << strformat("input[s%zu] = aggbb%zu.summary\n", g, g + 1);
+    }
   }
   out << strformat(
       "\n[print]\n"
@@ -48,8 +103,10 @@ void appendBlackBox(std::ostringstream& out, const PipelineParams& p) {
       p.quietPrint ? 1 : 0);
 }
 
-void appendWhiteBox(std::ostringstream& out, const PipelineParams& p) {
-  for (int i = 1; i <= p.slaves; ++i) {
+void appendWhiteBoxCollection(std::ostringstream& out,
+                              const PipelineParams& p, int firstNode,
+                              int count) {
+  for (int i = firstNode; i < firstNode + count; ++i) {
     out << strformat(
         "[hadoop_log]\n"
         "id = hl%d\n"
@@ -64,15 +121,49 @@ void appendWhiteBox(std::ostringstream& out, const PipelineParams& p) {
         "input[input] = hl%d.output0\n\n",
         i, p.windowSize, p.windowSlide, i);
   }
+}
+
+void appendAggWb(std::ostringstream& out, int group, int firstNode,
+                 int count) {
   out << strformat(
-      "[analysis_wb]\n"
-      "id = analysis_wb\n"
-      "k = %g\n"
-      "quorum = %d\n",
-      p.wbK, p.quorum);
-  for (int i = 1; i <= p.slaves; ++i) {
-    out << strformat("input[a%d] = mavg%d.mean\n", i - 1, i);
-    out << strformat("input[d%d] = mavg%d.stddev\n", i - 1, i);
+      "[agg_wb]\n"
+      "id = aggwb%d\n",
+      group);
+  for (int i = 0; i < count; ++i) {
+    out << strformat("input[a%d] = mavg%d.mean\n", i, firstNode + i);
+    out << strformat("input[d%d] = mavg%d.stddev\n", i, firstNode + i);
+  }
+  out << "\n";
+}
+
+void appendWhiteBox(std::ostringstream& out, const PipelineParams& p) {
+  appendWhiteBoxCollection(out, p, 1, p.slaves);
+  if (p.tierGroups.empty()) {
+    out << strformat(
+        "[analysis_wb]\n"
+        "id = analysis_wb\n"
+        "k = %g\n"
+        "quorum = %d\n",
+        p.wbK, p.quorum);
+    for (int i = 1; i <= p.slaves; ++i) {
+      out << strformat("input[a%d] = mavg%d.mean\n", i - 1, i);
+      out << strformat("input[d%d] = mavg%d.stddev\n", i - 1, i);
+    }
+  } else {
+    int firstNode = 1;
+    for (std::size_t g = 0; g < p.tierGroups.size(); ++g) {
+      appendAggWb(out, static_cast<int>(g + 1), firstNode, p.tierGroups[g]);
+      firstNode += p.tierGroups[g];
+    }
+    out << strformat(
+        "[analysis_wb_merge]\n"
+        "id = analysis_wb\n"
+        "k = %g\n"
+        "quorum = %d\n",
+        p.wbK, p.quorum);
+    for (std::size_t g = 0; g < p.tierGroups.size(); ++g) {
+      out << strformat("input[s%zu] = aggwb%zu.summary\n", g, g + 1);
+    }
   }
   out << strformat(
       "\n[print]\n"
@@ -100,6 +191,7 @@ void appendNodeHealth(std::ostringstream& out, const PipelineParams& p) {
 }  // namespace
 
 std::string buildBlackBoxConfig(const PipelineParams& params) {
+  checkTierGroups(params);
   std::ostringstream out;
   out << "# ASDF black-box pipeline (generated)\n\n";
   appendBlackBox(out, params);
@@ -107,6 +199,7 @@ std::string buildBlackBoxConfig(const PipelineParams& params) {
 }
 
 std::string buildWhiteBoxConfig(const PipelineParams& params) {
+  checkTierGroups(params);
   std::ostringstream out;
   out << "# ASDF white-box pipeline (generated)\n\n";
   appendWhiteBox(out, params);
@@ -114,11 +207,26 @@ std::string buildWhiteBoxConfig(const PipelineParams& params) {
 }
 
 std::string buildCombinedConfig(const PipelineParams& params) {
+  checkTierGroups(params);
   std::ostringstream out;
   out << "# ASDF combined black-box + white-box pipeline (generated)\n\n";
   appendBlackBox(out, params);
   appendWhiteBox(out, params);
   appendNodeHealth(out, params);
+  return out.str();
+}
+
+std::string buildAggregatorConfig(const PipelineParams& params,
+                                  int firstNode, int groupSize) {
+  if (firstNode < 1 || groupSize < 1) {
+    throw ConfigError("pipelines: aggregator group must be >= 1 node");
+  }
+  std::ostringstream out;
+  out << "# ASDF aggregator pipeline (generated)\n\n";
+  appendBlackBoxCollection(out, params, firstNode, groupSize);
+  appendAggBb(out, 1, firstNode, groupSize);
+  appendWhiteBoxCollection(out, params, firstNode, groupSize);
+  appendAggWb(out, 1, firstNode, groupSize);
   return out.str();
 }
 

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 namespace asdf::harness {
 
@@ -25,6 +26,14 @@ struct PipelineParams {
   /// "node_health" registry service), optionally recorded to CSV.
   bool nodeHealth = false;
   std::string nodeHealthCsv;  // empty = no csv_sink section
+  /// Aggregation-tier topology (DESIGN.md §12): group sizes covering
+  /// the slaves in ascending contiguous ranges. Empty = flat analysis
+  /// (the default; byte-identical to pre-tier configurations). When
+  /// set, the builders interpose one agg_bb/agg_wb per group and the
+  /// analysis instances become analysis_bb_merge/analysis_wb_merge —
+  /// keeping the flat instance ids, so alarm channels, origins and
+  /// MonitoringEvents are unchanged. Sizes must sum to `slaves`.
+  std::vector<int> tierGroups;
 };
 
 /// Black-box pipeline: per slave sadc -> knn -> ibuffer, then one
@@ -39,5 +48,14 @@ std::string buildWhiteBoxConfig(const PipelineParams& params);
 /// Both pipelines in one DAG (the deployment of Figure 4, which runs
 /// black-box and white-box analyses in parallel).
 std::string buildCombinedConfig(const PipelineParams& params);
+
+/// One live aggregator's pipeline: the collection and reduce stages
+/// for slaves [firstNode, firstNode + groupSize) only — per-slave
+/// sadc -> knn -> ibuffer feeding one agg_bb, and hadoop_log ->
+/// mavgvec feeding one agg_wb. No merge, no print: the summaries are
+/// published through the "summary_board" environment service and
+/// served upward by the aggregator daemon (DESIGN.md §12).
+std::string buildAggregatorConfig(const PipelineParams& params,
+                                  int firstNode, int groupSize);
 
 }  // namespace asdf::harness

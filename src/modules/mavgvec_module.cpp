@@ -14,6 +14,7 @@
 //          emitted every `slide` samples once the window has filled.
 #include <vector>
 
+#include "analysis/partials.h"
 #include "common/error.h"
 #include "common/stats.h"
 #include "core/module.h"
@@ -65,11 +66,11 @@ class MavgvecModule final : public core::Module {
     mean.resize(windows_.size());
     var.resize(windows_.size());
     stddev.resize(windows_.size());
-    for (std::size_t d = 0; d < windows_.size(); ++d) {
-      mean[d] = windows_[d].mean();
-      var[d] = windows_[d].variance();
-      stddev[d] = windows_[d].stddev();
-    }
+    // The reduce step is shared with the aggregation tier: window
+    // statistics are computed once, next to the ring buffers, and only
+    // the results travel (analysis/partials.h explains why sums don't).
+    analysis::reduceWindowStats(windows_.data(), windows_.size(), mean.data(),
+                                var.data(), stddev.data());
     ctx.write(outMean_, meanBuilder_.share());
     ctx.write(outVar_, varBuilder_.share());
     ctx.write(outStddev_, stddevBuilder_.share());

@@ -1,0 +1,180 @@
+// [analysis_wb_merge] — the white-box merge step of the aggregation
+// tier (DESIGN.md §12).
+//
+// The root half of the [analysis_wb] split: merges the groups' median
+// partials over window means and over window standard deviations,
+// then scores every surviving node's mean row with the flat kernel's
+// critical-k arithmetic (analysis/peercompare.h). Bit-identical to
+// the flat fingerpointer for the same seed — see analysis/partials.h
+// for the determinism argument. Quorum gating and MonitoringEvents
+// match [analysis_wb] against the total node count.
+//
+// Parameters:
+//   k      = <threshold multiplier>  (default 3)
+//   quorum = <min surviving peers for valid alarms>
+//            (default 0 = majority: N/2 + 1, at least 3)
+//
+// Inputs:  s0..s(A-1) — one packed GroupSummary per aggregator
+// Outputs: alarms, scores, health — per node, identical layout and
+//          values to the flat [analysis_wb]
+#include <algorithm>
+#include <vector>
+
+#include "analysis/partials.h"
+#include "common/error.h"
+#include "common/strings.h"
+#include "core/module.h"
+#include "modules/modules.h"
+
+namespace asdf::modules {
+
+class MergeWbModule final : public core::Module {
+ public:
+  void init(core::ModuleContext& ctx) override {
+    k_ = ctx.numParam("k", 3.0);
+    for (int i = 0;; ++i) {
+      const std::string name = strformat("s%d", i);
+      const std::size_t width = ctx.inputWidth(name);
+      if (width == 0) break;
+      if (width != 1) {
+        throw ConfigError("[" + ctx.instanceId() + "] input '" + name +
+                          "' must bind exactly one output");
+      }
+      inputs_.push_back(name);
+    }
+    if (inputs_.empty()) {
+      throw ConfigError("[" + ctx.instanceId() +
+                        "] analysis_wb_merge needs at least one summary "
+                        "input");
+    }
+
+    std::string origins;
+    for (const auto& name : inputs_) {
+      const std::string origin = ctx.inputOrigin(name, 0);
+      if (!origins.empty()) origins += ";";
+      origins += origin;
+      const std::vector<std::string> labels = split(origin, ';');
+      groupSizes_.push_back(labels.size());
+      originLabels_.insert(originLabels_.end(), labels.begin(), labels.end());
+    }
+    totalNodes_ = originLabels_.size();
+    if (totalNodes_ < 3) {
+      throw ConfigError("[" + ctx.instanceId() +
+                        "] analysis_wb_merge needs at least 3 nodes across "
+                        "its groups (median peer comparison)");
+    }
+    const int quorumParam = static_cast<int>(ctx.intParam("quorum", 0));
+    quorum_ = quorumParam > 0
+                  ? quorumParam
+                  : std::max<int>(3, static_cast<int>(totalNodes_) / 2 + 1);
+
+    outAlarms_ = ctx.addOutput("alarms", origins);
+    outScores_ = ctx.addOutput("scores", origins);
+    outHealth_ = ctx.addOutput("health", origins);
+    ctx.setInputTrigger(static_cast<int>(inputs_.size()));
+    summaries_.resize(inputs_.size());
+    groups_.resize(inputs_.size());
+  }
+
+  void run(core::ModuleContext& ctx, core::RunReason) override {
+    // Parity with [analysis_wb]'s gate: data presence only — the
+    // trigger count already paces one run per lockstep window.
+    for (const auto& name : inputs_) {
+      if (!ctx.inputHasData(name, 0)) return;
+    }
+    for (std::size_t g = 0; g < inputs_.size(); ++g) {
+      const core::Sample& sample = ctx.input(inputs_[g], 0);
+      if (!core::isVector(sample.value)) {
+        throw ConfigError("analysis_wb_merge expects packed summary inputs");
+      }
+      const auto& packed = core::asVector(sample.value);
+      if (!summaries_[g].unpack(packed.data(), packed.size()) ||
+          summaries_[g].members != groupSizes_[g] || !summaries_[g].hasDev) {
+        throw ConfigError("analysis_wb_merge: malformed group summary on '" +
+                          inputs_[g] + "'");
+      }
+      groups_[g] = &summaries_[g];
+    }
+
+    std::vector<double>& health = healthBuilder_.acquire();
+    health.resize(totalNodes_);
+    std::vector<std::string> unmonitorable;
+    std::size_t offset = 0;
+    std::size_t survivors = 0;
+    for (std::size_t g = 0; g < summaries_.size(); ++g) {
+      const analysis::GroupSummary& s = summaries_[g];
+      for (std::size_t m = 0; m < s.members; ++m) {
+        health[offset + m] = s.health[m];
+        if (s.health[m] == 2.0) {
+          unmonitorable.push_back(originLabels_[offset + m]);
+        } else {
+          ++survivors;
+        }
+      }
+      offset += s.members;
+    }
+    const bool belowQuorum =
+        static_cast<int>(survivors) < std::max(quorum_, 3);
+
+    std::vector<double>& flags = flagsBuilder_.acquire();
+    std::vector<double>& scores = scoresBuilder_.acquire();
+    flags.assign(totalNodes_, 0.0);
+    scores.assign(totalNodes_, 0.0);
+    if (!belowQuorum) {
+      analysis::mergeWhiteBoxSummaries(groups_.data(), groups_.size(), k_,
+                                       scratch_, flags.data(), scores.data());
+    }
+    emitTransitions(ctx, unmonitorable, belowQuorum,
+                    static_cast<int>(survivors));
+    ctx.write(outAlarms_, flagsBuilder_.share());
+    ctx.write(outScores_, scoresBuilder_.share());
+    ctx.write(outHealth_, healthBuilder_.share());
+  }
+
+ private:
+  void emitTransitions(core::ModuleContext& ctx,
+                       const std::vector<std::string>& unmonitorable,
+                       bool belowQuorum, int survivors) {
+    if (unmonitorable == lastUnmonitorable_ &&
+        belowQuorum == lastBelowQuorum_) {
+      return;
+    }
+    lastUnmonitorable_ = unmonitorable;
+    lastBelowQuorum_ = belowQuorum;
+    if (!ctx.env().monitoringSink) return;
+    core::MonitoringEvent event;
+    event.time = ctx.now();
+    event.channel = ctx.instanceId();
+    event.survivors = survivors;
+    event.quorum = quorum_;
+    event.belowQuorum = belowQuorum;
+    event.unmonitorable = unmonitorable;
+    ctx.env().monitoringSink(event);
+  }
+
+  double k_ = 3.0;
+  int quorum_ = 0;
+  std::size_t totalNodes_ = 0;
+  // Reused per-window workspace: zero steady-state allocations.
+  std::vector<analysis::GroupSummary> summaries_;
+  std::vector<const analysis::GroupSummary*> groups_;
+  analysis::TieredScratch scratch_;
+  core::VecBuilder flagsBuilder_;
+  core::VecBuilder scoresBuilder_;
+  core::VecBuilder healthBuilder_;
+  std::vector<std::string> inputs_;
+  std::vector<std::size_t> groupSizes_;
+  std::vector<std::string> originLabels_;
+  std::vector<std::string> lastUnmonitorable_;
+  bool lastBelowQuorum_ = false;
+  int outAlarms_ = -1;
+  int outScores_ = -1;
+  int outHealth_ = -1;
+};
+
+void registerMergeWbModule(core::ModuleRegistry& registry) {
+  registry.registerType("analysis_wb_merge",
+                        [] { return std::make_unique<MergeWbModule>(); });
+}
+
+}  // namespace asdf::modules

@@ -13,13 +13,22 @@
 //   "hl_sync"     modules::HadoopLogSync  — hadoop_log (optional;
 //                                          created implicitly if absent)
 //   "rpc_client"  rpc::RpcClient          — sadc, hadoop_log, strace,
-//                                          analysis_bb, analysis_wb
+//                                          analysis_bb, analysis_wb,
+//                                          agg_bb, agg_wb
 //                                          (optional; enables the
 //                                          fault-tolerant collection
 //                                          path and degraded analysis)
 //   "node_health" rpc::NodeHealthRegistry — node_health
+//   "transports"  rpc::TransportRegistry  — agg_bb, agg_wb (optional;
+//                                          Table 4 accounting of the
+//                                          tier-2 summary traffic)
+//   "summary_board" rpc::SummaryBoard     — agg_bb, agg_wb (optional;
+//                                          live aggregator processes
+//                                          publish windows upward)
 //   env.alarmSink                         — print
-//   env.monitoringSink                    — analysis_bb, analysis_wb
+//   env.monitoringSink                    — analysis_bb, analysis_wb,
+//                                          analysis_bb_merge,
+//                                          analysis_wb_merge
 #pragma once
 
 #include <deque>

@@ -2,8 +2,12 @@
 
 namespace asdf::modules {
 
+void registerAggBbModule(core::ModuleRegistry&);
+void registerAggWbModule(core::ModuleRegistry&);
 void registerAnalysisMadModule(core::ModuleRegistry&);
 void registerCsvSinkModule(core::ModuleRegistry&);
+void registerMergeBbModule(core::ModuleRegistry&);
+void registerMergeWbModule(core::ModuleRegistry&);
 void registerMitigateModule(core::ModuleRegistry&);
 void registerStraceModule(core::ModuleRegistry&);
 void registerSadcModule(core::ModuleRegistry&);
@@ -26,6 +30,10 @@ void registerBuiltinModules(core::ModuleRegistry* registry) {
   registerKnnModule(r);
   registerAnalysisBbModule(r);
   registerAnalysisWbModule(r);
+  registerAggBbModule(r);
+  registerAggWbModule(r);
+  registerMergeBbModule(r);
+  registerMergeWbModule(r);
   registerAnalysisMadModule(r);
   registerNodeHealthModule(r);
   registerPrintModule(r);

@@ -1,0 +1,87 @@
+#include "net/agg_client.h"
+
+#include "common/error.h"
+
+namespace asdf::net {
+namespace {
+
+FramedClient::Options clientOptions(const AggClient::Options& opts) {
+  FramedClient::Options copts;
+  copts.host = opts.host;
+  copts.port = opts.port;
+  copts.timeoutSeconds = opts.timeoutSeconds;
+  copts.peerName = "asdf_aggd";
+  return copts;
+}
+
+}  // namespace
+
+AggClient::AggClient(const Options& opts) : client_(clientOptions(opts)) {}
+
+bool AggClient::ensureConnectedLocked() {
+  if (client_.connected()) return true;
+  if (!client_.connect()) return false;
+  rpc::Encoder hello;
+  hello.putU32(kProtocolVersion);
+  hello.putString("asdf-root");
+  Frame ack;
+  if (!client_.call(MsgType::kHello, hello, MsgType::kHelloAck, ack)) {
+    client_.disconnect();
+    return false;
+  }
+  try {
+    rpc::Decoder dec(ack.payload);
+    const std::uint32_t version = dec.getU32();
+    if (version != kProtocolVersion) {
+      client_.disconnect();
+      return false;
+    }
+    groupSize_ = static_cast<int>(dec.getU32());
+    serverSeed_ = static_cast<std::uint64_t>(dec.getI64());
+    (void)dec.getString();  // source kind ("agg")
+  } catch (const RpcError&) {
+    client_.disconnect();
+    return false;
+  }
+  return groupSize_ >= 1;
+}
+
+bool AggClient::fetchSummary(rpc::SummaryChannel channel, double since,
+                             std::vector<rpc::SummaryWindow>& out,
+                             std::size_t& responseBytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!ensureConnectedLocked()) return false;
+  rpc::Encoder req;
+  req.putU32(static_cast<std::uint32_t>(channel));
+  req.putDouble(since);
+  Frame resp;
+  if (!client_.call(MsgType::kFetchSummary, req, MsgType::kSummaryData,
+                    resp)) {
+    return false;
+  }
+  try {
+    rpc::Decoder dec(resp.payload);
+    const std::uint32_t count = dec.getU32();
+    out.clear();
+    out.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      out.push_back(rpc::decodeSummaryWindow(dec));
+    }
+  } catch (const RpcError&) {
+    client_.disconnect();
+    return false;
+  }
+  responseBytes = resp.payload.size();
+  return true;
+}
+
+void AggClient::shutdownServer() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!ensureConnectedLocked()) return;
+  rpc::Encoder req;
+  Frame resp;
+  (void)client_.call(MsgType::kShutdown, req, MsgType::kShutdownAck, resp);
+  client_.disconnect();
+}
+
+}  // namespace asdf::net

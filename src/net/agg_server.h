@@ -1,0 +1,50 @@
+// asdf_aggd's serving side: re-serves one region's analysis summaries
+// upward to the root over the same CRC-framed protocol the collection
+// plane speaks (DESIGN.md §12).
+//
+// The aggregator's pipeline thread publishes GroupSummary windows into
+// a rpc::SummaryBoard; this server answers kFetchSummary requests from
+// the board. Single-threaded on an EventLoop, like RpcdServer — the
+// board is internally locked, so the pipeline thread and the loop
+// thread never race.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/event_loop.h"
+#include "net/tcp_server.h"
+#include "rpc/summary.h"
+
+namespace asdf::net {
+
+struct AggServerOptions {
+  std::uint16_t port = 0;  // 0 = ephemeral, see AggServer::port()
+  int groupSize = 0;       // members served (reported in kHelloAck)
+  std::uint64_t seed = 0;
+  /// Not owned; the pipeline publishing into it must outlive run().
+  const rpc::SummaryBoard* board = nullptr;
+};
+
+class AggServer {
+ public:
+  explicit AggServer(const AggServerOptions& opts);
+
+  std::uint16_t port() const { return server_.port(); }
+
+  /// Serves until stop() or a kShutdown frame.
+  void run();
+  /// Thread-safe; makes run() return.
+  void stop();
+
+  long framesServed() const { return server_.framesServed(); }
+
+ private:
+  void handleFrame(TcpServer::Connection& conn, Frame&& frame);
+
+  AggServerOptions opts_;
+  EventLoop loop_;
+  TcpServer server_;
+};
+
+}  // namespace asdf::net

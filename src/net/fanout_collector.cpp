@@ -1,0 +1,72 @@
+#include "net/fanout_collector.h"
+
+#include <cstdlib>
+
+#include "common/error.h"
+#include "net/event_loop.h"
+
+namespace asdf::net {
+
+void parseEndpoint(const std::string& endpoint, std::string& host,
+                   std::uint16_t& port) {
+  const std::size_t colon = endpoint.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 >= endpoint.size()) {
+    throw NetError("malformed endpoint '" + endpoint +
+                   "' (expected host:port)");
+  }
+  host = endpoint.substr(0, colon);
+  const long p = std::atol(endpoint.c_str() + colon + 1);
+  if (p < 1 || p > 65535) {
+    throw NetError("malformed endpoint '" + endpoint + "' (bad port)");
+  }
+  port = static_cast<std::uint16_t>(p);
+}
+
+FanoutCollector::FanoutCollector(const std::vector<std::string>& endpoints,
+                                 NodeId firstNode, double timeoutSeconds)
+    : firstNode_(firstNode) {
+  if (endpoints.empty()) {
+    throw NetError("fanout collector needs at least one leaf endpoint");
+  }
+  for (const std::string& endpoint : endpoints) {
+    LiveTransport::Options opts;
+    parseEndpoint(endpoint, opts.host, opts.port);
+    opts.timeoutSeconds = timeoutSeconds;
+    transports_.push_back(std::make_unique<LiveTransport>(opts));
+  }
+}
+
+int FanoutCollector::slaves() const { return transports_[0]->slaves(); }
+
+LiveTransport& FanoutCollector::transportFor(NodeId node) {
+  const std::size_t offset =
+      node >= firstNode_ ? static_cast<std::size_t>(node - firstNode_) : 0;
+  return *transports_[offset % transports_.size()];
+}
+
+bool FanoutCollector::fetchSadc(NodeId node, SimTime now,
+                                metrics::SadcSnapshot& out,
+                                std::size_t& responseBytes) {
+  return transportFor(node).fetchSadc(node, now, out, responseBytes);
+}
+
+bool FanoutCollector::fetchTt(NodeId node, SimTime now, SimTime watermark,
+                              std::vector<hadooplog::StateSample>& out,
+                              std::size_t& responseBytes) {
+  return transportFor(node).fetchTt(node, now, watermark, out, responseBytes);
+}
+
+bool FanoutCollector::fetchDn(NodeId node, SimTime now, SimTime watermark,
+                              std::vector<hadooplog::StateSample>& out,
+                              std::size_t& responseBytes) {
+  return transportFor(node).fetchDn(node, now, watermark, out, responseBytes);
+}
+
+bool FanoutCollector::fetchStrace(NodeId node, SimTime now,
+                                  syscalls::TraceSecond& out,
+                                  std::size_t& responseBytes) {
+  return transportFor(node).fetchStrace(node, now, out, responseBytes);
+}
+
+}  // namespace asdf::net

@@ -1,0 +1,56 @@
+// rpc::LiveCollector over a set of leaf daemons.
+//
+// An aggregator (asdf_aggd) collects from the leaf asdf_rpcd daemons
+// of its region. With one daemon per monitored node, node firstNode+i
+// is served by endpoint i; with fewer endpoints than nodes (a shared
+// daemon hosting several nodes — the in-process test topology) nodes
+// wrap around the endpoint list. Either way each fetch is routed to
+// exactly one LiveTransport, and the retry / breaker / accounting
+// machinery above (rpc::RpcClient) is unchanged.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/live_transport.h"
+#include "rpc/live_collector.h"
+
+namespace asdf::net {
+
+class FanoutCollector final : public rpc::LiveCollector {
+ public:
+  /// Connects to every "host:port" endpoint (throws NetError when one
+  /// is unreachable — an aggregator cannot start without its leaves).
+  /// `firstNode` is the region's first monitored node id; used for the
+  /// node -> endpoint routing described above.
+  FanoutCollector(const std::vector<std::string>& endpoints,
+                  NodeId firstNode, double timeoutSeconds);
+
+  int slaves() const override;
+
+  bool fetchSadc(NodeId node, SimTime now, metrics::SadcSnapshot& out,
+                 std::size_t& responseBytes) override;
+  bool fetchTt(NodeId node, SimTime now, SimTime watermark,
+               std::vector<hadooplog::StateSample>& out,
+               std::size_t& responseBytes) override;
+  bool fetchDn(NodeId node, SimTime now, SimTime watermark,
+               std::vector<hadooplog::StateSample>& out,
+               std::size_t& responseBytes) override;
+  bool fetchStrace(NodeId node, SimTime now, syscalls::TraceSecond& out,
+                   std::size_t& responseBytes) override;
+
+  std::size_t endpointCount() const { return transports_.size(); }
+
+ private:
+  LiveTransport& transportFor(NodeId node);
+
+  NodeId firstNode_;
+  std::vector<std::unique_ptr<LiveTransport>> transports_;
+};
+
+/// Splits "host:port" (throws NetError on a malformed endpoint).
+void parseEndpoint(const std::string& endpoint, std::string& host,
+                   std::uint16_t& port);
+
+}  // namespace asdf::net

@@ -2,35 +2,15 @@
 
 #include <cstring>
 
+#include "common/bytes.h"
 #include "net/crc32.h"
 
 namespace asdf::net {
-namespace {
 
-void putU32(std::vector<std::uint8_t>& buf, std::uint32_t v) {
-  buf.push_back(static_cast<std::uint8_t>(v >> 24));
-  buf.push_back(static_cast<std::uint8_t>(v >> 16));
-  buf.push_back(static_cast<std::uint8_t>(v >> 8));
-  buf.push_back(static_cast<std::uint8_t>(v));
-}
-
-void putU16(std::vector<std::uint8_t>& buf, std::uint16_t v) {
-  buf.push_back(static_cast<std::uint8_t>(v >> 8));
-  buf.push_back(static_cast<std::uint8_t>(v));
-}
-
-std::uint32_t readU32(const std::uint8_t* p) {
-  return (static_cast<std::uint32_t>(p[0]) << 24) |
-         (static_cast<std::uint32_t>(p[1]) << 16) |
-         (static_cast<std::uint32_t>(p[2]) << 8) |
-         static_cast<std::uint32_t>(p[3]);
-}
-
-std::uint16_t readU16(const std::uint8_t* p) {
-  return static_cast<std::uint16_t>((p[0] << 8) | p[1]);
-}
-
-}  // namespace
+using bytes::putU16;
+using bytes::putU32;
+using bytes::readU16;
+using bytes::readU32;
 
 std::vector<std::uint8_t> encodeFrame(MsgType type,
                                       const std::uint8_t* payload,

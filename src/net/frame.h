@@ -55,6 +55,9 @@ enum class MsgType : std::uint16_t {
   kShutdown = 13,    // ask the daemon to exit after replying
   kShutdownAck = 14,
   kError = 15,       // {code:u32, message:string}
+  // Aggregation-tier protocol (root <-> asdf_aggd), DESIGN.md §12.
+  kFetchSummary = 16,  // {channel:u32 (0=bb, 1=wb), since:f64}
+  kSummaryData = 17,   // {count:u32, count x {time:f64, packed:f64vec}}
 };
 
 /// Application-level error codes carried by kError frames.

@@ -1,0 +1,138 @@
+#include "net/framed_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+
+#include "common/error.h"
+#include "common/logging.h"
+
+namespace asdf::net {
+namespace {
+
+double monotonicSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+FramedClient::FramedClient(Options opts) : opts_(std::move(opts)) {}
+
+FramedClient::~FramedClient() { disconnect(); }
+
+void FramedClient::disconnect() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+  decoder_ = FrameDecoder();
+}
+
+bool FramedClient::connect() {
+  if (fd_ >= 0) return true;
+  const int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return false;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(opts_.port);
+  if (inet_pton(AF_INET, opts_.host.c_str(), &addr.sin_addr) != 1) {
+    close(fd);
+    return false;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    close(fd);
+    return false;
+  }
+  const int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  fd_ = fd;
+  decoder_ = FrameDecoder();
+  if (everConnected_) ++reconnects_;
+  everConnected_ = true;
+  return true;
+}
+
+bool FramedClient::call(MsgType request, const rpc::Encoder& payload,
+                        MsgType expected, Frame& response) {
+  if (fd_ < 0) return false;
+  const double deadline = monotonicSeconds() + opts_.timeoutSeconds;
+
+  const std::vector<std::uint8_t> out = encodeFrame(request, payload);
+  std::size_t sent = 0;
+  while (sent < out.size()) {
+    const ssize_t n = write(fd_, out.data() + sent, out.size() - sent);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    disconnect();
+    return false;
+  }
+
+  for (;;) {
+    Frame frame;
+    if (decoder_.next(frame)) {
+      if (frame.type == expected) {
+        response = std::move(frame);
+        return true;
+      }
+      if (frame.type == MsgType::kError) {
+        try {
+          rpc::Decoder dec(frame.payload);
+          const std::uint32_t code = dec.getU32();
+          logWarn("net: " + opts_.peerName + " error " +
+                  std::to_string(code) + ": " + dec.getString());
+        } catch (const RpcError&) {
+        }
+        return false;  // connection stays usable: the peer replied
+      }
+      // Unexpected type (e.g. a stale response after a timeout): a
+      // request/response stream this far out of step cannot be
+      // trusted — resync by reconnecting.
+      disconnect();
+      return false;
+    }
+
+    const double remaining = deadline - monotonicSeconds();
+    if (remaining <= 0) {
+      disconnect();  // a late response would desync the stream
+      return false;
+    }
+    pollfd pfd{fd_, POLLIN, 0};
+    const int ready =
+        poll(&pfd, 1, static_cast<int>(std::max(1.0, remaining * 1000.0)));
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      disconnect();
+      return false;
+    }
+    if (ready == 0) continue;  // deadline re-checked above
+
+    std::uint8_t buf[65536];
+    const ssize_t n = read(fd_, buf, sizeof(buf));
+    if (n > 0) {
+      if (!decoder_.feed(buf, static_cast<std::size_t>(n))) {
+        logWarn("net: malformed frame from " + opts_.peerName + ": " +
+                frameErrorName(decoder_.error()));
+        disconnect();
+        return false;
+      }
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    disconnect();  // peer closed or hard error
+    return false;
+  }
+}
+
+}  // namespace asdf::net

@@ -1,0 +1,61 @@
+// Blocking framed-TCP request/response connection — the socket
+// machinery shared by every client of the CRC-framed protocol
+// (LiveTransport to asdf_rpcd, AggClient to asdf_aggd).
+//
+// Owns one socket: connect(), one call() per request/response
+// exchange with a poll()-based deadline, disconnect-on-error (a
+// length-prefixed stream cannot be resynchronized after corruption or
+// a timeout). NOT thread-safe: the owner serializes calls, typically
+// under its own mutex, and layers protocol handshakes on top.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/frame.h"
+
+namespace asdf::net {
+
+class FramedClient {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;
+    /// Per-attempt deadline covering request + response.
+    double timeoutSeconds = 5.0;
+    /// Peer name used in log messages ("asdf_rpcd", "asdf_aggd").
+    std::string peerName = "daemon";
+  };
+
+  explicit FramedClient(Options opts);
+  ~FramedClient();
+  FramedClient(const FramedClient&) = delete;
+  FramedClient& operator=(const FramedClient&) = delete;
+
+  /// Establishes the TCP connection (no protocol handshake — the
+  /// owner sends its hello through call()). True when already
+  /// connected.
+  bool connect();
+  void disconnect();
+  bool connected() const { return fd_ >= 0; }
+
+  /// One request/response exchange. False on not-connected, timeout,
+  /// disconnect, framing error (all drop the connection), or a kError
+  /// response (logged; the connection stays usable — the peer
+  /// replied).
+  bool call(MsgType request, const rpc::Encoder& payload, MsgType expected,
+            Frame& response);
+
+  /// Connections re-established after the first one (each is evidence
+  /// the peer bounced).
+  long reconnects() const { return reconnects_; }
+
+ private:
+  Options opts_;
+  int fd_ = -1;
+  FrameDecoder decoder_;
+  bool everConnected_ = false;
+  long reconnects_ = 0;
+};
+
+}  // namespace asdf::net

@@ -1,76 +1,42 @@
 #include "net/live_transport.h"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <netinet/tcp.h>
-#include <poll.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
-#include <cerrno>
-#include <chrono>
-#include <cstring>
-
 #include "common/error.h"
-#include "common/logging.h"
 #include "net/event_loop.h"
 #include "rpc/payloads.h"
 
 namespace asdf::net {
 namespace {
 
-double monotonicSeconds() {
-  return std::chrono::duration<double>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
+FramedClient::Options clientOptions(const LiveTransport::Options& opts) {
+  FramedClient::Options copts;
+  copts.host = opts.host;
+  copts.port = opts.port;
+  copts.timeoutSeconds = opts.timeoutSeconds;
+  copts.peerName = "asdf_rpcd";
+  return copts;
 }
 
 }  // namespace
 
-LiveTransport::LiveTransport(const Options& opts) : opts_(opts) {
+LiveTransport::LiveTransport(const Options& opts)
+    : client_(clientOptions(opts)) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (!ensureConnectedLocked()) {
-    throw NetError("asdf_rpcd unreachable at " + opts_.host + ":" +
-                   std::to_string(opts_.port));
+    throw NetError("asdf_rpcd unreachable at " + opts.host + ":" +
+                   std::to_string(opts.port));
   }
 }
 
 LiveTransport::~LiveTransport() {
   std::lock_guard<std::mutex> lock(mutex_);
-  disconnectLocked();
-}
-
-void LiveTransport::disconnectLocked() {
-  if (fd_ >= 0) {
-    close(fd_);
-    fd_ = -1;
-  }
-  decoder_ = FrameDecoder();
+  client_.disconnect();
 }
 
 bool LiveTransport::ensureConnectedLocked() {
-  if (fd_ >= 0) return true;
-  const int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  if (fd < 0) return false;
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(opts_.port);
-  if (inet_pton(AF_INET, opts_.host.c_str(), &addr.sin_addr) != 1) {
-    close(fd);
-    return false;
-  }
-  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    close(fd);
-    return false;
-  }
-  const int one = 1;
-  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  fd_ = fd;
-  decoder_ = FrameDecoder();
-  if (everConnected_) ++reconnects_;
-  everConnected_ = true;
+  if (client_.connected()) return true;
+  if (!client_.connect()) return false;
   if (!handshakeLocked()) {
-    disconnectLocked();
+    client_.disconnect();
     return false;
   }
   return true;
@@ -81,7 +47,7 @@ bool LiveTransport::handshakeLocked() {
   hello.putU32(kProtocolVersion);
   hello.putString("asdf-fpt-core");
   Frame ack;
-  if (!callLocked(MsgType::kHello, hello, MsgType::kHelloAck, ack)) {
+  if (!client_.call(MsgType::kHello, hello, MsgType::kHelloAck, ack)) {
     return false;
   }
   try {
@@ -97,96 +63,23 @@ bool LiveTransport::handshakeLocked() {
   return slaves_ >= 1;
 }
 
-bool LiveTransport::callLocked(MsgType request, const rpc::Encoder& payload,
-                               MsgType expected, Frame& response) {
-  if (!ensureConnectedLocked()) return false;
-  const double deadline = monotonicSeconds() + opts_.timeoutSeconds;
-
-  const std::vector<std::uint8_t> out = encodeFrame(request, payload);
-  std::size_t sent = 0;
-  while (sent < out.size()) {
-    const ssize_t n = write(fd_, out.data() + sent, out.size() - sent);
-    if (n > 0) {
-      sent += static_cast<std::size_t>(n);
-      continue;
-    }
-    if (n < 0 && errno == EINTR) continue;
-    disconnectLocked();
-    return false;
-  }
-
-  for (;;) {
-    Frame frame;
-    if (decoder_.next(frame)) {
-      if (frame.type == expected) {
-        response = std::move(frame);
-        return true;
-      }
-      if (frame.type == MsgType::kError) {
-        try {
-          rpc::Decoder dec(frame.payload);
-          const std::uint32_t code = dec.getU32();
-          logWarn("net: asdf_rpcd error " + std::to_string(code) + ": " +
-                  dec.getString());
-        } catch (const RpcError&) {
-        }
-        return false;  // connection stays usable: the daemon replied
-      }
-      // Unexpected type (e.g. a stale response after a timeout): a
-      // request/response stream this far out of step cannot be
-      // trusted — resync by reconnecting.
-      disconnectLocked();
-      return false;
-    }
-
-    const double remaining = deadline - monotonicSeconds();
-    if (remaining <= 0) {
-      disconnectLocked();  // a late response would desync the stream
-      return false;
-    }
-    pollfd pfd{fd_, POLLIN, 0};
-    const int ready =
-        poll(&pfd, 1, static_cast<int>(std::max(1.0, remaining * 1000.0)));
-    if (ready < 0) {
-      if (errno == EINTR) continue;
-      disconnectLocked();
-      return false;
-    }
-    if (ready == 0) continue;  // deadline re-checked above
-
-    std::uint8_t buf[65536];
-    const ssize_t n = read(fd_, buf, sizeof(buf));
-    if (n > 0) {
-      if (!decoder_.feed(buf, static_cast<std::size_t>(n))) {
-        logWarn(std::string("net: malformed frame from asdf_rpcd: ") +
-                frameErrorName(decoder_.error()));
-        disconnectLocked();
-        return false;
-      }
-      continue;
-    }
-    if (n < 0 && errno == EINTR) continue;
-    disconnectLocked();  // peer closed or hard error
-    return false;
-  }
-}
-
 bool LiveTransport::fetchSadc(NodeId node, SimTime now,
                               metrics::SadcSnapshot& out,
                               std::size_t& responseBytes) {
   std::lock_guard<std::mutex> lock(mutex_);
+  if (!ensureConnectedLocked()) return false;
   rpc::Encoder req;
   req.putU32(static_cast<std::uint32_t>(node));
   req.putDouble(now);
   Frame resp;
-  if (!callLocked(MsgType::kFetchSadc, req, MsgType::kSadcData, resp)) {
+  if (!client_.call(MsgType::kFetchSadc, req, MsgType::kSadcData, resp)) {
     return false;
   }
   try {
     rpc::Decoder dec(resp.payload);
     out = rpc::decodeSnapshot(dec);
   } catch (const RpcError&) {
-    disconnectLocked();
+    client_.disconnect();
     return false;
   }
   responseBytes = resp.payload.size();
@@ -197,19 +90,20 @@ bool LiveTransport::fetchTt(NodeId node, SimTime now, SimTime watermark,
                             std::vector<hadooplog::StateSample>& out,
                             std::size_t& responseBytes) {
   std::lock_guard<std::mutex> lock(mutex_);
+  if (!ensureConnectedLocked()) return false;
   rpc::Encoder req;
   req.putU32(static_cast<std::uint32_t>(node));
   req.putDouble(now);
   req.putDouble(watermark);
   Frame resp;
-  if (!callLocked(MsgType::kFetchTt, req, MsgType::kTtData, resp)) {
+  if (!client_.call(MsgType::kFetchTt, req, MsgType::kTtData, resp)) {
     return false;
   }
   try {
     rpc::Decoder dec(resp.payload);
     out = rpc::decodeSamples(dec);
   } catch (const RpcError&) {
-    disconnectLocked();
+    client_.disconnect();
     return false;
   }
   responseBytes = resp.payload.size();
@@ -220,19 +114,20 @@ bool LiveTransport::fetchDn(NodeId node, SimTime now, SimTime watermark,
                             std::vector<hadooplog::StateSample>& out,
                             std::size_t& responseBytes) {
   std::lock_guard<std::mutex> lock(mutex_);
+  if (!ensureConnectedLocked()) return false;
   rpc::Encoder req;
   req.putU32(static_cast<std::uint32_t>(node));
   req.putDouble(now);
   req.putDouble(watermark);
   Frame resp;
-  if (!callLocked(MsgType::kFetchDn, req, MsgType::kDnData, resp)) {
+  if (!client_.call(MsgType::kFetchDn, req, MsgType::kDnData, resp)) {
     return false;
   }
   try {
     rpc::Decoder dec(resp.payload);
     out = rpc::decodeSamples(dec);
   } catch (const RpcError&) {
-    disconnectLocked();
+    client_.disconnect();
     return false;
   }
   responseBytes = resp.payload.size();
@@ -243,18 +138,19 @@ bool LiveTransport::fetchStrace(NodeId node, SimTime now,
                                 syscalls::TraceSecond& out,
                                 std::size_t& responseBytes) {
   std::lock_guard<std::mutex> lock(mutex_);
+  if (!ensureConnectedLocked()) return false;
   rpc::Encoder req;
   req.putU32(static_cast<std::uint32_t>(node));
   req.putDouble(now);
   Frame resp;
-  if (!callLocked(MsgType::kFetchStrace, req, MsgType::kStraceData, resp)) {
+  if (!client_.call(MsgType::kFetchStrace, req, MsgType::kStraceData, resp)) {
     return false;
   }
   try {
     rpc::Decoder dec(resp.payload);
     out = rpc::decodeTrace(dec);
   } catch (const RpcError&) {
-    disconnectLocked();
+    client_.disconnect();
     return false;
   }
   responseBytes = resp.payload.size();
@@ -263,17 +159,18 @@ bool LiveTransport::fetchStrace(NodeId node, SimTime now,
 
 bool LiveTransport::fetchStats(double now, ClusterStatsWire& out) {
   std::lock_guard<std::mutex> lock(mutex_);
+  if (!ensureConnectedLocked()) return false;
   rpc::Encoder req;
   req.putDouble(now);
   Frame resp;
-  if (!callLocked(MsgType::kStats, req, MsgType::kStatsData, resp)) {
+  if (!client_.call(MsgType::kStats, req, MsgType::kStatsData, resp)) {
     return false;
   }
   try {
     rpc::Decoder dec(resp.payload);
     out = decodeClusterStats(dec);
   } catch (const RpcError&) {
-    disconnectLocked();
+    client_.disconnect();
     return false;
   }
   return true;
@@ -281,10 +178,11 @@ bool LiveTransport::fetchStats(double now, ClusterStatsWire& out) {
 
 void LiveTransport::shutdownServer() {
   std::lock_guard<std::mutex> lock(mutex_);
+  if (!ensureConnectedLocked()) return;
   rpc::Encoder req;
   Frame resp;
-  (void)callLocked(MsgType::kShutdown, req, MsgType::kShutdownAck, resp);
-  disconnectLocked();
+  (void)client_.call(MsgType::kShutdown, req, MsgType::kShutdownAck, resp);
+  client_.disconnect();
 }
 
 }  // namespace asdf::net

@@ -9,6 +9,8 @@
 // a framing error fails the attempt and drops the socket, and the next
 // attempt reconnects. Calls are serialized with an internal mutex so
 // collectors running on a pool executor cannot interleave frames.
+// The socket machinery itself lives in FramedClient, shared with the
+// aggregation tier's AggClient.
 #pragma once
 
 #include <cstdint>
@@ -16,7 +18,7 @@
 #include <string>
 
 #include "net/cluster_stats.h"
-#include "net/frame.h"
+#include "net/framed_client.h"
 #include "rpc/live_collector.h"
 
 namespace asdf::net {
@@ -61,26 +63,17 @@ class LiveTransport final : public rpc::LiveCollector {
 
   /// Connections re-established after the constructor's initial one
   /// (each is a failed attempt's worth of evidence the daemon bounced).
-  long reconnects() const { return reconnects_; }
+  long reconnects() const { return client_.reconnects(); }
 
  private:
   bool ensureConnectedLocked();
-  void disconnectLocked();
   bool handshakeLocked();
-  /// One request/response exchange under the caller-held lock. False on
-  /// timeout, disconnect, framing error, or a kError response.
-  bool callLocked(MsgType request, const rpc::Encoder& payload,
-                  MsgType expected, Frame& response);
 
-  Options opts_;
   std::mutex mutex_;
-  int fd_ = -1;
-  FrameDecoder decoder_;
+  FramedClient client_;
   int slaves_ = 0;
   std::uint64_t serverSeed_ = 0;
   std::string serverSource_;
-  bool everConnected_ = false;
-  long reconnects_ = 0;
 };
 
 }  // namespace asdf::net

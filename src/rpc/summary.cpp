@@ -1,0 +1,47 @@
+#include "rpc/summary.h"
+
+namespace asdf::rpc {
+
+void encodeSummaryWindow(Encoder& enc, const SummaryWindow& window) {
+  enc.putDouble(window.time);
+  enc.putDoubleVector(window.packed);
+}
+
+SummaryWindow decodeSummaryWindow(Decoder& dec) {
+  SummaryWindow window;
+  window.time = dec.getDouble();
+  window.packed = dec.getDoubleVector();
+  return window;
+}
+
+std::size_t summaryWindowWireBytes(std::size_t packedSize) {
+  // time:f64 + vector count:u32 + packed doubles.
+  return 8 + 4 + 8 * packedSize;
+}
+
+void SummaryBoard::append(SummaryChannel channel, double time,
+                          const std::vector<double>& packed) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SummaryWindow>& windows =
+      channels_[static_cast<std::uint32_t>(channel)];
+  windows.push_back(SummaryWindow{time, packed});
+}
+
+std::size_t SummaryBoard::fetchSince(SummaryChannel channel, double since,
+                                     std::vector<SummaryWindow>& out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::vector<SummaryWindow>& windows =
+      channels_[static_cast<std::uint32_t>(channel)];
+  out.clear();
+  for (const SummaryWindow& w : windows) {
+    if (w.time > since) out.push_back(w);
+  }
+  return out.size();
+}
+
+std::size_t SummaryBoard::windowCount(SummaryChannel channel) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return channels_[static_cast<std::uint32_t>(channel)].size();
+}
+
+}  // namespace asdf::rpc

@@ -28,6 +28,16 @@ void RpcChannelStats::recordFailedCall(std::size_t requestPayload) {
                    costs_.perMessageOverheadBytes;
 }
 
+void RpcChannelStats::setTier(int tier) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  tier_ = tier;
+}
+
+int RpcChannelStats::tier() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return tier_;
+}
+
 long RpcChannelStats::connects() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return connects_;

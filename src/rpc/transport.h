@@ -42,6 +42,13 @@ class RpcChannelStats {
   /// no response came back — timeouts still cost request bandwidth.
   void recordFailedCall(std::size_t requestPayload);
 
+  /// Topology tier the channel belongs to: 1 = leaf collection
+  /// (daemon -> analysis/aggregator), 2 = summary (aggregator -> root).
+  /// Table 4 bandwidth is reported per tier in tiered runs. Idempotent
+  /// and thread-safe like the counters.
+  void setTier(int tier);
+  int tier() const;
+
   const std::string& name() const { return name_; }
   long connects() const;
   long calls() const;
@@ -54,6 +61,7 @@ class RpcChannelStats {
   std::string name_;
   TransportCosts costs_;
   mutable std::mutex mutex_;
+  int tier_ = 1;
   long connects_ = 0;
   long calls_ = 0;
   long failedCalls_ = 0;

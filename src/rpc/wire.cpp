@@ -3,16 +3,12 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "common/bytes.h"
 #include "common/error.h"
 
 namespace asdf::rpc {
 
-void Encoder::putU32(std::uint32_t v) {
-  buf_.push_back(static_cast<std::uint8_t>(v >> 24));
-  buf_.push_back(static_cast<std::uint8_t>(v >> 16));
-  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
-  buf_.push_back(static_cast<std::uint8_t>(v));
-}
+void Encoder::putU32(std::uint32_t v) { bytes::putU32(buf_, v); }
 
 void Encoder::putI64(std::int64_t v) {
   const auto u = static_cast<std::uint64_t>(v);
@@ -46,10 +42,8 @@ void Decoder::need(std::size_t n) {
 
 std::uint32_t Decoder::getU32() {
   need(4);
-  std::uint32_t v = 0;
-  for (int i = 0; i < 4; ++i) {
-    v = (v << 8) | buf_[pos_++];
-  }
+  const std::uint32_t v = bytes::readU32(buf_.data() + pos_);
+  pos_ += 4;
   return v;
 }
 

@@ -1,0 +1,72 @@
+// Strict CLI validation shared by the daemons and examples: unknown
+// flags must be rejected (usage + nonzero exit), not silently ignored
+// — a mistyped --fault-strat=300 must not run a fault-free experiment.
+#include <gtest/gtest.h>
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "../examples/example_util.h"
+
+namespace asdf::examples {
+namespace {
+
+int argcOf(std::initializer_list<const char*> args) {
+  return static_cast<int>(args.size());
+}
+
+char** argvOf(std::vector<std::string>& storage,
+              std::vector<char*>& ptrs,
+              std::initializer_list<const char*> args) {
+  storage.assign(args.begin(), args.end());
+  ptrs.clear();
+  for (std::string& s : storage) ptrs.push_back(s.data());
+  return ptrs.data();
+}
+
+TEST(CheckFlags, AcceptsKnownFlagsInBothForms) {
+  std::vector<std::string> storage;
+  std::vector<char*> ptrs;
+  char** argv = argvOf(storage, ptrs,
+                       {"prog", "--port=4588", "--verbose", "--seed=7"});
+  EXPECT_TRUE(checkFlags(argcOf({"prog", "--port=4588", "--verbose",
+                                 "--seed=7"}),
+                         argv, {"port", "verbose", "seed"}, "usage\n"));
+}
+
+TEST(CheckFlags, RejectsUnknownFlag) {
+  std::vector<std::string> storage;
+  std::vector<char*> ptrs;
+  char** argv =
+      argvOf(storage, ptrs, {"prog", "--port=1", "--fault-strat=300"});
+  EXPECT_FALSE(checkFlags(3, argv, {"port", "fault-start"}, "usage\n"));
+}
+
+TEST(CheckFlags, RejectsPrefixOfKnownFlag) {
+  // Value lookups match by prefix, so validation must be exact: --sla
+  // is not --slaves.
+  std::vector<std::string> storage;
+  std::vector<char*> ptrs;
+  char** argv = argvOf(storage, ptrs, {"prog", "--sla=4"});
+  EXPECT_FALSE(checkFlags(2, argv, {"slaves"}, "usage\n"));
+}
+
+TEST(CheckFlags, RejectsPositionalAndSingleDashArguments) {
+  std::vector<std::string> storage;
+  std::vector<char*> ptrs;
+  char** argv = argvOf(storage, ptrs, {"prog", "serve"});
+  EXPECT_FALSE(checkFlags(2, argv, {"port"}, "usage\n"));
+  argv = argvOf(storage, ptrs, {"prog", "-port=1"});
+  EXPECT_FALSE(checkFlags(2, argv, {"port"}, "usage\n"));
+}
+
+TEST(CheckFlags, AcceptsEmptyCommandLine) {
+  std::vector<std::string> storage;
+  std::vector<char*> ptrs;
+  char** argv = argvOf(storage, ptrs, {"prog"});
+  EXPECT_TRUE(checkFlags(1, argv, {"port"}, "usage\n"));
+}
+
+}  // namespace
+}  // namespace asdf::examples
