@@ -20,15 +20,24 @@
 //   --train-duration=T --train-warmup=T --centroids=N   model training
 //   --rpc-timeout=T     per-attempt leaf fetch timeout (default 5)
 //   --archive-dir=DIR   flight-record this tier's collection rounds
+//   --idle-timeout=T    reap connections idle for T seconds (0 = never)
+//   --model-cache=FILE  load the trained model from FILE when present,
+//                       else train and write it — a supervised restart
+//                       (tools/asdf_supervise) skips retraining and is
+//                       back publishing summaries in seconds
 //   --verbose
 //
 // The daemon trains its own black-box model from the shared seed —
 // training is deterministic, so every tier derives the identical model
-// without shipping it.
+// without shipping it (and a cached model file is byte-identical to a
+// retrain).
 #include <csignal>
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 
 #include "../examples/example_util.h"
+#include "analysis/bbmodel.h"
 #include "common/logging.h"
 #include "common/strings.h"
 #include "harness/aggregator.h"
@@ -56,14 +65,19 @@ int main(int argc, char** argv) {
           {"port", "leaves", "first-node", "group-size", "slaves", "seed",
            "duration", "scale", "window", "slide", "threads",
            "train-duration", "train-warmup", "centroids", "rpc-timeout",
-           "archive-dir", "verbose"},
+           "archive-dir", "idle-timeout", "model-cache", "verbose"},
           "asdf_aggd --leaves=H:P[,H:P...] --group-size=N [--port=N] "
           "[--first-node=N] [--slaves=N] [--seed=N] [--duration=T] "
           "[--scale=X] [--window=N] [--slide=N] [--threads=N] "
           "[--train-duration=T] [--train-warmup=T] [--centroids=N] "
-          "[--rpc-timeout=T] [--archive-dir=DIR] [--verbose]\n")) {
+          "[--rpc-timeout=T] [--archive-dir=DIR] [--idle-timeout=T] "
+          "[--model-cache=FILE] [--verbose]\n")) {
     return 2;
   }
+
+  // A peer dying mid-response must surface as EPIPE on the write path,
+  // never as a process-killing SIGPIPE.
+  std::signal(SIGPIPE, SIG_IGN);
 
   modules::registerBuiltinModules();
   if (flagPresent(argc, argv, "verbose")) setLogLevel(LogLevel::kInfo);
@@ -87,6 +101,8 @@ int main(int argc, char** argv) {
   opts.firstNode = static_cast<int>(flagInt(argc, argv, "first-node", 1));
   opts.groupSize = static_cast<int>(flagInt(argc, argv, "group-size", 0));
   opts.port = static_cast<std::uint16_t>(flagInt(argc, argv, "port", 4600));
+  opts.idleTimeoutSeconds = flagDouble(argc, argv, "idle-timeout", 0.0);
+  const std::string modelCache = flagValue(argc, argv, "model-cache", "");
   const std::string leaves = flagValue(argc, argv, "leaves", "");
   if (leaves.empty() || opts.groupSize < 1) {
     std::fprintf(stderr,
@@ -96,11 +112,33 @@ int main(int argc, char** argv) {
   opts.leafEndpoints = split(leaves, ',');
 
   try {
-    std::printf("asdf_aggd: training black-box model (fault-free %.0f s "
-                "sim run, %d slaves)...\n",
-                opts.base.trainDuration, opts.base.slaves);
-    std::fflush(stdout);
-    const analysis::BlackBoxModel model = harness::trainModel(opts.base);
+    analysis::BlackBoxModel model;
+    bool cached = false;
+    if (!modelCache.empty()) {
+      std::ifstream in(modelCache);
+      if (in) {
+        std::ostringstream text;
+        text << in.rdbuf();
+        model = analysis::deserializeModel(text.str());
+        cached = true;
+        std::printf("asdf_aggd: loaded cached model from %s\n",
+                    modelCache.c_str());
+      }
+    }
+    if (!cached) {
+      std::printf("asdf_aggd: training black-box model (fault-free %.0f s "
+                  "sim run, %d slaves)...\n",
+                  opts.base.trainDuration, opts.base.slaves);
+      std::fflush(stdout);
+      model = harness::trainModel(opts.base);
+      if (!modelCache.empty()) {
+        std::ofstream out(modelCache);
+        out << analysis::serializeModel(model);
+        if (out) {
+          std::printf("asdf_aggd: cached model to %s\n", modelCache.c_str());
+        }
+      }
+    }
 
     harness::AggregatorNode node(opts, model);
     g_node = &node;

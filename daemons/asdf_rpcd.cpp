@@ -13,6 +13,7 @@
 //   --fault-end=T       fault end time (<0 = run end)
 //   --mix-change=T      GridMix mix flip time (<0 = never)
 //   --archive-dir=DIR   flight recorder: archive every served response
+//   --idle-timeout=T    reap connections idle for T seconds (0 = never)
 //
 // With --source=sim the daemon hosts the monitored-cluster simulation
 // itself, seeded exactly like harness::runExperiment, and advances it
@@ -49,13 +50,18 @@ int main(int argc, char** argv) {
   if (!examples::checkFlags(
           argc, argv,
           {"port", "slaves", "seed", "source", "fault", "fault-node",
-           "fault-start", "fault-end", "mix-change", "archive-dir"},
+           "fault-start", "fault-end", "mix-change", "archive-dir",
+           "idle-timeout"},
           "asdf_rpcd [--port=N] [--slaves=N] [--seed=N] "
           "[--source=sim|proc] [--fault=NAME] [--fault-node=N] "
           "[--fault-start=T] [--fault-end=T] [--mix-change=T] "
-          "[--archive-dir=DIR]\n")) {
+          "[--archive-dir=DIR] [--idle-timeout=T]\n")) {
     return 2;
   }
+
+  // A peer dying mid-response must surface as EPIPE on the write path,
+  // never as a process-killing SIGPIPE.
+  std::signal(SIGPIPE, SIG_IGN);
 
   net::RpcdOptions opts;
   opts.port = static_cast<std::uint16_t>(flagInt(argc, argv, "port", 4588));
@@ -63,6 +69,7 @@ int main(int argc, char** argv) {
   opts.seed = static_cast<std::uint64_t>(flagInt(argc, argv, "seed", 42));
   opts.source = flagValue(argc, argv, "source", "sim");
   opts.mixChangeTime = flagDouble(argc, argv, "mix-change", -1.0);
+  opts.idleTimeoutSeconds = flagDouble(argc, argv, "idle-timeout", 0.0);
   if (opts.source != "sim" && opts.source != "proc") {
     std::fprintf(stderr, "asdf_rpcd: --source must be 'sim' or 'proc'\n");
     return 2;

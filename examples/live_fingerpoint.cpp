@@ -17,6 +17,7 @@
 // Exits 0 only when the combined analysis localized the fault (a
 // latency was measured); nonzero otherwise — CI uses this as the live
 // end-to-end gate.
+#include <csignal>
 #include <cstdio>
 #include <thread>
 
@@ -29,6 +30,7 @@
 #include "net/rpcd_server.h"
 
 int main(int argc, char** argv) {
+  std::signal(SIGPIPE, SIG_IGN);
   using namespace asdf;
   using examples::flagDouble;
   using examples::flagInt;

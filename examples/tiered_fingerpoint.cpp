@@ -18,7 +18,14 @@
 // truth. Exits 0 only when the combined analysis localized the fault;
 // CI uses this as the tiered end-to-end gate, including with one
 // aggregator killed mid-run (quorum-gated degraded analysis).
+// --require-rejoin additionally demands a full unmonitorable→healthy
+// round trip in the monitoring events: some region must have been
+// marked unmonitorable AND re-admitted (the chaos-e2e crash-rejoin
+// gate, driven by tools/asdf_supervise restarting an aggregator).
+#include <algorithm>
+#include <csignal>
 #include <cstdio>
+#include <vector>
 
 #include "common/logging.h"
 #include "common/strings.h"
@@ -38,13 +45,16 @@ int main(int argc, char** argv) {
           argc, argv,
           {"agg", "groups", "slaves", "seed", "duration", "scale",
            "fault", "node", "inject-at", "quorum", "window", "slide",
-           "rpc-timeout", "verbose"},
+           "rpc-timeout", "require-rejoin", "verbose"},
           "tiered_fingerpoint --agg=H:P[,H:P...] [--groups=N,N,...] "
           "[--slaves=N] [--seed=N] [--duration=T] [--scale=X] "
           "[--fault=NAME] [--node=N] [--inject-at=T] [--quorum=N] "
-          "[--window=N] [--slide=N] [--rpc-timeout=T] [--verbose]\n")) {
+          "[--window=N] [--slide=N] [--rpc-timeout=T] "
+          "[--require-rejoin] [--verbose]\n")) {
     return 2;
   }
+
+  std::signal(SIGPIPE, SIG_IGN);
 
   modules::registerBuiltinModules();
   if (flagPresent(argc, argv, "verbose")) setLogLevel(LogLevel::kInfo);
@@ -127,6 +137,35 @@ int main(int argc, char** argv) {
     } else {
       std::printf("FAILED: fault not localized across the tier\n");
       exitCode = 1;
+    }
+
+    if (flagPresent(argc, argv, "require-rejoin")) {
+      // A rejoin shows up as a shrink of the unmonitorable set after a
+      // grow: some event lists node(s) unmonitorable, and a later event
+      // on the same channel no longer lists one of them.
+      bool sawUnmonitorable = false;
+      bool sawRejoin = false;
+      std::vector<std::string> down;
+      for (const core::MonitoringEvent& ev : result.monitoringEvents) {
+        if (ev.channel != "analysis_bb") continue;
+        if (!ev.unmonitorable.empty()) sawUnmonitorable = true;
+        for (const std::string& node : down) {
+          if (std::find(ev.unmonitorable.begin(), ev.unmonitorable.end(),
+                        node) == ev.unmonitorable.end()) {
+            sawRejoin = true;
+          }
+        }
+        down = ev.unmonitorable;
+      }
+      if (sawUnmonitorable && sawRejoin) {
+        std::printf("rejoin observed: a region went unmonitorable and "
+                    "was re-admitted\n");
+      } else {
+        std::printf("FAILED: --require-rejoin, but no "
+                    "unmonitorable-then-healthy transition in the "
+                    "monitoring events\n");
+        exitCode = 1;
+      }
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "tiered_fingerpoint: %s\n", e.what());

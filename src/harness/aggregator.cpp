@@ -53,6 +53,7 @@ net::AggServerOptions serverOptionsFor(const AggregatorOptions& opts,
   sopts.groupSize = opts.groupSize;
   sopts.seed = opts.base.seed;
   sopts.board = &board;
+  sopts.idleTimeoutSeconds = opts.idleTimeoutSeconds;
   return sopts;
 }
 
@@ -63,7 +64,8 @@ struct AggregatorNode::Impl {
        rpc::SummaryBoard& board)
       : opts(o),
         collector(o.leafEndpoints, o.firstNode,
-                  o.base.rpcPolicy.timeoutSeconds),
+                  o.base.rpcPolicy.timeoutSeconds,
+                  o.base.seed * 2654435761ULL + 131),
         client(collector, o.base.rpcPolicy, o.base.seed * 2654435761ULL + 97),
         recorder(makeAggRecorder(o)),
         driver(engine, o.base.realtimeScale),
@@ -140,8 +142,15 @@ void AggregatorNode::stop() {
 
 namespace {
 
-/// Root-side state for one aggregator region.
+/// Root-side state for one aggregator region. Down is transient
+/// (DESIGN.md §13): kUp --3 failed polls--> kDown --any successful
+/// fetch--> kRejoining --fresh window on every channel--> kUp. Down
+/// and rejoining regions merge as synthetic all-unmonitorable and
+/// never gate the other regions' rounds; an up region with an empty
+/// queue is merely awaited.
 struct RootGroup {
+  enum class State { kUp, kDown, kRejoining };
+
   std::unique_ptr<net::AggClient> client;
   int size = 0;
   /// Fetch watermark and undelivered windows, per summary channel.
@@ -149,7 +158,16 @@ struct RootGroup {
   std::deque<analysis::GroupSummary> queue[rpc::kSummaryChannelCount];
   bool connected[rpc::kSummaryChannelCount] = {false, false};
   int failStreak = 0;
-  bool dead = false;
+  State state = State::kUp;
+  /// Per-channel: a post-rejoin window has been queued (cursor moved).
+  bool fresh[rpc::kSummaryChannelCount] = {false, false};
+  long rejoins = 0;
+
+  /// Whether this region's next window must exist before a round on
+  /// channel `c` may merge.
+  bool gates(int c) const {
+    return state == State::kUp || (state == State::kRejoining && fresh[c]);
+  }
 };
 
 /// Per-channel merge workspace mirroring the sim merge modules'
@@ -210,6 +228,7 @@ ExperimentResult runTieredLiveExperiment(const ExperimentSpec& spec) {
     copts.host = host;
     copts.port = port;
     copts.timeoutSeconds = spec.rpcPolicy.timeoutSeconds;
+    copts.backoffSeed = spec.seed * 2654435761ULL + 1000003ULL * (g + 1);
     regions[g].client = std::make_unique<net::AggClient>(copts);
     regions[g].size = groups[g];
   }
@@ -238,11 +257,12 @@ ExperimentResult runTieredLiveExperiment(const ExperimentSpec& spec) {
   // k-th window from every region still covers the same slide of the
   // same workload; the global window time is the slowest region's —
   // when the flat barrier would have released it. A round is ready
-  // when every live region has its next window queued; a dead region
-  // with a drained backlog joins as an all-unmonitorable synthetic
-  // summary — exactly the shape a live aggregator publishes when all
-  // its leaves are down — so quorum gating and degraded analysis
-  // follow the flat semantics.
+  // when every gating region (see RootGroup::gates) has its next
+  // window queued; a down or still-rejoining region with a drained
+  // backlog joins as an all-unmonitorable synthetic summary — exactly
+  // the shape a live aggregator publishes when all its leaves are
+  // down — so quorum gating and degraded analysis follow the flat
+  // semantics, and a down region never stalls the others' rounds.
   auto processChannel = [&](int c) {
     for (;;) {
       double t = 0.0;
@@ -252,7 +272,7 @@ ExperimentResult runTieredLiveExperiment(const ExperimentSpec& spec) {
         if (!region.queue[c].empty()) {
           any = true;
           t = std::max(t, region.queue[c].front().time);
-        } else if (!region.dead) {
+        } else if (region.gates(c)) {
           allLiveReady = false;
         }
       }
@@ -362,10 +382,8 @@ ExperimentResult runTieredLiveExperiment(const ExperimentSpec& spec) {
   int quietPolls = 0;
   std::vector<rpc::SummaryWindow> windows;
   for (;;) {
-    bool anyAlive = false;
     bool anyNew = false;
     for (RootGroup& region : regions) {
-      if (region.dead) continue;
       bool anySuccess = false;
       for (int c = 0; c < rpc::kSummaryChannelCount; ++c) {
         std::size_t responseBytes = 0;
@@ -378,6 +396,28 @@ ExperimentResult runTieredLiveExperiment(const ExperimentSpec& spec) {
             region.connected[c] = true;
           }
           chan[c]->recordCall(rpc::kSummaryRequestBytes, responseBytes);
+          if (region.state == RootGroup::State::kDown) {
+            // Liveness probe only — the cursor resets below; windows
+            // fetched against the stale watermark are not queued.
+            continue;
+          }
+          if (region.state == RootGroup::State::kRejoining &&
+              !region.fresh[c] && !windows.empty()) {
+            // Cursor catch-up: a restarted daemon's virtual clock (and
+            // so its window grid) restarted from zero, so the backlog
+            // it republished is stale history — resume from the
+            // freshest window only and track its grid from there.
+            analysis::GroupSummary summary;
+            const rpc::SummaryWindow& w = windows.back();
+            if (summary.unpack(w.packed.data(), w.packed.size()) &&
+                summary.members == static_cast<std::size_t>(region.size)) {
+              region.queue[c].push_back(std::move(summary));
+              region.fresh[c] = true;
+              anyNew = true;
+            }
+            region.since[c] = w.time;
+            continue;
+          }
           for (const rpc::SummaryWindow& w : windows) {
             analysis::GroupSummary summary;
             if (!summary.unpack(w.packed.data(), w.packed.size()) ||
@@ -395,20 +435,41 @@ ExperimentResult runTieredLiveExperiment(const ExperimentSpec& spec) {
       }
       if (anySuccess) {
         region.failStreak = 0;
-      } else if (++region.failStreak >= 3) {
-        region.dead = true;
+        if (region.state == RootGroup::State::kDown) {
+          region.state = RootGroup::State::kRejoining;
+          for (int c = 0; c < rpc::kSummaryChannelCount; ++c) {
+            region.fresh[c] = false;
+            region.queue[c].clear();
+            region.since[c] = 0.0;
+          }
+          ++region.rejoins;
+          logWarn("tiered live: aggregator answering again, region of " +
+                  std::to_string(region.size) + " nodes rejoining");
+        }
+        if (region.state == RootGroup::State::kRejoining) {
+          bool allFresh = true;
+          for (int c = 0; c < rpc::kSummaryChannelCount; ++c) {
+            if (!region.fresh[c]) allFresh = false;
+          }
+          if (allFresh) {
+            region.state = RootGroup::State::kUp;
+            logWarn("tiered live: region of " + std::to_string(region.size) +
+                    " nodes re-admitted (fresh windows on every channel)");
+          }
+        }
+      } else if (region.state != RootGroup::State::kDown &&
+                 ++region.failStreak >= 3) {
+        region.state = RootGroup::State::kDown;
         logWarn("tiered live: aggregator unresponsive, region of " +
                 std::to_string(region.size) +
-                " nodes now merges as unmonitorable");
+                " nodes merges as unmonitorable until it rejoins");
       }
-      if (!region.dead) anyAlive = true;
     }
 
     for (int c = 0; c < rpc::kSummaryChannelCount; ++c) {
       processChannel(c);
     }
 
-    if (!anyAlive) break;
     const double elapsed =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start)
@@ -423,7 +484,7 @@ ExperimentResult runTieredLiveExperiment(const ExperimentSpec& spec) {
   }
   // No separate flush: a window some live region never delivered is a
   // shutdown-timing artifact, not a monitorable signal, and stays
-  // unmerged. (Dead regions were synthesized round by round above.)
+  // unmerged. (Down regions were synthesized round by round above.)
 
   sortEvents(result.monitoringEvents);
 

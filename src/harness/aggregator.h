@@ -12,8 +12,12 @@
 // merges them with the exact kernels the sim merge modules use
 // (analysis/partials.h), and applies the same quorum gating and
 // MonitoringEvent semantics. An aggregator that stops answering is
-// declared dead after a failure streak and its whole region merges as
-// unmonitorable — degraded analysis, not a crash.
+// marked down after a failure streak and its whole region merges as
+// unmonitorable — degraded analysis, not a crash — but down is
+// transient: the root keeps probing (redials are backoff-gated in
+// FramedClient, never a hot loop) and re-admits the region when the
+// daemon answers again, resuming its summary cursor from the freshest
+// published window (DESIGN.md §13 rejoin state machine).
 #pragma once
 
 #include <memory>
@@ -53,6 +57,8 @@ struct AggregatorOptions {
   /// shared ones (see net::FanoutCollector routing).
   std::vector<std::string> leafEndpoints;
   std::uint16_t port = 0;  // summary serving port (0 = ephemeral)
+  /// Idle-connection reaping on the summary server (0 = never).
+  double idleTimeoutSeconds = 0.0;
 };
 
 class AggregatorNode {

@@ -161,6 +161,7 @@ ExperimentResult runLiveExperiment(const ExperimentSpec& spec,
   topts.host = spec.liveHost;
   topts.port = spec.livePort;
   topts.timeoutSeconds = spec.rpcPolicy.timeoutSeconds;
+  topts.backoffSeed = spec.seed * 2654435761ULL + 211;
   net::LiveTransport transport(topts);
   if (transport.slaves() != spec.slaves) {
     logWarn("live transport: daemon serves " +

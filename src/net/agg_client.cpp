@@ -11,6 +11,7 @@ FramedClient::Options clientOptions(const AggClient::Options& opts) {
   copts.port = opts.port;
   copts.timeoutSeconds = opts.timeoutSeconds;
   copts.peerName = "asdf_aggd";
+  copts.backoffSeed = opts.backoffSeed;
   return copts;
 }
 
@@ -26,7 +27,10 @@ bool AggClient::ensureConnectedLocked() {
   hello.putString("asdf-root");
   Frame ack;
   if (!client_.call(MsgType::kHello, hello, MsgType::kHelloAck, ack)) {
+    // Dial succeeded, handshake failed (partitioned or wedged peer) —
+    // back off before the next redial.
     client_.disconnect();
+    client_.backoffFailure();
     return false;
   }
   try {

@@ -23,6 +23,8 @@ class AggClient {
     std::string host = "127.0.0.1";
     std::uint16_t port = 0;
     double timeoutSeconds = 5.0;
+    /// Seeds the redial backoff jitter (see FramedClient::Options).
+    std::uint64_t backoffSeed = 1;
   };
 
   explicit AggClient(const Options& opts);
@@ -45,6 +47,9 @@ class AggClient {
   void shutdownServer();
 
   long reconnects() const { return client_.reconnects(); }
+
+  /// Redials skipped because the backoff window was still open.
+  long suppressedDials() const { return client_.suppressedDials(); }
 
  private:
   bool ensureConnectedLocked();

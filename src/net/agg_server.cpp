@@ -9,6 +9,9 @@ AggServer::AggServer(const AggServerOptions& opts)
   server_.onFrame([this](TcpServer::Connection& conn, Frame&& frame) {
     handleFrame(conn, std::move(frame));
   });
+  if (opts_.idleTimeoutSeconds > 0.0) {
+    server_.setIdleTimeout(opts_.idleTimeoutSeconds);
+  }
 }
 
 void AggServer::run() { loop_.run(); }

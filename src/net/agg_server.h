@@ -24,6 +24,9 @@ struct AggServerOptions {
   std::uint64_t seed = 0;
   /// Not owned; the pipeline publishing into it must outlive run().
   const rpc::SummaryBoard* board = nullptr;
+  /// Reap connections with no read/write progress for this long
+  /// (--idle-timeout; 0 = never — see TcpServer::setIdleTimeout).
+  double idleTimeoutSeconds = 0.0;
 };
 
 class AggServer {

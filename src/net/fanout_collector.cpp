@@ -24,7 +24,8 @@ void parseEndpoint(const std::string& endpoint, std::string& host,
 }
 
 FanoutCollector::FanoutCollector(const std::vector<std::string>& endpoints,
-                                 NodeId firstNode, double timeoutSeconds)
+                                 NodeId firstNode, double timeoutSeconds,
+                                 std::uint64_t backoffSeed)
     : firstNode_(firstNode) {
   if (endpoints.empty()) {
     throw NetError("fanout collector needs at least one leaf endpoint");
@@ -33,6 +34,8 @@ FanoutCollector::FanoutCollector(const std::vector<std::string>& endpoints,
     LiveTransport::Options opts;
     parseEndpoint(endpoint, opts.host, opts.port);
     opts.timeoutSeconds = timeoutSeconds;
+    opts.backoffSeed =
+        backoffSeed * 0x9E3779B97F4A7C15ULL + transports_.size() + 1;
     transports_.push_back(std::make_unique<LiveTransport>(opts));
   }
 }

@@ -24,8 +24,11 @@ class FanoutCollector final : public rpc::LiveCollector {
   /// is unreachable — an aggregator cannot start without its leaves).
   /// `firstNode` is the region's first monitored node id; used for the
   /// node -> endpoint routing described above.
+  /// `backoffSeed` seeds the per-transport redial backoff jitter
+  /// (endpoint i gets a split of it).
   FanoutCollector(const std::vector<std::string>& endpoints,
-                  NodeId firstNode, double timeoutSeconds);
+                  NodeId firstNode, double timeoutSeconds,
+                  std::uint64_t backoffSeed = 1);
 
   int slaves() const override;
 

@@ -1,6 +1,7 @@
 #include "net/framed_client.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -10,6 +11,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 
 #include "common/error.h"
 #include "common/logging.h"
@@ -23,9 +25,14 @@ double monotonicSeconds() {
       .count();
 }
 
+int pollMillis(double remaining) {
+  return static_cast<int>(std::max(1.0, remaining * 1000.0));
+}
+
 }  // namespace
 
-FramedClient::FramedClient(Options opts) : opts_(std::move(opts)) {}
+FramedClient::FramedClient(Options opts)
+    : opts_(std::move(opts)), backoffRng_(opts_.backoffSeed) {}
 
 FramedClient::~FramedClient() { disconnect(); }
 
@@ -37,20 +44,73 @@ void FramedClient::disconnect() {
   decoder_ = FrameDecoder();
 }
 
+void FramedClient::backoffFailure() {
+  const double backoff =
+      std::min(opts_.backoffMaxSeconds,
+               opts_.backoffBaseSeconds *
+                   std::pow(2.0, std::min(failStreak_, 20)));
+  const double jitter =
+      1.0 + opts_.jitterFrac * (2.0 * backoffRng_.uniform() - 1.0);
+  ++failStreak_;
+  nextDialAllowed_ = monotonicSeconds() + backoff * jitter;
+}
+
 bool FramedClient::connect() {
   if (fd_ >= 0) return true;
+  if (monotonicSeconds() < nextDialAllowed_) {
+    ++suppressedDials_;
+    return false;
+  }
   const int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  if (fd < 0) return false;
+  if (fd < 0) {
+    backoffFailure();
+    return false;
+  }
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(opts_.port);
   if (inet_pton(AF_INET, opts_.host.c_str(), &addr.sin_addr) != 1) {
     close(fd);
+    backoffFailure();
     return false;
   }
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  const int rc =
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc < 0 && errno != EINPROGRESS) {
     close(fd);
+    backoffFailure();
     return false;
+  }
+  if (rc < 0) {
+    // Dial in flight: bound it by the per-call deadline.
+    const double deadline = monotonicSeconds() + opts_.timeoutSeconds;
+    for (;;) {
+      const double remaining = deadline - monotonicSeconds();
+      if (remaining <= 0) {
+        close(fd);
+        backoffFailure();
+        return false;
+      }
+      pollfd pfd{fd, POLLOUT, 0};
+      const int ready = poll(&pfd, 1, pollMillis(remaining));
+      if (ready < 0 && errno == EINTR) continue;
+      if (ready <= 0) {
+        close(fd);
+        backoffFailure();
+        return false;
+      }
+      int err = 0;
+      socklen_t len = sizeof(err);
+      getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+      if (err != 0) {
+        close(fd);
+        backoffFailure();
+        return false;
+      }
+      break;
+    }
   }
   const int one = 1;
   setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
@@ -69,12 +129,28 @@ bool FramedClient::call(MsgType request, const rpc::Encoder& payload,
   const std::vector<std::uint8_t> out = encodeFrame(request, payload);
   std::size_t sent = 0;
   while (sent < out.size()) {
-    const ssize_t n = write(fd_, out.data() + sent, out.size() - sent);
+    const ssize_t n =
+        send(fd_, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
     if (n > 0) {
       sent += static_cast<std::size_t>(n);
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Throttled peer: wait for writability, never past the deadline.
+      const double remaining = deadline - monotonicSeconds();
+      if (remaining <= 0) {
+        disconnect();
+        return false;
+      }
+      pollfd pfd{fd_, POLLOUT, 0};
+      const int ready = poll(&pfd, 1, pollMillis(remaining));
+      if (ready < 0 && errno != EINTR) {
+        disconnect();
+        return false;
+      }
+      continue;  // deadline re-checked above
+    }
     disconnect();
     return false;
   }
@@ -84,6 +160,8 @@ bool FramedClient::call(MsgType request, const rpc::Encoder& payload,
     if (decoder_.next(frame)) {
       if (frame.type == expected) {
         response = std::move(frame);
+        failStreak_ = 0;  // a full exchange proves the peer healthy
+        nextDialAllowed_ = 0.0;
         return true;
       }
       if (frame.type == MsgType::kError) {
@@ -109,8 +187,7 @@ bool FramedClient::call(MsgType request, const rpc::Encoder& payload,
       return false;
     }
     pollfd pfd{fd_, POLLIN, 0};
-    const int ready =
-        poll(&pfd, 1, static_cast<int>(std::max(1.0, remaining * 1000.0)));
+    const int ready = poll(&pfd, 1, pollMillis(remaining));
     if (ready < 0) {
       if (errno == EINTR) continue;
       disconnect();
@@ -129,7 +206,9 @@ bool FramedClient::call(MsgType request, const rpc::Encoder& payload,
       }
       continue;
     }
-    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)) {
+      continue;
+    }
     disconnect();  // peer closed or hard error
     return false;
   }

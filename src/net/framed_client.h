@@ -5,13 +5,19 @@
 // Owns one socket: connect(), one call() per request/response
 // exchange with a poll()-based deadline, disconnect-on-error (a
 // length-prefixed stream cannot be resynchronized after corruption or
-// a timeout). NOT thread-safe: the owner serializes calls, typically
-// under its own mutex, and layers protocol handshakes on top.
+// a timeout). The socket is non-blocking throughout: the dial, the
+// request write and the response read all respect the per-call
+// deadline even when a throttled peer accepts bytes one at a time.
+// Redials are gated by capped exponential backoff with seeded jitter
+// so a dead daemon is never hammered in a hot loop. NOT thread-safe:
+// the owner serializes calls, typically under its own mutex, and
+// layers protocol handshakes on top.
 #pragma once
 
 #include <cstdint>
 #include <string>
 
+#include "common/rng.h"
 #include "net/frame.h"
 
 namespace asdf::net {
@@ -21,10 +27,18 @@ class FramedClient {
   struct Options {
     std::string host = "127.0.0.1";
     std::uint16_t port = 0;
-    /// Per-attempt deadline covering request + response.
+    /// Per-attempt deadline covering request + response (and, on a
+    /// fresh connection, the dial).
     double timeoutSeconds = 5.0;
     /// Peer name used in log messages ("asdf_rpcd", "asdf_aggd").
     std::string peerName = "daemon";
+    /// Redial backoff: after the k-th consecutive failure the next
+    /// dial is allowed only backoffBase * 2^k seconds later (capped,
+    /// jittered), mirroring rpc::RpcPolicy's shape on the wall clock.
+    double backoffBaseSeconds = 0.05;
+    double backoffMaxSeconds = 2.0;
+    double jitterFrac = 0.25;
+    std::uint64_t backoffSeed = 1;
   };
 
   explicit FramedClient(Options opts);
@@ -34,7 +48,8 @@ class FramedClient {
 
   /// Establishes the TCP connection (no protocol handshake — the
   /// owner sends its hello through call()). True when already
-  /// connected.
+  /// connected. False immediately — without touching the network —
+  /// while a redial backoff window is open.
   bool connect();
   void disconnect();
   bool connected() const { return fd_ >= 0; }
@@ -42,13 +57,22 @@ class FramedClient {
   /// One request/response exchange. False on not-connected, timeout,
   /// disconnect, framing error (all drop the connection), or a kError
   /// response (logged; the connection stays usable — the peer
-  /// replied).
+  /// replied). A successful exchange resets the redial backoff.
   bool call(MsgType request, const rpc::Encoder& payload, MsgType expected,
             Frame& response);
+
+  /// Charges one failure to the redial backoff. Owners call this when
+  /// a dial succeeded but the protocol handshake on top failed (e.g.
+  /// connecting through a partition: SYN completes, bytes never do) —
+  /// otherwise such peers would be redialed in a hot loop.
+  void backoffFailure();
 
   /// Connections re-established after the first one (each is evidence
   /// the peer bounced).
   long reconnects() const { return reconnects_; }
+
+  /// Dial attempts refused because the backoff window was still open.
+  long suppressedDials() const { return suppressedDials_; }
 
  private:
   Options opts_;
@@ -56,6 +80,10 @@ class FramedClient {
   FrameDecoder decoder_;
   bool everConnected_ = false;
   long reconnects_ = 0;
+  long suppressedDials_ = 0;
+  int failStreak_ = 0;
+  double nextDialAllowed_ = 0.0;
+  Rng backoffRng_;
 };
 
 }  // namespace asdf::net

@@ -13,6 +13,7 @@ FramedClient::Options clientOptions(const LiveTransport::Options& opts) {
   copts.port = opts.port;
   copts.timeoutSeconds = opts.timeoutSeconds;
   copts.peerName = "asdf_rpcd";
+  copts.backoffSeed = opts.backoffSeed;
   return copts;
 }
 
@@ -36,7 +37,11 @@ bool LiveTransport::ensureConnectedLocked() {
   if (client_.connected()) return true;
   if (!client_.connect()) return false;
   if (!handshakeLocked()) {
+    // The dial succeeded but the handshake did not (partitioned peer:
+    // SYN completes, bytes never arrive) — charge the backoff so the
+    // next call doesn't redial immediately.
     client_.disconnect();
+    client_.backoffFailure();
     return false;
   }
   return true;

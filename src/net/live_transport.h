@@ -30,6 +30,8 @@ class LiveTransport final : public rpc::LiveCollector {
     std::uint16_t port = 0;
     /// Per-attempt deadline covering connect + request + response.
     double timeoutSeconds = 5.0;
+    /// Seeds the redial backoff jitter (see FramedClient::Options).
+    std::uint64_t backoffSeed = 1;
   };
 
   /// Connects and handshakes (kHello / kHelloAck). Throws NetError when
@@ -64,6 +66,10 @@ class LiveTransport final : public rpc::LiveCollector {
   /// Connections re-established after the constructor's initial one
   /// (each is a failed attempt's worth of evidence the daemon bounced).
   long reconnects() const { return client_.reconnects(); }
+
+  /// Redials skipped because the backoff window was still open (the
+  /// hot-loop protection working).
+  long suppressedDials() const { return client_.suppressedDials(); }
 
  private:
   bool ensureConnectedLocked();

@@ -46,6 +46,9 @@ RpcdServer::RpcdServer(const RpcdOptions& opts)
   server_.onFrame([this](TcpServer::Connection& conn, Frame&& frame) {
     handleFrame(conn, std::move(frame));
   });
+  if (opts_.idleTimeoutSeconds > 0.0) {
+    server_.setIdleTimeout(opts_.idleTimeoutSeconds);
+  }
 }
 
 RpcdServer::~RpcdServer() = default;

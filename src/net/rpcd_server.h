@@ -44,6 +44,9 @@ struct RpcdOptions {
   /// Flight-recorder tap (--archive-dir): every served data response
   /// is reported here. Not owned; must outlive the server.
   rpc::CollectionObserver* observer = nullptr;
+  /// Reap connections with no read/write progress for this long
+  /// (--idle-timeout; 0 = never — see TcpServer::setIdleTimeout).
+  double idleTimeoutSeconds = 0.0;
 };
 
 class RpcdServer {
@@ -62,6 +65,7 @@ class RpcdServer {
 
   long framesServed() const { return server_.framesServed(); }
   long connectionsRejected() const { return server_.connectionsRejected(); }
+  long connectionsReaped() const { return server_.connectionsReaped(); }
 
   /// Cluster-side accounting as of virtual time `now` (the payload the
   /// kStats request returns; the daemon main also stamps it into the

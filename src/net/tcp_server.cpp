@@ -7,7 +7,9 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 #include "common/logging.h"
@@ -18,6 +20,12 @@ namespace {
 void setNonBlocking(int fd) {
   const int flags = fcntl(fd, F_GETFL, 0);
   fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+double monotonicSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
 }
 
 }  // namespace
@@ -56,6 +64,7 @@ TcpServer::TcpServer(EventLoop& loop, std::uint16_t port) : loop_(loop) {
 }
 
 TcpServer::~TcpServer() {
+  if (reapTimer_ >= 0) loop_.cancelTimer(reapTimer_);
   for (auto& [id, conn] : connections_) {
     loop_.unwatchFd(conn->fd_);
     close(conn->fd_);
@@ -80,6 +89,7 @@ void TcpServer::handleAccept() {
     setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     const std::uint64_t id = nextConnId_++;
     auto conn = std::make_unique<Connection>(*this, fd, id);
+    conn->lastActivity_ = monotonicSeconds();
     Connection* raw = conn.get();
     connections_.emplace(id, std::move(conn));
     loop_.watchFd(fd, /*wantRead=*/true, /*wantWrite=*/false,
@@ -105,6 +115,7 @@ void TcpServer::handleConnection(Connection& conn, std::uint32_t events) {
   for (;;) {
     const ssize_t n = read(conn.fd_, buf, sizeof(buf));
     if (n > 0) {
+      conn.lastActivity_ = monotonicSeconds();
       if (!conn.decoder_.feed(buf, static_cast<std::size_t>(n))) {
         // Malformed framing: the stream cannot be trusted past this
         // point. Count and drop; the loop (and every other
@@ -143,9 +154,10 @@ void TcpServer::handleConnection(Connection& conn, std::uint32_t events) {
 
 void TcpServer::flushOutbound(Connection& conn) {
   while (!conn.outbound_.empty()) {
-    const ssize_t n =
-        write(conn.fd_, conn.outbound_.data(), conn.outbound_.size());
+    const ssize_t n = send(conn.fd_, conn.outbound_.data(),
+                           conn.outbound_.size(), MSG_NOSIGNAL);
     if (n > 0) {
+      conn.lastActivity_ = monotonicSeconds();
       conn.outbound_.erase(conn.outbound_.begin(),
                            conn.outbound_.begin() + n);
       continue;
@@ -175,8 +187,49 @@ void TcpServer::dropConnection(std::uint64_t id) {
   connections_.erase(it);
 }
 
+void TcpServer::setIdleTimeout(double seconds) {
+  idleTimeoutSeconds_ = seconds;
+  if (reapTimer_ >= 0) {
+    loop_.cancelTimer(reapTimer_);
+    reapTimer_ = -1;
+  }
+  if (seconds > 0.0) armReapTimer();
+}
+
+void TcpServer::armReapTimer() {
+  reapTimer_ = loop_.addTimer(std::max(0.05, idleTimeoutSeconds_ / 2.0),
+                              [this] {
+                                reapTimer_ = -1;
+                                reapIdle();
+                                if (idleTimeoutSeconds_ > 0.0) armReapTimer();
+                              });
+}
+
+void TcpServer::reapIdle() {
+  const double cutoff = monotonicSeconds() - idleTimeoutSeconds_;
+  std::vector<std::uint64_t> idle;
+  for (const auto& [id, conn] : connections_) {
+    if (conn->lastActivity_ < cutoff) idle.push_back(id);
+  }
+  for (const std::uint64_t id : idle) {
+    logWarn("net: reaping idle connection " + std::to_string(id));
+    ++connectionsReaped_;
+    dropConnection(id);
+  }
+}
+
 void TcpServer::Connection::send(MsgType type, const rpc::Encoder& payload) {
   const std::vector<std::uint8_t> frame = encodeFrame(type, payload);
+  if (server_.maxOutboundBytes_ != 0 &&
+      outbound_.size() + frame.size() > server_.maxOutboundBytes_) {
+    // The peer stopped draining its responses: dropping bounds memory
+    // (the peer's decoder couldn't survive a truncated stream anyway).
+    logWarn("net: dropping connection " + std::to_string(id_) +
+            ": outbound buffer over cap");
+    ++server_.connectionsOverflowed_;
+    server_.dropConnection(id_);
+    return;
+  }
   outbound_.insert(outbound_.end(), frame.begin(), frame.end());
   server_.flushOutbound(*this);
 }
@@ -184,6 +237,14 @@ void TcpServer::Connection::send(MsgType type, const rpc::Encoder& payload) {
 void TcpServer::Connection::sendError(ErrorCode code,
                                       const std::string& message) {
   const std::vector<std::uint8_t> frame = encodeErrorFrame(code, message);
+  if (server_.maxOutboundBytes_ != 0 &&
+      outbound_.size() + frame.size() > server_.maxOutboundBytes_) {
+    logWarn("net: dropping connection " + std::to_string(id_) +
+            ": outbound buffer over cap");
+    ++server_.connectionsOverflowed_;
+    server_.dropConnection(id_);
+    return;
+  }
   outbound_.insert(outbound_.end(), frame.begin(), frame.end());
   server_.flushOutbound(*this);
 }

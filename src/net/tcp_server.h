@@ -9,7 +9,14 @@
 // magic, version skew, oversized length, CRC mismatch) is counted and
 // dropped — a corrupt length-prefixed stream cannot be resynchronized
 // — and the server keeps serving everyone else. Handler exceptions are
-// converted to kError frames, not crashes.
+// converted to kError frames, not crashes. Two resource bounds guard
+// against hostile or wedged peers: an optional idle timeout reaps
+// connections with no read/write progress (half-open and slowloris
+// clients cannot pin resources forever), and an optional per-
+// connection outbound cap drops peers that stop draining their
+// responses instead of buffering without bound. All socket writes use
+// MSG_NOSIGNAL — a peer closing mid-write is an EPIPE, never a
+// process-killing SIGPIPE.
 #pragma once
 
 #include <cstdint>
@@ -47,6 +54,7 @@ class TcpServer {
     FrameDecoder decoder_;
     std::vector<std::uint8_t> outbound_;
     bool closing_ = false;
+    double lastActivity_ = 0.0;  // monotonic; read/write progress
   };
 
   /// Frame handler: called once per complete inbound frame, on the
@@ -62,16 +70,30 @@ class TcpServer {
 
   void onFrame(FrameHandler handler) { handler_ = std::move(handler); }
 
+  /// Reaps connections with no read/write progress for `seconds`
+  /// (checked at half that interval on the loop). 0 disables (the
+  /// default). Call from the loop thread before or while running.
+  void setIdleTimeout(double seconds);
+
+  /// Drops any connection whose outbound buffer would exceed `bytes`
+  /// (a peer that stopped reading its responses). 0 = unbounded (the
+  /// default).
+  void setMaxOutboundBytes(std::size_t bytes) { maxOutboundBytes_ = bytes; }
+
   std::uint16_t port() const { return port_; }
   std::size_t connectionCount() const { return connections_.size(); }
   long framesServed() const { return framesServed_; }
   long connectionsRejected() const { return connectionsRejected_; }
+  long connectionsReaped() const { return connectionsReaped_; }
+  long connectionsOverflowed() const { return connectionsOverflowed_; }
 
  private:
   void handleAccept();
   void handleConnection(Connection& conn, std::uint32_t events);
   void flushOutbound(Connection& conn);
   void dropConnection(std::uint64_t id);
+  void armReapTimer();
+  void reapIdle();
 
   EventLoop& loop_;
   int listenFd_ = -1;
@@ -81,6 +103,11 @@ class TcpServer {
   std::uint64_t nextConnId_ = 1;
   long framesServed_ = 0;
   long connectionsRejected_ = 0;  // dropped for malformed framing
+  long connectionsReaped_ = 0;    // dropped for idling past the timeout
+  long connectionsOverflowed_ = 0;  // dropped for an over-cap outbound
+  double idleTimeoutSeconds_ = 0.0;
+  std::size_t maxOutboundBytes_ = 0;
+  int reapTimer_ = -1;
 };
 
 }  // namespace asdf::net

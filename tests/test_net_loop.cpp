@@ -8,6 +8,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <string>
 #include <thread>
@@ -220,6 +221,107 @@ TEST(TcpServer, CrcCorruptionDropsConnection) {
   loop.stop();
   loopThread.join();
   EXPECT_EQ(server.connectionsRejected(), 1);
+}
+
+// A connection that goes quiet for longer than the idle timeout is
+// reaped — the daemon's defense against leaked client sockets pinning
+// buffers forever (DESIGN.md §13).
+TEST(TcpServer, ReapsIdleConnections) {
+  EventLoop loop;
+  TcpServer server(loop, 0);
+  server.onFrame([](TcpServer::Connection& conn, Frame&& frame) {
+    rpc::Encoder out;
+    out.putU32(0);
+    conn.send(frame.type, out);
+  });
+  server.setIdleTimeout(0.15);  // before the loop thread starts
+  std::thread loopThread([&] { loop.run(); });
+
+  {
+    TestClient client(server.port());
+    client.sendAll(encodeFrame(MsgType::kStats, nullptr, 0));
+    Frame reply;
+    ASSERT_TRUE(client.readFrame(reply));  // active: not reaped yet
+    EXPECT_TRUE(client.waitForEof());      // idle: reaped within ~0.3 s
+  }
+
+  loop.stop();
+  loopThread.join();
+  EXPECT_EQ(server.connectionsReaped(), 1);
+  EXPECT_EQ(server.connectionCount(), 0u);
+}
+
+// A peer that requests data but never drains its socket cannot grow
+// the outbound buffer without bound: past the cap the connection is
+// dropped (its decoder couldn't survive a truncated stream anyway).
+TEST(TcpServer, OutboundBufferOverCapDropsTheConnection) {
+  EventLoop loop;
+  TcpServer server(loop, 0);
+  server.setMaxOutboundBytes(128 * 1024);
+  const std::string blob(64 * 1024, 'x');
+  server.onFrame([&blob](TcpServer::Connection& conn, Frame&& frame) {
+    rpc::Encoder out;
+    out.putString(blob);
+    conn.send(frame.type, out);
+  });
+  std::thread loopThread([&] { loop.run(); });
+
+  {
+    TestClient client(server.port());
+    // 1024 requests x 64 KiB responses = 64 MiB the client never
+    // reads: far beyond what the kernel's socket buffers absorb, so
+    // the outbound queue hits the cap and the connection is dropped
+    // mid-burst — the server's memory stays bounded either way.
+    std::vector<std::uint8_t> requests;
+    for (int i = 0; i < 1024; ++i) {
+      const std::vector<std::uint8_t> one =
+          encodeFrame(MsgType::kStats, nullptr, 0);
+      requests.insert(requests.end(), one.begin(), one.end());
+    }
+    client.sendAll(requests);
+    std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  }
+
+  loop.stop();
+  loopThread.join();
+  EXPECT_EQ(server.connectionsOverflowed(), 1);
+  EXPECT_EQ(server.connectionCount(), 0u);
+}
+
+// Writing a response into a connection whose peer already vanished
+// must surface as a send error on that connection — never as a
+// process-killing SIGPIPE (the daemons additionally ignore SIGPIPE;
+// the server must not rely on that).
+TEST(TcpServer, WriteToClosedPeerDoesNotKillTheProcess) {
+  EventLoop loop;
+  TcpServer server(loop, 0);
+  server.onFrame([](TcpServer::Connection& conn, Frame&& frame) {
+    // Give the peer's FIN (and the RST its closed socket answers our
+    // data with) time to arrive before the 1 MiB response goes out.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    rpc::Encoder out;
+    out.putString(std::string(1 << 20, 'x'));
+    conn.send(frame.type, out);
+  });
+  std::thread loopThread([&] { loop.run(); });
+
+  {
+    TestClient client(server.port());
+    client.sendAll(encodeFrame(MsgType::kStats, nullptr, 0));
+  }  // gone before the handler replies
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+
+  {
+    TestClient survivor(server.port());  // the server is still serving
+    survivor.sendAll(encodeFrame(MsgType::kStats, nullptr, 0));
+    Frame reply;
+    EXPECT_TRUE(survivor.readFrame(reply));
+  }
+
+  loop.stop();
+  loopThread.join();
+  EXPECT_EQ(server.connectionCount(), 0u);
 }
 
 // --- RealTimeDriver ------------------------------------------------

@@ -1,0 +1,350 @@
+// Crash-rejoin, end to end (DESIGN.md §13): restarted daemons come
+// back *useful*, dead never stays dead, and a tiered deployment keeps
+// localizing through a deliberately hostile network.
+//
+//   * a leaf asdf_rpcd killed and restarted on the same port mid live
+//     run: the transport redials (backoff-gated), the circuit breaker
+//     re-closes, the restarted daemon replays its deterministic sim up
+//     to the requested virtual time, and the run still localizes;
+//
+//   * a regional aggregator killed and recreated on the same port mid
+//     tiered run: the root marks the region down (transient!), keeps
+//     merging it as synthetic-unmonitorable, then re-admits it when
+//     fresh windows appear — the monitoring events record the full
+//     unmonitorable -> healthy round trip;
+//
+//   * the whole root <-> aggregator plane routed through deterministic
+//     ChaosProxy instances (latency + jitter + corruption + slicing +
+//     a timed partition window) still completes and localizes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness/aggregator.h"
+#include "harness/experiment.h"
+#include "modules/modules.h"
+#include "net/chaos_proxy.h"
+#include "net/rpcd_server.h"
+
+namespace asdf::harness {
+namespace {
+
+struct LeafFixture {
+  explicit LeafFixture(net::RpcdOptions opts) : server(opts) {
+    thread = std::thread([this] { server.run(); });
+  }
+  ~LeafFixture() {
+    server.stop();
+    if (thread.joinable()) thread.join();
+  }
+  net::RpcdServer server;
+  std::thread thread;
+};
+
+struct AggFixture {
+  AggFixture(const AggregatorOptions& opts,
+             const analysis::BlackBoxModel& model)
+      : node(opts, model) {
+    thread = std::thread([this] { node.run(); });
+  }
+  ~AggFixture() {
+    node.stop();
+    if (thread.joinable()) thread.join();
+  }
+  AggregatorNode node;
+  std::thread thread;
+};
+
+/// A set of chaos proxies sharing one EventLoop thread.
+struct ChaosPlane {
+  explicit ChaosPlane(std::vector<net::ChaosOptions> optionSets) {
+    for (net::ChaosOptions& opts : optionSets) {
+      proxies.push_back(
+          std::make_unique<net::ChaosProxy>(loop, std::move(opts)));
+    }
+    thread = std::thread([this] { loop.run(); });
+  }
+  ~ChaosPlane() {
+    loop.stop();
+    thread.join();
+  }
+  net::EventLoop loop;
+  std::vector<std::unique_ptr<net::ChaosProxy>> proxies;
+  std::thread thread;
+};
+
+ExperimentSpec baseSpec(int slaves) {
+  ExperimentSpec spec;
+  spec.slaves = slaves;
+  spec.duration = 300.0;
+  spec.trainDuration = 180.0;
+  spec.seed = 4242;
+  spec.fault.type = faults::FaultType::kCpuHog;
+  spec.fault.node = 2;
+  spec.fault.startTime = 120.0;
+  spec.pipeline.quietPrint = true;
+  spec.realtimeScale = 150.0;  // 300 virtual seconds in ~2 s wall
+  spec.rpcPolicy.timeoutSeconds = 5.0;
+  return spec;
+}
+
+std::string endpointOf(std::uint16_t port) {
+  return "127.0.0.1:" + std::to_string(port);
+}
+
+/// tiered_fingerpoint's --require-rejoin logic: some nodes appear in
+/// an event's unmonitorable set and a later event on the same channel
+/// no longer lists one of them.
+bool sawUnmonitorableThenHealthy(
+    const std::vector<core::MonitoringEvent>& events,
+    const std::string& channel) {
+  bool sawDown = false, sawRejoin = false;
+  std::vector<std::string> down;
+  for (const core::MonitoringEvent& ev : events) {
+    if (ev.channel != channel) continue;
+    if (!ev.unmonitorable.empty()) sawDown = true;
+    for (const std::string& node : down) {
+      if (std::find(ev.unmonitorable.begin(), ev.unmonitorable.end(),
+                    node) == ev.unmonitorable.end()) {
+        sawRejoin = true;
+      }
+    }
+    down = ev.unmonitorable;
+  }
+  return sawDown && sawRejoin;
+}
+
+// Kill the leaf daemon mid live run and bring a fresh one up on the
+// same port: the transport reconnects (the breaker re-closes after its
+// recovery probe), the restarted daemon's deterministic sim catches up
+// to the requested virtual time, and the run still localizes.
+TEST(RejoinE2E, LeafDaemonRestartMidRunStillLocalizes) {
+  modules::registerBuiltinModules();
+
+  ExperimentSpec spec = baseSpec(/*slaves=*/4);
+  spec.duration = 450.0;  // ~3 s wall: room for kill + redial + recovery
+  spec.faultTolerantRpc = true;
+  // Backoff sleeps are real in live mode; keep the retry loop tight so
+  // the downtime costs rounds, not seconds of wall clock.
+  spec.rpcPolicy.backoffBase = 0.001;
+  spec.rpcPolicy.backoffMax = 0.002;
+
+  const analysis::BlackBoxModel model = trainModel(spec);
+
+  net::RpcdOptions leafOpts;
+  leafOpts.port = 0;
+  leafOpts.slaves = spec.slaves;
+  leafOpts.seed = spec.seed;
+  leafOpts.fault = spec.fault;
+  auto leaf = std::make_unique<LeafFixture>(leafOpts);
+  const std::uint16_t port = leaf->server.port();
+
+  ExperimentSpec liveSpec = spec;
+  liveSpec.transport = TransportMode::kLive;
+  liveSpec.livePort = port;
+
+  std::thread killer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1000));
+    leaf.reset();  // SIGKILL-equivalent: sockets vanish, state is gone
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    net::RpcdOptions restartOpts = leafOpts;
+    restartOpts.port = port;  // same endpoint, fresh process state
+    leaf = std::make_unique<LeafFixture>(restartOpts);
+  });
+  const ExperimentResult live = runExperiment(liveSpec, model);
+  killer.join();
+
+  // The downtime cost failed attempts, and the restarted daemon served
+  // the rest of the run.
+  bool anyFailed = false;
+  for (const RpcChannelReport& ch : live.rpcChannels) {
+    if (ch.failedCalls > 0) anyFailed = true;
+  }
+  EXPECT_TRUE(anyFailed);
+  EXPECT_GT(leaf->server.framesServed(), 0);
+
+  // Nodes went unmonitorable during the outage and came back: the
+  // last transition restored full monitoring.
+  ASSERT_FALSE(live.monitoringEvents.empty());
+  bool sawDown = false;
+  for (const core::MonitoringEvent& ev : live.monitoringEvents) {
+    if (!ev.unmonitorable.empty()) sawDown = true;
+  }
+  EXPECT_TRUE(sawDown);
+  EXPECT_TRUE(live.monitoringEvents.back().unmonitorable.empty());
+
+  // And the verdict survived the crash: the fault is still localized.
+  ASSERT_FALSE(live.blackBox.empty());
+  const ExperimentSummary summary = summarize(live);
+  EXPECT_GE(summary.combined.latencySeconds, 0.0);
+}
+
+// Kill one aggregator mid tiered run and recreate it on the same port:
+// the root demotes the region to down, keeps every round flowing with
+// the region synthesized as unmonitorable, then re-admits it from the
+// freshest published window once the restarted daemon answers with
+// fresh state — no test may rely on "dead stays dead".
+TEST(RejoinE2E, AggregatorRestartIsReadmittedAndRunLocalizes) {
+  modules::registerBuiltinModules();
+
+  ExperimentSpec spec = baseSpec(/*slaves=*/6);
+  // ~3.5 s wall: kill at 1.2 s, restart at 1.5 s, the restarted
+  // aggregator republishes its first window ~1.2 s later (its virtual
+  // clock restarts at zero and windows start after trainDuration), and
+  // the re-admitted region still merges for a stretch of the run.
+  spec.duration = 520.0;
+  spec.fault.node = 2;  // region 1: keeps the fault observable
+
+  const analysis::BlackBoxModel model = trainModel(spec);
+
+  net::RpcdOptions leafOpts;
+  leafOpts.port = 0;
+  leafOpts.slaves = spec.slaves;
+  leafOpts.seed = spec.seed;
+  leafOpts.fault = spec.fault;
+  LeafFixture leaf1(leafOpts);
+  LeafFixture leaf2(leafOpts);
+
+  AggregatorOptions a1;
+  a1.base = spec;
+  a1.firstNode = 1;
+  a1.groupSize = 3;
+  a1.leafEndpoints = {endpointOf(leaf1.server.port())};
+  AggregatorOptions a2 = a1;
+  a2.firstNode = 4;
+  a2.leafEndpoints = {endpointOf(leaf2.server.port())};
+  AggFixture agg1(a1, model);
+  auto agg2 = std::make_unique<AggFixture>(a2, model);
+  const std::uint16_t agg2Port = agg2->node.port();
+
+  ExperimentSpec rootSpec = spec;
+  rootSpec.transport = TransportMode::kLive;
+  rootSpec.tiered = true;
+  rootSpec.tierGroups = {3, 3};
+  rootSpec.pipeline.quorum = 3;
+  rootSpec.rpcPolicy.timeoutSeconds = 1.0;
+  rootSpec.aggEndpoints = {endpointOf(agg1.node.port()),
+                           endpointOf(agg2Port)};
+
+  std::thread killer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1200));
+    agg2.reset();
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    AggregatorOptions restart = a2;
+    restart.port = agg2Port;  // same endpoint the root keeps probing
+    agg2 = std::make_unique<AggFixture>(restart, model);
+  });
+  const ExperimentResult live = runExperiment(rootSpec, model);
+  killer.join();
+
+  // The monitoring events record the full round trip: slaves 4..6
+  // unmonitorable while the region was down, healthy again after the
+  // re-admission.
+  bool sawRegionDown = false;
+  for (const core::MonitoringEvent& ev : live.monitoringEvents) {
+    if (ev.unmonitorable.size() == 3 && !ev.belowQuorum) {
+      EXPECT_EQ(ev.unmonitorable[0], "slave4");
+      EXPECT_EQ(ev.unmonitorable[2], "slave6");
+      sawRegionDown = true;
+    }
+  }
+  EXPECT_TRUE(sawRegionDown);
+  EXPECT_TRUE(sawUnmonitorableThenHealthy(live.monitoringEvents,
+                                          "analysis_bb"));
+
+  // Post-rejoin rounds score the returned region again: the last
+  // window monitors every node (health 0), nothing stuck at
+  // unmonitorable (2).
+  ASSERT_FALSE(live.blackBox.empty());
+  const analysis::AlarmRecord& last = live.blackBox.back();
+  ASSERT_EQ(last.health.size(), 6u);
+  for (double h : last.health) EXPECT_EQ(h, 0.0);
+
+  // And the verdict matches the uninterrupted run's: fault localized.
+  const ExperimentSummary summary = summarize(live);
+  EXPECT_GE(summary.combined.latencySeconds, 0.0);
+}
+
+// The whole summary plane behind deterministic chaos: added latency
+// and jitter, a byte-corruption rate that periodically poisons a frame
+// (CRC rejects it, the client redials), sliced segments, and a timed
+// partition window across one region. The run completes and localizes
+// anyway — and none of the injected failures crashes anything.
+TEST(RejoinE2E, TieredRunLocalizesThroughChaosProxies) {
+  modules::registerBuiltinModules();
+
+  ExperimentSpec spec = baseSpec(/*slaves=*/4);
+  const analysis::BlackBoxModel model = trainModel(spec);
+
+  net::RpcdOptions leafOpts;
+  leafOpts.port = 0;
+  leafOpts.slaves = spec.slaves;
+  leafOpts.seed = spec.seed;
+  leafOpts.fault = spec.fault;
+  LeafFixture leaf1(leafOpts);
+  LeafFixture leaf2(leafOpts);
+
+  AggregatorOptions a1;
+  a1.base = spec;
+  a1.firstNode = 1;
+  a1.groupSize = 2;
+  a1.leafEndpoints = {endpointOf(leaf1.server.port())};
+  AggregatorOptions a2 = a1;
+  a2.firstNode = 3;
+  a2.leafEndpoints = {endpointOf(leaf2.server.port())};
+  AggFixture agg1(a1, model);
+  AggFixture agg2(a2, model);
+
+  net::ChaosToxics toxics;
+  toxics.latencySeconds = 0.003;
+  toxics.jitterSeconds = 0.002;
+  toxics.corruptPerKb = 0.05;
+  net::ChaosPhase noisy;
+  noisy.up = toxics;
+  noisy.down = toxics;
+  noisy.down.sliceBytes = 512;  // summary frames arrive in segments
+
+  net::ChaosOptions c1;
+  c1.upstreamPort = agg1.node.port();
+  c1.seed = spec.seed;
+  c1.phases = {noisy};
+
+  // Region 2 additionally rides through a 0.4 s partition window.
+  net::ChaosPhase dark = noisy;
+  dark.startSeconds = 0.9;
+  dark.blackhole = true;
+  net::ChaosPhase healed = noisy;
+  healed.startSeconds = 1.3;
+  net::ChaosOptions c2 = c1;
+  c2.upstreamPort = agg2.node.port();
+  c2.seed = spec.seed + 1;
+  c2.phases = {noisy, dark, healed};
+
+  ChaosPlane chaos({c1, c2});
+
+  ExperimentSpec rootSpec = spec;
+  rootSpec.transport = TransportMode::kLive;
+  rootSpec.tiered = true;
+  rootSpec.tierGroups = {2, 2};
+  rootSpec.rpcPolicy.timeoutSeconds = 1.0;
+  rootSpec.aggEndpoints = {endpointOf(chaos.proxies[0]->port()),
+                           endpointOf(chaos.proxies[1]->port())};
+
+  const ExperimentResult live = runExperiment(rootSpec, model);
+
+  EXPECT_GE(chaos.proxies[0]->accepted(), 1);
+  EXPECT_GE(chaos.proxies[1]->accepted(), 1);
+  EXPECT_GT(chaos.proxies[0]->relayedBytes(1), 0u);
+
+  ASSERT_FALSE(live.blackBox.empty());
+  const ExperimentSummary summary = summarize(live);
+  EXPECT_GE(summary.combined.latencySeconds, 0.0);
+}
+
+}  // namespace
+}  // namespace asdf::harness

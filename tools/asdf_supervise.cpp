@@ -1,0 +1,176 @@
+// asdf_supervise — restart-on-exit supervisor for chaos/rejoin tests.
+//
+// Runs a command and restarts it whenever it exits uncleanly (crash,
+// SIGKILL, nonzero status), with capped exponential backoff between
+// restarts; a child that stays up past --healthy-after resets the
+// backoff streak. A clean exit (status 0) ends supervision — that is
+// how a daemon answering kShutdown terminates the pair.
+//
+//   asdf_supervise [--max-restarts=N] [--backoff-base=T]
+//                  [--backoff-max=T] [--healthy-after=T]
+//                  [--status-file=F] [--verbose] -- command args...
+//
+// SIGINT/SIGTERM are forwarded to the child and stop the restart
+// loop. --status-file (re)writes "pid=<pid> restarts=<n>" at every
+// spawn so tests can find the current incarnation.
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "../examples/example_util.h"
+
+namespace {
+
+volatile sig_atomic_t g_stop = 0;
+volatile pid_t g_child = -1;
+
+void forwardSignal(int sig) {
+  g_stop = 1;
+  const pid_t child = g_child;
+  if (child > 0) kill(child, sig);
+}
+
+double monotonicSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void writeStatus(const std::string& path, pid_t pid, int restarts) {
+  if (path.empty()) return;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return;
+  std::fprintf(f, "pid=%d restarts=%d\n", static_cast<int>(pid), restarts);
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using asdf::examples::flagDouble;
+  using asdf::examples::flagInt;
+  using asdf::examples::flagPresent;
+  using asdf::examples::flagValue;
+
+  int sep = -1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--") == 0) {
+      sep = i;
+      break;
+    }
+  }
+  const int ownArgc = sep < 0 ? argc : sep;
+  if (!asdf::examples::checkFlags(
+          ownArgc, argv,
+          {"max-restarts", "backoff-base", "backoff-max", "healthy-after",
+           "status-file", "verbose"},
+          "asdf_supervise [--max-restarts=N] [--backoff-base=T] "
+          "[--backoff-max=T] [--healthy-after=T] [--status-file=F] "
+          "[--verbose] -- command args...\n") ||
+      sep < 0 || sep + 1 >= argc) {
+    if (sep < 0 || sep + 1 >= argc) {
+      std::fprintf(stderr,
+                   "asdf_supervise: missing '-- command args...'\n");
+    }
+    return 2;
+  }
+
+  const long maxRestarts = flagInt(ownArgc, argv, "max-restarts", 100);
+  const double backoffBase = flagDouble(ownArgc, argv, "backoff-base", 0.1);
+  const double backoffMax = flagDouble(ownArgc, argv, "backoff-max", 5.0);
+  const double healthyAfter =
+      flagDouble(ownArgc, argv, "healthy-after", 5.0);
+  const std::string statusFile = flagValue(ownArgc, argv, "status-file", "");
+  const bool verbose = flagPresent(ownArgc, argv, "verbose");
+
+  std::vector<char*> child;
+  for (int i = sep + 1; i < argc; ++i) child.push_back(argv[i]);
+  child.push_back(nullptr);
+
+  std::signal(SIGINT, forwardSignal);
+  std::signal(SIGTERM, forwardSignal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  int restarts = 0;
+  int streak = 0;
+  int lastStatus = 0;
+  while (g_stop == 0) {
+    const double started = monotonicSeconds();
+    const pid_t pid = fork();
+    if (pid < 0) {
+      std::perror("asdf_supervise: fork");
+      return 1;
+    }
+    if (pid == 0) {
+      execvp(child[0], child.data());
+      std::perror("asdf_supervise: exec");
+      _exit(127);
+    }
+    g_child = pid;
+    writeStatus(statusFile, pid, restarts);
+    if (verbose) {
+      std::fprintf(stderr, "asdf_supervise: spawned pid %d (restart %d)\n",
+                   static_cast<int>(pid), restarts);
+    }
+
+    int status = 0;
+    for (;;) {
+      const pid_t r = waitpid(pid, &status, 0);
+      if (r == pid) break;
+      if (r < 0 && errno == EINTR) continue;  // signal forwarded above
+      if (r < 0) {
+        std::perror("asdf_supervise: waitpid");
+        return 1;
+      }
+    }
+    g_child = -1;
+    lastStatus = status;
+    const double ran = monotonicSeconds() - started;
+
+    if (WIFEXITED(status) && WEXITSTATUS(status) == 0) {
+      if (verbose) {
+        std::fprintf(stderr, "asdf_supervise: clean exit after %.1f s\n",
+                     ran);
+      }
+      return 0;
+    }
+    if (g_stop != 0) break;
+    if (ran >= healthyAfter) streak = 0;
+    if (++restarts > maxRestarts) {
+      std::fprintf(stderr, "asdf_supervise: gave up after %d restarts\n",
+                   restarts - 1);
+      break;
+    }
+    const double backoff =
+        std::min(backoffMax,
+                 backoffBase * std::pow(2.0, std::min(streak, 20)));
+    ++streak;
+    if (verbose) {
+      std::fprintf(stderr,
+                   "asdf_supervise: child %s (%d), restarting in %.2f s\n",
+                   WIFSIGNALED(status) ? "killed by signal" : "exited",
+                   WIFSIGNALED(status) ? WTERMSIG(status)
+                                       : WEXITSTATUS(status),
+                   backoff);
+    }
+    const double until = monotonicSeconds() + backoff;
+    while (g_stop == 0 && monotonicSeconds() < until) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+
+  if (WIFEXITED(lastStatus)) return WEXITSTATUS(lastStatus);
+  if (WIFSIGNALED(lastStatus)) return 128 + WTERMSIG(lastStatus);
+  return 1;
+}
