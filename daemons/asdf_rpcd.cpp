@@ -13,6 +13,11 @@
 //   --fault-end=T       fault end time (<0 = run end)
 //   --mix-change=T      GridMix mix flip time (<0 = never)
 //   --archive-dir=DIR   flight recorder: archive every served response
+//   --segment-bytes=N   archive segment rotation size (default 8 MB)
+//   --no-compact        skip background tsdb compaction of sealed
+//                       segments (with --archive-dir, each rotated
+//                       segment is normally compacted into the
+//                       queryable store while the daemon records)
 //   --idle-timeout=T    reap connections idle for T seconds (0 = never)
 //
 // With --source=sim the daemon hosts the monitored-cluster simulation
@@ -30,6 +35,7 @@
 #include "archive/writer.h"
 #include "faults/faults.h"
 #include "net/rpcd_server.h"
+#include "tsdb/compactor.h"
 
 namespace {
 
@@ -51,11 +57,12 @@ int main(int argc, char** argv) {
           argc, argv,
           {"port", "slaves", "seed", "source", "fault", "fault-node",
            "fault-start", "fault-end", "mix-change", "archive-dir",
-           "idle-timeout"},
+           "segment-bytes", "no-compact", "idle-timeout"},
           "asdf_rpcd [--port=N] [--slaves=N] [--seed=N] "
           "[--source=sim|proc] [--fault=NAME] [--fault-node=N] "
           "[--fault-start=T] [--fault-end=T] [--mix-change=T] "
-          "[--archive-dir=DIR] [--idle-timeout=T]\n")) {
+          "[--archive-dir=DIR] [--segment-bytes=N] [--no-compact] "
+          "[--idle-timeout=T]\n")) {
     return 2;
   }
 
@@ -85,10 +92,33 @@ int main(int argc, char** argv) {
   const std::string archiveDir = flagValue(argc, argv, "archive-dir", "");
 
   try {
+    // Declared before the recorder so it outlives the writer: the
+    // final close() (destructor included) seals a segment, and that
+    // onSeal hand-off must land in a live queue.
+    std::unique_ptr<tsdb::BackgroundCompactor> compactor;
     std::unique_ptr<archive::ArchiveWriter> recorder;
     if (!archiveDir.empty()) {
+      if (!examples::flagPresent(argc, argv, "no-compact")) {
+        compactor = std::make_unique<tsdb::BackgroundCompactor>(archiveDir);
+      }
       archive::ArchiveWriterOptions aopts;
       aopts.dir = archiveDir;
+      // Rotation knob for tests and short CI runs: small segments mean
+      // the background compactor gets sealed work mid-run instead of
+      // only at shutdown.
+      const long segmentBytes = flagInt(argc, argv, "segment-bytes", 0);
+      if (segmentBytes > 0) {
+        aopts.maxSegmentBytes = static_cast<std::size_t>(segmentBytes);
+      }
+      if (compactor != nullptr) {
+        tsdb::BackgroundCompactor* c = compactor.get();
+        // Runs under the writer lock right after the sealed name is
+        // durable: just queue, the worker thread does the IO.
+        aopts.onSeal = [c](const std::string& sealedPath,
+                           std::uint64_t index) {
+          c->enqueue(sealedPath, index);
+        };
+      }
       archive::ArchiveMeta meta;
       meta.seed = opts.seed;
       meta.slaves = opts.slaves;
@@ -137,6 +167,15 @@ int main(int argc, char** argv) {
       recorder->close();
       std::printf("asdf_rpcd: archived %ld records to %s\n",
                   recorder->recordsWritten(), archiveDir.c_str());
+      if (compactor != nullptr) {
+        compactor->drain();
+        std::printf("asdf_rpcd: compacted %ld segments (%ld failed)\n",
+                    compactor->compacted(), compactor->failed());
+        if (compactor->failed() > 0) {
+          std::fprintf(stderr, "asdf_rpcd: compaction: %s\n",
+                       compactor->lastError().c_str());
+        }
+      }
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "asdf_rpcd: %s\n", e.what());

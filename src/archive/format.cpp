@@ -36,12 +36,14 @@ void encodeMeta(rpc::Encoder& enc, const ArchiveMeta& meta) {
 
 ArchiveMeta decodeMeta(rpc::Decoder& dec) {
   const std::uint32_t version = dec.getU32();
-  if (version != kFormatVersion) {
+  if (version < kMinReadVersion || version > kFormatVersion) {
     throw ArchiveError("archive: format version " + std::to_string(version) +
-                       " (this build reads version " +
+                       " (this build reads versions " +
+                       std::to_string(kMinReadVersion) + ".." +
                        std::to_string(kFormatVersion) + ")");
   }
   ArchiveMeta meta;
+  meta.version = version;
   meta.seed = static_cast<std::uint64_t>(dec.getI64());
   meta.slaves = static_cast<int>(dec.getU32());
   meta.source = dec.getString();
@@ -134,21 +136,83 @@ TruthRecord decodeTruth(rpc::Decoder& dec) {
   return truth;
 }
 
+void encodeCheckpoint(rpc::Encoder& enc, const CheckpointRecord& cp) {
+  enc.putDouble(cp.now);
+  enc.putU32(static_cast<std::uint32_t>(cp.streams.size()));
+  for (const StreamState& s : cp.streams) {
+    enc.putU32(static_cast<std::uint32_t>(s.kind));
+    enc.putU32(static_cast<std::uint32_t>(s.node));
+    enc.putI64(s.nextSeq);
+    enc.putDouble(s.lastNow);
+  }
+  enc.putU32(static_cast<std::uint32_t>(cp.nodes.size()));
+  for (const NodeState& n : cp.nodes) {
+    enc.putU32(static_cast<std::uint32_t>(n.node));
+    enc.putDouble(n.sampleNow);
+    enc.putDoubleVector(n.values);
+  }
+}
+
+CheckpointRecord decodeCheckpoint(rpc::Decoder& dec) {
+  CheckpointRecord cp;
+  cp.now = dec.getDouble();
+  const std::uint32_t nStreams = dec.getU32();
+  cp.streams.reserve(nStreams);
+  for (std::uint32_t i = 0; i < nStreams; ++i) {
+    StreamState s;
+    const std::uint32_t kind = dec.getU32();
+    if (kind >= static_cast<std::uint32_t>(rpc::kCollectKindCount)) {
+      throw ArchiveError("archive: checkpoint stream has unknown kind " +
+                         std::to_string(kind));
+    }
+    s.kind = static_cast<rpc::CollectKind>(kind);
+    s.node = static_cast<NodeId>(dec.getU32());
+    s.nextSeq = dec.getI64();
+    s.lastNow = dec.getDouble();
+    cp.streams.push_back(s);
+  }
+  const std::uint32_t nNodes = dec.getU32();
+  cp.nodes.reserve(nNodes);
+  for (std::uint32_t i = 0; i < nNodes; ++i) {
+    NodeState n;
+    n.node = static_cast<NodeId>(dec.getU32());
+    n.sampleNow = dec.getDouble();
+    n.values = dec.getDoubleVector();
+    cp.nodes.push_back(std::move(n));
+  }
+  return cp;
+}
+
 void encodeFooter(rpc::Encoder& enc, const SegmentFooter& footer) {
   enc.putI64(footer.recordCount);
   enc.putDouble(footer.firstNow);
   enc.putDouble(footer.lastNow);
   for (std::int64_t count : footer.kindCounts) enc.putI64(count);
   enc.putI64(footer.payloadBytes);
+  enc.putU32(static_cast<std::uint32_t>(footer.checkpoints.size()));
+  for (const CheckpointIndexEntry& cp : footer.checkpoints) {
+    enc.putDouble(cp.now);
+    enc.putI64(static_cast<std::int64_t>(cp.offset));
+  }
 }
 
-SegmentFooter decodeFooter(rpc::Decoder& dec) {
+SegmentFooter decodeFooter(rpc::Decoder& dec, std::uint32_t version) {
   SegmentFooter footer;
   footer.recordCount = dec.getI64();
   footer.firstNow = dec.getDouble();
   footer.lastNow = dec.getDouble();
   for (std::int64_t& count : footer.kindCounts) count = dec.getI64();
   footer.payloadBytes = dec.getI64();
+  if (version >= 2) {
+    const std::uint32_t n = dec.getU32();
+    footer.checkpoints.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      CheckpointIndexEntry cp;
+      cp.now = dec.getDouble();
+      cp.offset = static_cast<std::uint64_t>(dec.getI64());
+      footer.checkpoints.push_back(cp);
+    }
+  }
   return footer;
 }
 
@@ -165,7 +229,8 @@ bool decodeTrailer(const std::uint8_t* data, std::size_t size,
                    std::uint64_t& footerOffset) {
   if (size != kTrailerBytes) return false;
   if (bytes::readU32(data) != kTrailerMagic) return false;
-  if (bytes::readU32(data + 4) != kFormatVersion) return false;
+  const std::uint32_t version = bytes::readU32(data + 4);
+  if (version < kMinReadVersion || version > kFormatVersion) return false;
   footerOffset = bytes::readU64(data + 8);
   return true;
 }

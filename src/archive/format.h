@@ -17,6 +17,13 @@
 //   kTruthRecord  (0x42)  ground truth + cluster counters, written
 //                         when the recording run ends
 //   kFooterRecord (0x43)  record counts + time range, sealed segments
+//   kCheckpointRecord
+//                 (0x44)  periodic full-state snapshot (format v2):
+//                         per-stream seq watermarks plus the latest
+//                         sadc metric vector per node, so a reader can
+//                         seek into a segment (the footer indexes the
+//                         checkpoints by time and file offset) instead
+//                         of replaying from record zero
 //
 // A sealed segment ends with a fixed 16-byte raw trailer:
 //
@@ -53,7 +60,10 @@ class ArchiveError : public std::runtime_error {
       : std::runtime_error(what) {}
 };
 
-inline constexpr std::uint32_t kFormatVersion = 1;
+// v1: PR 5 shape. v2 adds checkpoint records and the footer's
+// checkpoint index; v1 archives remain fully readable.
+inline constexpr std::uint32_t kFormatVersion = 2;
+inline constexpr std::uint32_t kMinReadVersion = 1;
 
 // Archive record types share the frame header's u16 type field with
 // the live protocol but start at 0x40, so a stray archive segment fed
@@ -62,6 +72,8 @@ inline constexpr net::MsgType kMetaRecord = static_cast<net::MsgType>(0x40);
 inline constexpr net::MsgType kSampleRecord = static_cast<net::MsgType>(0x41);
 inline constexpr net::MsgType kTruthRecord = static_cast<net::MsgType>(0x42);
 inline constexpr net::MsgType kFooterRecord = static_cast<net::MsgType>(0x43);
+inline constexpr net::MsgType kCheckpointRecord =
+    static_cast<net::MsgType>(0x44);
 
 inline constexpr std::uint32_t kTrailerMagic = 0x41534654u;  // "ASFT"
 inline constexpr std::size_t kTrailerBytes = 16;
@@ -70,6 +82,9 @@ inline constexpr std::size_t kTrailerBytes = 16;
 /// `asdf_archive replay` needs to retrain the model and rebuild the
 /// pipeline for a faithful re-run.
 struct ArchiveMeta {
+  // Format version of the segment this meta was decoded from (encode
+  // always stamps kFormatVersion). Not a run parameter.
+  std::uint32_t version = kFormatVersion;
   std::uint64_t seed = 0;
   int slaves = 0;
   std::string source;  // "sim" | "live" | "rpcd-sim" | "rpcd-proc"
@@ -113,6 +128,39 @@ struct TruthRecord {
   std::int64_t syncDroppedSeconds = 0;
 };
 
+/// Sequence watermark of one (kind, node) collection stream at a
+/// checkpoint: the next seq the stream will archive and the timestamp
+/// of its most recent record.
+struct StreamState {
+  rpc::CollectKind kind = rpc::CollectKind::kSadc;
+  NodeId node = 0;
+  std::int64_t nextSeq = 0;
+  double lastNow = kNoTime;
+};
+
+/// Latest flattened sadc metric vector (metrics::flattenNodeVector
+/// order: 64 node-level + 18 NIC metrics) a node had reported by
+/// checkpoint time — the "full state" a seeking reader resumes from.
+struct NodeState {
+  NodeId node = 0;
+  double sampleNow = kNoTime;
+  std::vector<double> values;
+};
+
+/// Periodic full-state snapshot interleaved into segments (format v2).
+struct CheckpointRecord {
+  double now = kNoTime;
+  std::vector<StreamState> streams;
+  std::vector<NodeState> nodes;
+};
+
+/// Footer index entry locating one checkpoint frame inside its
+/// segment: a reader seeks to `offset` and decodes forward from there.
+struct CheckpointIndexEntry {
+  double now = kNoTime;
+  std::uint64_t offset = 0;  // file offset of the checkpoint frame
+};
+
 /// Per-segment index written as the sealed segment's last frame.
 struct SegmentFooter {
   std::int64_t recordCount = 0;  // sample records only
@@ -120,6 +168,7 @@ struct SegmentFooter {
   double lastNow = kNoTime;
   std::array<std::int64_t, rpc::kCollectKindCount> kindCounts{};
   std::int64_t payloadBytes = 0;
+  std::vector<CheckpointIndexEntry> checkpoints;  // format v2
 };
 
 void encodeMeta(rpc::Encoder& enc, const ArchiveMeta& meta);
@@ -135,11 +184,17 @@ SampleRecord decodeSample(rpc::Decoder& dec);
 void encodeTruth(rpc::Encoder& enc, const TruthRecord& truth);
 TruthRecord decodeTruth(rpc::Decoder& dec);
 
+void encodeCheckpoint(rpc::Encoder& enc, const CheckpointRecord& cp);
+CheckpointRecord decodeCheckpoint(rpc::Decoder& dec);
+
+/// Footer layout depends on the segment's format version (the meta
+/// frame's version field): v1 footers have no checkpoint index.
 void encodeFooter(rpc::Encoder& enc, const SegmentFooter& footer);
-SegmentFooter decodeFooter(rpc::Decoder& dec);
+SegmentFooter decodeFooter(rpc::Decoder& dec, std::uint32_t version);
 
 std::vector<std::uint8_t> encodeTrailer(std::uint64_t footerOffset);
-/// False when the 16 bytes are not a valid v1 trailer.
+/// False when the 16 bytes are not a valid trailer of any readable
+/// version (kMinReadVersion..kFormatVersion).
 bool decodeTrailer(const std::uint8_t* data, std::size_t size,
                    std::uint64_t& footerOffset);
 

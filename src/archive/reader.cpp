@@ -105,8 +105,10 @@ void ArchiveReader::loadSegment(const std::string& path, std::uint64_t index,
 
   bool sawMeta = false;
   bool sawFooter = false;
+  std::uint32_t segVersion = kFormatVersion;
   SegmentFooter footer;
   SegmentFooter counted;
+  std::vector<CheckpointIndexEntry> checkpointsSeen;
   std::size_t offset = 0;  // file offset of the frame being decoded
   net::Frame frame;
   while (decoder.next(frame)) {
@@ -124,6 +126,7 @@ void ArchiveReader::loadSegment(const std::string& path, std::uint64_t index,
       // Segments written by later sessions in the same directory carry
       // their own meta; the archive's parameters come from the first.
       const ArchiveMeta meta = decodeMeta(dec);
+      segVersion = meta.version;
       if (segments_.empty()) meta_ = meta;
       sawMeta = true;
     } else if (frame.type == kSampleRecord) {
@@ -136,12 +139,20 @@ void ArchiveReader::loadSegment(const std::string& path, std::uint64_t index,
       records_.push_back(std::move(rec));
     } else if (frame.type == kTruthRecord) {
       truth_ = decodeTruth(dec);
+    } else if (frame.type == kCheckpointRecord) {
+      if (segVersion < 2) {
+        throw ArchiveError("archive: " + path + ": checkpoint record in a "
+                           "v1 segment");
+      }
+      const CheckpointRecord cp = decodeCheckpoint(dec);
+      checkpointsSeen.push_back(
+          {cp.now, static_cast<std::uint64_t>(frameStart)});
     } else if (frame.type == kFooterRecord) {
       if (sealed && frameStart != footerOffset) {
         throw ArchiveError("archive: " + path + ": footer frame not at "
                            "the trailer's offset");
       }
-      footer = decodeFooter(dec);
+      footer = decodeFooter(dec, segVersion);
       sawFooter = true;
     } else if (frame.type == kMetaRecord) {
       throw ArchiveError("archive: " + path + ": duplicate meta record");
@@ -176,6 +187,20 @@ void ArchiveReader::loadSegment(const std::string& path, std::uint64_t index,
       throw ArchiveError("archive: " + path + ": footer index disagrees "
                          "with the records present");
     }
+    // The checkpoint index must locate exactly the checkpoint frames
+    // present — a stale offset would send a seeking reader into the
+    // middle of some other record.
+    if (footer.checkpoints.size() != checkpointsSeen.size()) {
+      throw ArchiveError("archive: " + path + ": footer checkpoint index "
+                         "disagrees with the checkpoints present");
+    }
+    for (std::size_t i = 0; i < checkpointsSeen.size(); ++i) {
+      if (footer.checkpoints[i].now != checkpointsSeen[i].now ||
+          footer.checkpoints[i].offset != checkpointsSeen[i].offset) {
+        throw ArchiveError("archive: " + path + ": footer checkpoint " +
+                           std::to_string(i) + " offset/time mismatch");
+      }
+    }
   } else {
     if (sawFooter) {
       // A crash between footer write and rename: the segment is
@@ -184,7 +209,9 @@ void ArchiveReader::loadSegment(const std::string& path, std::uint64_t index,
     info.tornTailBytes = decoder.pendingBytes();
   }
 
+  info.version = segVersion;
   info.records = counted.recordCount;
+  info.checkpoints = static_cast<std::int64_t>(checkpointsSeen.size());
   info.firstNow = counted.firstNow;
   info.lastNow = counted.lastNow;
   segments_.push_back(std::move(info));
@@ -218,6 +245,7 @@ ArchiveReader::VerifyResult ArchiveReader::verify(const std::string& dir) {
     out.ok = true;
     out.recordsVerified = static_cast<std::int64_t>(reader.records().size());
     out.tornTailBytes = reader.tornTailBytes();
+    out.segments = reader.segments();
   } catch (const std::exception& e) {
     out.ok = false;
     out.errors.push_back(e.what());

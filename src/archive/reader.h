@@ -31,8 +31,10 @@ struct SegmentInfo {
   std::string path;
   std::uint64_t index = 0;
   bool sealed = false;
+  std::uint32_t version = kFormatVersion;  // from the meta frame
   std::int64_t fileBytes = 0;
   std::int64_t records = 0;
+  std::int64_t checkpoints = 0;  // format v2 full-state snapshots
   double firstNow = kNoTime;
   double lastNow = kNoTime;
   std::size_t tornTailBytes = 0;  // .open segments only
@@ -60,6 +62,9 @@ class ArchiveReader {
     std::int64_t recordsVerified = 0;
     std::size_t tornTailBytes = 0;
     std::vector<std::string> errors;
+    /// Per-segment record counts and time ranges (successful verify
+    /// only) — lets an operator spot a short segment without replay.
+    std::vector<SegmentInfo> segments;
   };
   /// Full-archive integrity check (the `asdf_archive verify` command):
   /// ok iff the archive loads under the contract above.

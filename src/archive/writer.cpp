@@ -10,6 +10,9 @@
 #include <cstdio>
 #include <cstring>
 
+#include "metrics/sadc.h"
+#include "rpc/payloads.h"
+
 namespace asdf::archive {
 namespace {
 
@@ -149,8 +152,12 @@ void ArchiveWriter::sealSegmentLocked() {
                        errnoString());
   }
   fsyncDir(opts_.dir);
+  const std::uint64_t sealedIndex = nextIndex_;
   ++segmentsSealed_;
   ++nextIndex_;
+  // The sealed name is durable at this point — hand the segment to
+  // whoever compacts (the hook must not reenter this writer).
+  if (opts_.onSeal) opts_.onSeal(sealedPath, sealedIndex);
 }
 
 void ArchiveWriter::maybeRotateLocked(double now) {
@@ -179,6 +186,61 @@ void ArchiveWriter::writeSampleLocked(const rpc::CollectSample& sample,
   ++footer_.kindCounts[static_cast<int>(sample.kind)];
   footer_.payloadBytes += static_cast<std::int64_t>(sample.payloadSize);
   ++recordsWritten_;
+
+  // Checkpoint state rides on every written record (trim appends
+  // included, which is why this lives here and not in onSample).
+  StreamState& stream =
+      streams_[{static_cast<int>(sample.kind), sample.node}];
+  stream.kind = sample.kind;
+  stream.node = sample.node;
+  stream.nextSeq = seq + 1;
+  stream.lastNow = sample.now;
+  if (sample.kind == rpc::CollectKind::kSadc && sample.ok &&
+      sample.payloadSize > 0) {
+    lastSadc_[sample.node] = {
+        sample.now, std::vector<std::uint8_t>(
+                        sample.payload, sample.payload + sample.payloadSize)};
+  }
+
+  if (opts_.checkpointSeconds > 0 && sample.now != kNoTime) {
+    if (lastCheckpointNow_ == kNoTime) {
+      lastCheckpointNow_ = sample.now;  // cadence starts at first sample
+    } else if (sample.now - lastCheckpointNow_ >= opts_.checkpointSeconds) {
+      writeCheckpointLocked(sample.now);
+      lastCheckpointNow_ = sample.now;
+    }
+  }
+}
+
+void ArchiveWriter::writeCheckpointLocked(double now) {
+  CheckpointRecord cp;
+  cp.now = now;
+  cp.streams.reserve(streams_.size());
+  for (const auto& [key, stream] : streams_) cp.streams.push_back(stream);
+  for (const auto& [node, entry] : lastSadc_) {
+    // The payload is opaque at this layer; tolerate bytes that are not
+    // a sadc snapshot (synthetic test payloads) by skipping the node.
+    try {
+      rpc::Decoder dec(entry.second);
+      const metrics::SadcSnapshot snap = rpc::decodeSnapshot(dec);
+      if (snap.node.size() != metrics::kNodeMetricCount ||
+          snap.nic.size() != metrics::kNicMetricCount) {
+        continue;
+      }
+      NodeState state;
+      state.node = node;
+      state.sampleNow = entry.first;
+      state.values = metrics::flattenNodeVector(snap);
+      cp.nodes.push_back(std::move(state));
+    } catch (const std::exception&) {
+    }
+  }
+  const std::uint64_t offset = static_cast<std::uint64_t>(segmentBytes_);
+  rpc::Encoder enc;
+  encodeCheckpoint(enc, cp);
+  writeFrameLocked(kCheckpointRecord, enc);
+  footer_.checkpoints.push_back({now, offset});
+  ++checkpointsWritten_;
 }
 
 void ArchiveWriter::onSample(const rpc::CollectSample& sample) {
@@ -234,6 +296,11 @@ long ArchiveWriter::recordsWritten() const {
 long ArchiveWriter::segmentsSealed() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return segmentsSealed_;
+}
+
+long ArchiveWriter::checkpointsWritten() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return checkpointsWritten_;
 }
 
 std::int64_t ArchiveWriter::bytesWritten() const {

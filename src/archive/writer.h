@@ -20,10 +20,12 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "archive/format.h"
 
@@ -33,6 +35,17 @@ struct ArchiveWriterOptions {
   std::string dir;
   std::size_t maxSegmentBytes = 8u << 20;  // seal + rotate past this
   double maxSegmentSeconds = 600.0;        // archived (virtual) time span
+  /// Checkpoint cadence in archived (virtual) seconds (format v2): a
+  /// full-state snapshot is interleaved whenever this much archived
+  /// time has passed since the previous one. 0 disables checkpoints.
+  double checkpointSeconds = 60.0;
+  /// Invoked after each segment seals (fsync + rename durable) with
+  /// the sealed path and segment index — the hook that hands sealed
+  /// segments to the tsdb compactor while recording continues. Called
+  /// with the writer lock held: keep it cheap (queue push) and never
+  /// call back into the writer.
+  std::function<void(const std::string& sealedPath, std::uint64_t index)>
+      onSeal;
 };
 
 class ArchiveWriter final : public rpc::CollectionObserver {
@@ -66,6 +79,7 @@ class ArchiveWriter final : public rpc::CollectionObserver {
 
   long recordsWritten() const;
   long segmentsSealed() const;
+  long checkpointsWritten() const;
   std::int64_t bytesWritten() const;
   /// Bytes committed to the active segment so far (test hook for the
   /// truncation sweep: offsets are exact because writes are unbuffered).
@@ -76,6 +90,7 @@ class ArchiveWriter final : public rpc::CollectionObserver {
   void sealSegmentLocked();
   void maybeRotateLocked(double now);
   void writeSampleLocked(const rpc::CollectSample& sample, std::int64_t seq);
+  void writeCheckpointLocked(double now);
   void writeFrameLocked(net::MsgType type, const rpc::Encoder& enc);
   void writeAllLocked(const std::uint8_t* data, std::size_t size);
 
@@ -90,8 +105,15 @@ class ArchiveWriter final : public rpc::CollectionObserver {
   double segmentStartNow_ = kNoTime;
   SegmentFooter footer_;
   std::map<std::pair<int, NodeId>, std::int64_t> nextSeq_;
+  // Checkpoint state: per-stream watermarks fed by every written
+  // record (including trim appends), plus the latest sadc payload per
+  // node, decoded lazily at checkpoint time.
+  std::map<std::pair<int, NodeId>, StreamState> streams_;
+  std::map<NodeId, std::pair<double, std::vector<std::uint8_t>>> lastSadc_;
+  double lastCheckpointNow_ = kNoTime;
   long recordsWritten_ = 0;
   long segmentsSealed_ = 0;
+  long checkpointsWritten_ = 0;
   std::int64_t bytesWritten_ = 0;
 };
 

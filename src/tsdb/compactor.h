@@ -1,0 +1,103 @@
+// Delta compaction: sealed raw segments -> queryable column files.
+//
+// A compaction pass reads one sealed archive segment (`seg-N.asar`),
+// decodes every ok sadc sample into per-(node, metric) series, and
+// writes the column-oriented counterpart `tsdb/seg-N.astd` next to it
+// (format in tsdb/format.h): raw column chunks, the three rollup
+// levels, a chunk index footer, and the ASTS trailer. The raw segment
+// is NEVER modified — replay stays byte-identical — and the compacted
+// file is published with the same fsync-then-rename receipt as
+// segment sealing, so a crash mid-compaction leaves at most a *.tmp
+// file the next pass overwrites.
+//
+// Two drivers share the pass:
+//   * compactArchive() — the offline `asdf_archive compact` command:
+//     compacts every sealed segment that has no up-to-date .astd.
+//   * BackgroundCompactor — a single worker thread fed by the
+//     ArchiveWriter's onSeal hook inside asdf_rpcd, so a recording
+//     archive becomes queryable segment by segment while the daemon
+//     is still appending to the next one.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "tsdb/format.h"
+
+namespace asdf::tsdb {
+
+/// The decoded time-series content of one sealed raw segment.
+struct SegmentSeries {
+  double firstNow = kNoTime;  // over the points below, not all records
+  double lastNow = kNoTime;
+  std::int64_t samplePoints = 0;  // total raw points across all series
+  std::uint32_t metricCount = 0;
+  /// (node, metric index) -> time-ordered raw points. Only ok sadc
+  /// records with a decodable snapshot payload contribute.
+  std::map<std::pair<NodeId, std::uint32_t>, std::vector<RawPoint>> series;
+};
+
+/// Decodes one sealed segment file (trailer verified, every frame CRC
+/// checked). Throws TsdbError on corruption or an unsealed file.
+SegmentSeries readSealedSegment(const std::string& segPath);
+
+struct CompactResult {
+  std::uint64_t index = 0;
+  std::string path;  // the .astd written (or found up to date)
+  bool skipped = false;  // an up-to-date .astd already existed
+  std::int64_t rawPoints = 0;
+  std::int64_t chunks = 0;
+  std::int64_t fileBytes = 0;
+};
+
+/// Compacts one sealed segment into `<archiveDir>/tsdb/seg-N.astd`.
+/// Skips (without reading the segment) when an .astd built from a
+/// source file of the same byte size already exists, unless `force`.
+CompactResult compactSegment(const std::string& archiveDir,
+                             const std::string& segPath, std::uint64_t index,
+                             bool force = false);
+
+/// Compacts every sealed segment of the archive, oldest first.
+std::vector<CompactResult> compactArchive(const std::string& archiveDir,
+                                          bool force = false);
+
+/// Single worker thread draining a queue of freshly sealed segments.
+/// enqueue() is cheap and never blocks on IO — safe to call from the
+/// ArchiveWriter's onSeal hook (which runs under the writer lock).
+class BackgroundCompactor {
+ public:
+  explicit BackgroundCompactor(std::string archiveDir);
+  ~BackgroundCompactor();
+
+  void enqueue(const std::string& sealedPath, std::uint64_t index);
+  /// Blocks until every enqueued segment has been processed.
+  void drain();
+
+  long compacted() const;
+  long failed() const;
+  std::string lastError() const;
+
+ private:
+  void run();
+
+  std::string archiveDir_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable idleCv_;
+  std::deque<std::pair<std::string, std::uint64_t>> queue_;
+  bool stopping_ = false;
+  bool busy_ = false;
+  long compacted_ = 0;
+  long failed_ = 0;
+  std::string lastError_;
+  std::thread worker_;
+};
+
+}  // namespace asdf::tsdb

@@ -139,13 +139,17 @@ TEST(ArchiveFormat, MetaSampleTruthFooterRoundTrip) {
   footer.lastNow = 5.0;
   footer.kindCounts = {2, 1, 1, 1};
   footer.payloadBytes = 123;
+  footer.checkpoints.push_back({3.0, 4242});
   rpc::Encoder fenc;
   encodeFooter(fenc, footer);
   rpc::Decoder fdec(fenc.bytes());
-  const SegmentFooter frt = decodeFooter(fdec);
+  const SegmentFooter frt = decodeFooter(fdec, kFormatVersion);
   EXPECT_EQ(frt.recordCount, footer.recordCount);
   EXPECT_EQ(frt.kindCounts, footer.kindCounts);
   EXPECT_EQ(frt.payloadBytes, footer.payloadBytes);
+  ASSERT_EQ(frt.checkpoints.size(), 1u);
+  EXPECT_EQ(frt.checkpoints[0].now, 3.0);
+  EXPECT_EQ(frt.checkpoints[0].offset, 4242u);
 }
 
 TEST(ArchiveFormat, TrailerRoundTripAndRejection) {

@@ -61,6 +61,31 @@ TEST(CheckFlags, RejectsPositionalAndSingleDashArguments) {
   EXPECT_FALSE(checkFlags(2, argv, {"port"}, "usage\n"));
 }
 
+TEST(CheckFlags, ValidatesSubcommandFlagsPastPositionals) {
+  // asdf_archive-style dispatch: "prog <command> <dir> [flags]" calls
+  // checkFlags(argc - 2, argv + 2) so the dir positional sits in the
+  // skipped element 0 and only real flags are validated.
+  std::vector<std::string> storage;
+  std::vector<char*> ptrs;
+  char** argv = argvOf(storage, ptrs,
+                       {"asdf_archive", "query", "/tmp/a", "--node=3",
+                        "--metric=cpu_user_pct", "--from=100", "--to=200"});
+  EXPECT_TRUE(checkFlags(7 - 2, argv + 2,
+                         {"node", "metric", "from", "to", "resolution",
+                          "csv"},
+                         "usage\n"));
+  argv = argvOf(storage, ptrs,
+                {"asdf_archive", "query", "/tmp/a", "--node=3",
+                 "--metrc=cpu_user_pct"});
+  EXPECT_FALSE(checkFlags(5 - 2, argv + 2,
+                          {"node", "metric", "from", "to", "resolution",
+                           "csv"},
+                          "usage\n"));
+  // A stray second positional after the dir is rejected too.
+  argv = argvOf(storage, ptrs, {"asdf_archive", "verify", "/tmp/a", "extra"});
+  EXPECT_FALSE(checkFlags(4 - 2, argv + 2, {}, "usage\n"));
+}
+
 TEST(CheckFlags, AcceptsEmptyCommandLine) {
   std::vector<std::string> storage;
   std::vector<char*> ptrs;

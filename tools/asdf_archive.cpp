@@ -1,19 +1,33 @@
-// asdf_archive — flight-recorder archive inspector (DESIGN.md §11).
+// asdf_archive — flight-recorder archive inspector (DESIGN.md §11, §14).
 //
 // Usage: asdf_archive <command> <dir> [flags]
 //
-//   info <dir> [--brief]       run parameters, segments, record counts.
-//                              --brief prints one parseable line
-//                              (records=N last_now=T) for scripts that
-//                              poll a recording in progress.
+//   info <dir> [--brief]       run parameters, segments, record counts,
+//                              compaction state. --brief prints one
+//                              parseable line (records=N last_now=T)
+//                              for scripts that poll a recording.
 //   verify <dir>               full integrity check: every frame CRC,
-//                              footer indexes, trailer fields. Exits
-//                              nonzero on any corruption; tolerates the
-//                              torn tail of a crashed recorder.
+//                              footer indexes, trailer fields, plus
+//                              every compacted tsdb file. Prints one
+//                              line per segment (records, checkpoints,
+//                              time range). Exits nonzero on any
+//                              corruption; tolerates the torn tail of
+//                              a crashed recorder.
 //   cat <dir> [--kind=K]       one line per record
 //       [--node=N] [--limit=N]
 //   trim <dir> --out=DIR       copy records in [--from, --to] (plus
 //       [--from=T] [--to=T]    meta + truth) into a fresh archive
+//   compact <dir> [--force]    build/refresh the queryable tsdb store:
+//                              every sealed segment gets a column-
+//                              oriented tsdb/seg-N.astd with raw and
+//                              downsampled chunks. Raw segments are
+//                              never modified; replay stays
+//                              byte-identical.
+//   query <dir> --node=N       time-ranged scan of one (node, metric)
+//       --metric=NAME          series. --resolution=raw|10s|1m|10m
+//       --from=T --to=T        (default raw); rollups print min, max,
+//       [--resolution=R]       mean, count per bucket. --csv emits
+//       [--csv]                machine-readable rows instead.
 //   replay <dir> [--threads=N] re-run the analysis pipeline from the
 //       [--require-localized]  archive: retrains the model from the
 //                              archived parameters, replays every
@@ -22,6 +36,9 @@
 //                              same report live_fingerpoint prints.
 //                              Alarms reproduce the recording run
 //                              byte-identically.
+//
+// Every command validates its flags strictly: a mistyped or unknown
+// option exits 2 instead of silently falling back to a default.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -33,10 +50,13 @@
 #include "faults/faults.h"
 #include "harness/experiment.h"
 #include "modules/modules.h"
+#include "tsdb/compactor.h"
+#include "tsdb/store.h"
 
 namespace {
 
 using namespace asdf;
+using examples::checkFlags;
 using examples::flagDouble;
 using examples::flagInt;
 using examples::flagPresent;
@@ -44,8 +64,8 @@ using examples::flagValue;
 
 int usage() {
   std::fprintf(stderr,
-               "usage: asdf_archive <info|verify|cat|trim|replay> <dir> "
-               "[flags]\n");
+               "usage: asdf_archive <info|verify|cat|trim|compact|query|"
+               "replay> <dir> [flags]\n");
   return 2;
 }
 
@@ -62,6 +82,20 @@ void printMeta(const archive::ArchiveMeta& meta) {
               meta.faultNode, meta.faultStart);
 }
 
+void printSegmentLine(const archive::SegmentInfo& seg) {
+  std::printf(
+      "  %-24s %s v%u %8lld bytes %7lld records %3lld checkpoints "
+      "[%.3f, %.3f]%s\n",
+      seg.path.substr(seg.path.find_last_of('/') + 1).c_str(),
+      seg.sealed ? "sealed" : "open  ", seg.version,
+      static_cast<long long>(seg.fileBytes),
+      static_cast<long long>(seg.records),
+      static_cast<long long>(seg.checkpoints), seg.firstNow, seg.lastNow,
+      seg.tornTailBytes > 0
+          ? strformat(" (torn tail %zu B)", seg.tornTailBytes).c_str()
+          : "");
+}
+
 int cmdInfo(const std::string& dir, int argc, char** argv) {
   archive::ArchiveReader reader(dir);
   if (flagPresent(argc, argv, "brief")) {
@@ -76,16 +110,7 @@ int cmdInfo(const std::string& dir, int argc, char** argv) {
               reader.segments().size(), reader.records().size(),
               reader.firstNow(), reader.lastNow());
   for (const archive::SegmentInfo& seg : reader.segments()) {
-    std::printf("  %-24s %s %8lld bytes %7lld records [%.3f, %.3f]%s\n",
-                seg.path.substr(seg.path.find_last_of('/') + 1).c_str(),
-                seg.sealed ? "sealed" : "open  ",
-                static_cast<long long>(seg.fileBytes),
-                static_cast<long long>(seg.records), seg.firstNow,
-                seg.lastNow,
-                seg.tornTailBytes > 0
-                    ? strformat(" (torn tail %zu B)", seg.tornTailBytes)
-                          .c_str()
-                    : "");
+    printSegmentLine(seg);
   }
   if (reader.truth().has_value()) {
     std::printf("  truth: slave index %d, fault [%.0f, %.0f], %.0f s run\n",
@@ -94,22 +119,59 @@ int cmdInfo(const std::string& dir, int argc, char** argv) {
   } else {
     std::printf("  truth: absent (recorder did not shut down cleanly)\n");
   }
+  const tsdb::StoreStats stats = tsdb::Store(dir).stats();
+  if (stats.compactedSegments > 0) {
+    std::printf("  tsdb: %lld/%lld sealed segments compacted, %lld points, "
+                "%lld bytes, now [%.3f, %.3f]%s\n",
+                static_cast<long long>(stats.compactedSegments),
+                static_cast<long long>(stats.sealedSegments),
+                static_cast<long long>(stats.compactedPoints),
+                static_cast<long long>(stats.tsdbBytes), stats.firstNow,
+                stats.lastNow,
+                stats.staleCompactions > 0
+                    ? strformat(" (%lld stale)",
+                                static_cast<long long>(
+                                    stats.staleCompactions))
+                          .c_str()
+                    : "");
+  } else {
+    std::printf("  tsdb: not compacted (run `asdf_archive compact %s`)\n",
+                dir.c_str());
+  }
   return 0;
 }
 
 int cmdVerify(const std::string& dir) {
   const archive::ArchiveReader::VerifyResult result =
       archive::ArchiveReader::verify(dir);
+  int rc = 0;
   if (result.ok) {
+    for (const archive::SegmentInfo& seg : result.segments) {
+      printSegmentLine(seg);
+    }
     std::printf("OK: %lld records verified (%zu torn tail bytes)\n",
                 static_cast<long long>(result.recordsVerified),
                 result.tornTailBytes);
-    return 0;
+  } else {
+    for (const std::string& err : result.errors) {
+      std::fprintf(stderr, "CORRUPT: %s\n", err.c_str());
+    }
+    rc = 1;
   }
-  for (const std::string& err : result.errors) {
-    std::fprintf(stderr, "CORRUPT: %s\n", err.c_str());
+  const tsdb::TsdbVerifyResult tv = tsdb::verifyTsdb(dir);
+  if (tv.ok) {
+    if (tv.files > 0) {
+      std::printf("tsdb OK: %lld compacted files, %lld chunks verified\n",
+                  static_cast<long long>(tv.files),
+                  static_cast<long long>(tv.chunks));
+    }
+  } else {
+    for (const std::string& err : tv.errors) {
+      std::fprintf(stderr, "CORRUPT: %s\n", err.c_str());
+    }
+    rc = 1;
   }
-  return 1;
+  return rc;
 }
 
 int cmdCat(const std::string& dir, int argc, char** argv) {
@@ -147,6 +209,102 @@ int cmdTrim(const std::string& dir, int argc, char** argv) {
   std::printf("trimmed %s -> %s: kept %lld records in [%.3f, %.3f]\n",
               dir.c_str(), out.c_str(), static_cast<long long>(kept), from,
               to);
+  return 0;
+}
+
+int cmdCompact(const std::string& dir, int argc, char** argv) {
+  const bool force = flagPresent(argc, argv, "force");
+  const std::vector<tsdb::CompactResult> results =
+      tsdb::compactArchive(dir, force);
+  std::int64_t built = 0;
+  for (const tsdb::CompactResult& r : results) {
+    if (r.skipped) {
+      std::printf("  %-24s up to date (%lld bytes)\n",
+                  r.path.substr(r.path.find_last_of('/') + 1).c_str(),
+                  static_cast<long long>(r.fileBytes));
+      continue;
+    }
+    ++built;
+    std::printf("  %-24s %lld points, %lld chunks, %lld bytes\n",
+                r.path.substr(r.path.find_last_of('/') + 1).c_str(),
+                static_cast<long long>(r.rawPoints),
+                static_cast<long long>(r.chunks),
+                static_cast<long long>(r.fileBytes));
+  }
+  std::printf("compacted %lld/%zu sealed segments\n",
+              static_cast<long long>(built), results.size());
+  return 0;
+}
+
+int cmdQuery(const std::string& dir, int argc, char** argv) {
+  tsdb::ScanOptions opts;
+  const long node = flagInt(argc, argv, "node", -1);
+  opts.metric = flagValue(argc, argv, "metric", "");
+  if (node < 0 || opts.metric.empty() ||
+      !flagPresent(argc, argv, "from") || !flagPresent(argc, argv, "to")) {
+    std::fprintf(stderr,
+                 "asdf_archive query: --node, --metric, --from and --to "
+                 "are required\n");
+    return 2;
+  }
+  opts.node = static_cast<NodeId>(node);
+  opts.from = flagDouble(argc, argv, "from", 0.0);
+  opts.to = flagDouble(argc, argv, "to", 0.0);
+  opts.resolution =
+      tsdb::resolutionFromName(flagValue(argc, argv, "resolution", "raw"));
+  const bool csv = flagPresent(argc, argv, "csv");
+
+  const tsdb::Store store(dir);
+  const tsdb::ScanResult result = store.scan(opts);
+
+  if (opts.resolution == tsdb::Resolution::kRaw) {
+    if (csv) {
+      std::printf("time,value\n");
+      for (const tsdb::RawPoint& p : result.points) {
+        std::printf("%.3f,%.17g\n", p.t, p.v);
+      }
+    } else {
+      std::printf("node %d %s [%.3f, %.3f] raw: %zu points\n", opts.node,
+                  opts.metric.c_str(), opts.from, opts.to,
+                  result.points.size());
+      for (const tsdb::RawPoint& p : result.points) {
+        std::printf("%12.3f  %.6f\n", p.t, p.v);
+      }
+    }
+  } else {
+    const std::uint32_t level =
+        static_cast<std::uint32_t>(opts.resolution);
+    if (csv) {
+      std::printf("bucket_start,min,max,mean,count\n");
+      for (const tsdb::Bucket& b : result.buckets) {
+        std::printf("%.3f,%.17g,%.17g,%.17g,%lld\n", b.startTime(level),
+                    b.min, b.max, b.mean(),
+                    static_cast<long long>(b.count));
+      }
+    } else {
+      std::printf("node %d %s [%.3f, %.3f] %s: %zu buckets\n", opts.node,
+                  opts.metric.c_str(), opts.from, opts.to,
+                  tsdb::resolutionName(opts.resolution),
+                  result.buckets.size());
+      std::printf("%12s %12s %12s %12s %8s\n", "bucket", "min", "max",
+                  "mean", "count");
+      for (const tsdb::Bucket& b : result.buckets) {
+        std::printf("%12.3f %12.6f %12.6f %12.6f %8lld\n",
+                    b.startTime(level), b.min, b.max, b.mean(),
+                    static_cast<long long>(b.count));
+      }
+    }
+  }
+  if (!csv) {
+    std::printf(
+        "scanned %lld segments: %lld compacted, %lld raw walks "
+        "(%lld checkpoint seeks), %lld skipped by index\n",
+        static_cast<long long>(result.segmentsVisited),
+        static_cast<long long>(result.compactedScans),
+        static_cast<long long>(result.rawScans),
+        static_cast<long long>(result.checkpointSeeks),
+        static_cast<long long>(result.segmentsSkipped));
+  }
   return 0;
 }
 
@@ -229,12 +387,54 @@ int main(int argc, char** argv) {
   if (argc < 3) return usage();
   const std::string command = argv[1];
   const std::string dir = argv[2];
+  // Flags follow "<command> <dir>": validate them strictly, with the
+  // dir positional already consumed (argv+2's element 0).
+  const int flagc = argc - 2;
+  char** flagv = argv + 2;
+  const std::string usageLine =
+      "asdf_archive " + command + " <dir> [flags]\n";
   try {
-    if (command == "info") return cmdInfo(dir, argc, argv);
-    if (command == "verify") return cmdVerify(dir);
-    if (command == "cat") return cmdCat(dir, argc, argv);
-    if (command == "trim") return cmdTrim(dir, argc, argv);
-    if (command == "replay") return cmdReplay(dir, argc, argv);
+    if (command == "info") {
+      if (!checkFlags(flagc, flagv, {"brief"}, usageLine)) return 2;
+      return cmdInfo(dir, flagc, flagv);
+    }
+    if (command == "verify") {
+      if (!checkFlags(flagc, flagv, {}, usageLine)) return 2;
+      return cmdVerify(dir);
+    }
+    if (command == "cat") {
+      if (!checkFlags(flagc, flagv, {"kind", "node", "limit"}, usageLine)) {
+        return 2;
+      }
+      return cmdCat(dir, flagc, flagv);
+    }
+    if (command == "trim") {
+      if (!checkFlags(flagc, flagv, {"out", "from", "to"}, usageLine)) {
+        return 2;
+      }
+      return cmdTrim(dir, flagc, flagv);
+    }
+    if (command == "compact") {
+      if (!checkFlags(flagc, flagv, {"force"}, usageLine)) return 2;
+      return cmdCompact(dir, flagc, flagv);
+    }
+    if (command == "query") {
+      if (!checkFlags(flagc, flagv,
+                      {"node", "metric", "from", "to", "resolution", "csv"},
+                      usageLine)) {
+        return 2;
+      }
+      return cmdQuery(dir, flagc, flagv);
+    }
+    if (command == "replay") {
+      if (!checkFlags(flagc, flagv,
+                      {"threads", "duration", "train-duration", "verbose",
+                       "require-localized"},
+                      usageLine)) {
+        return 2;
+      }
+      return cmdReplay(dir, flagc, flagv);
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "asdf_archive %s: %s\n", command.c_str(), e.what());
     return 1;
