@@ -1,0 +1,201 @@
+// Latency of the vectorized analysis kernels (src/common/simd.h) vs
+// their scalar reference paths, plus a bit-exactness spot check on the
+// same buffers the timing runs use.
+//
+// Usage:
+//   bench_simd_kernels [--n=64] [--json=PATH] [--min-speedup=X]
+//
+// --n is the vector length per call (64 = one sadc metric row, the
+// shape kmeans/peercompare/MAD actually run at). --min-speedup gates
+// the geometric-mean speedup of the vector dispatch over the scalar
+// path: exit 1 when it comes in under X. On a machine (or build) with
+// no SIMD support the gate auto-passes — there is nothing to compare.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/simd.h"
+
+namespace {
+
+using namespace asdf;
+
+// Deterministic fill: mixed magnitudes, a few exact ties (diff <= 1
+// branch), no dependence on libc rand.
+void fill(std::vector<double>& v, std::uint64_t seed) {
+  std::uint64_t s = seed * 6364136223846793005ull + 1442695040888963407ull;
+  for (double& x : v) {
+    s = s * 6364136223846793005ull + 1442695040888963407ull;
+    const double u =
+        static_cast<double>((s >> 11) & ((1ull << 40) - 1)) / (1ull << 40);
+    x = (u - 0.5) * 200.0;
+  }
+}
+
+volatile double g_sink = 0.0;
+
+/// Times `fn` (which must fold its result into g_sink) and returns
+/// ns per call, running enough iterations to dominate clock noise.
+template <typename Fn>
+double nsPerCall(Fn&& fn) {
+  // Warm up and pick an iteration count targeting ~20 ms of work.
+  const auto t0 = std::chrono::steady_clock::now();
+  long probe = 0;
+  while (std::chrono::steady_clock::now() - t0 <
+         std::chrono::milliseconds(2)) {
+    fn();
+    ++probe;
+  }
+  const long iters = probe < 1 ? 1 : probe * 10;
+  const auto start = std::chrono::steady_clock::now();
+  for (long i = 0; i < iters; ++i) fn();
+  const double ns =
+      std::chrono::duration<double, std::nano>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  return ns / static_cast<double>(iters);
+}
+
+struct KernelResult {
+  const char* name;
+  double scalarNs = 0.0;
+  double simdNs = 0.0;
+  double speedup = 1.0;
+  bool bitExact = true;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t n =
+      static_cast<std::size_t>(bench::flagInt(argc, argv, "n", 64));
+  const std::string jsonPath = bench::flagValue(argc, argv, "json", "");
+  const double minSpeedup = bench::flagDouble(argc, argv, "min-speedup", 0.0);
+
+  std::vector<double> a(n), b(n), sigma(n), out(n);
+  fill(a, 1);
+  fill(b, 2);
+  fill(sigma, 3);
+  for (double& s : sigma) s = std::fabs(s) + 0.5;
+  // A few exact ties so whiteBoxCriticalK exercises the <= 1 branch.
+  for (std::size_t i = 0; i + 7 < n; i += 7) b[i] = a[i] + 0.5;
+
+  const simd::Isa best = simd::bestSupportedIsa();
+  std::printf("simd kernels: n=%zu, best ISA %s\n", n, simd::isaName(best));
+  bench::printRule();
+  std::printf("%22s %12s %12s %10s %10s\n", "kernel", "scalar ns", "simd ns",
+              "speedup", "bit-exact");
+  bench::printRule();
+
+  KernelResult results[] = {
+      {"sq_distance"}, {"l1_distance"}, {"white_box_critical_k"},
+      {"abs_deviations"}};
+
+  const auto timeAll = [&](KernelResult* r) {
+    r[0].simdNs = nsPerCall([&] { g_sink += simd::sqDistance(a.data(), b.data(), n); });
+    r[1].simdNs = nsPerCall([&] { g_sink += simd::l1Distance(a.data(), b.data(), n); });
+    r[2].simdNs = nsPerCall([&] {
+      g_sink += simd::whiteBoxCriticalK(a.data(), b.data(), sigma.data(), n,
+                                        1e9);
+    });
+    r[3].simdNs = nsPerCall([&] {
+      simd::absDeviations(a.data(), 3.25, out.data(), n);
+      g_sink += out[0];
+    });
+  };
+
+  // Vector dispatch first (whatever the machine picks), then pinned
+  // scalar on the same buffers; bit-exactness compares the two.
+  double simdVals[4];
+  simd::forceIsa(best);
+  timeAll(results);
+  simdVals[0] = simd::sqDistance(a.data(), b.data(), n);
+  simdVals[1] = simd::l1Distance(a.data(), b.data(), n);
+  simdVals[2] = simd::whiteBoxCriticalK(a.data(), b.data(), sigma.data(), n, 1e9);
+  simd::absDeviations(a.data(), 3.25, out.data(), n);
+  simdVals[3] = out[n / 2];
+
+  simd::forceIsa(simd::Isa::kScalar);
+  KernelResult scalarRuns[] = {
+      {"sq_distance"}, {"l1_distance"}, {"white_box_critical_k"},
+      {"abs_deviations"}};
+  timeAll(scalarRuns);
+  double scalarVals[4];
+  scalarVals[0] = simd::sqDistance(a.data(), b.data(), n);
+  scalarVals[1] = simd::l1Distance(a.data(), b.data(), n);
+  scalarVals[2] = simd::whiteBoxCriticalK(a.data(), b.data(), sigma.data(), n, 1e9);
+  simd::absDeviations(a.data(), 3.25, out.data(), n);
+  scalarVals[3] = out[n / 2];
+  simd::forceIsa(best);  // restore
+
+  double logSum = 0.0;
+  for (int i = 0; i < 4; ++i) {
+    results[i].scalarNs = scalarRuns[i].simdNs;
+    results[i].speedup = results[i].scalarNs / results[i].simdNs;
+    results[i].bitExact =
+        std::memcmp(&simdVals[i], &scalarVals[i], sizeof(double)) == 0;
+    logSum += std::log(results[i].speedup);
+    std::printf("%22s %12.1f %12.1f %9.2fx %10s\n", results[i].name,
+                results[i].scalarNs, results[i].simdNs, results[i].speedup,
+                results[i].bitExact ? "yes" : "NO");
+  }
+  const double geomean = std::exp(logSum / 4.0);
+  bench::printRule();
+  std::printf("geomean speedup: %.2fx (%s dispatch)\n", geomean,
+              simd::isaName(best));
+
+  bool allExact = true;
+  for (const KernelResult& r : results) allExact = allExact && r.bitExact;
+
+  if (!jsonPath.empty()) {
+    std::FILE* f = std::fopen(jsonPath.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", jsonPath.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"simd_kernels\",\n");
+    std::fprintf(f, "  \"schema_version\": 1,\n");
+    std::fprintf(f, "  \"n\": %zu,\n", n);
+    std::fprintf(f, "  \"best_isa\": \"%s\",\n", simd::isaName(best));
+    std::fprintf(f, "  \"all_bit_exact\": %s,\n", allExact ? "true" : "false");
+    std::fprintf(f, "  \"geomean_speedup\": %.2f,\n", geomean);
+    std::fprintf(f, "  \"kernels\": [\n");
+    for (int i = 0; i < 4; ++i) {
+      std::fprintf(f,
+                   "    {\"kernel\": \"%s\", \"scalar_ns\": %.1f, "
+                   "\"simd_ns\": %.1f, \"speedup\": %.2f, "
+                   "\"bit_exact\": %s}%s\n",
+                   results[i].name, results[i].scalarNs, results[i].simdNs,
+                   results[i].speedup, results[i].bitExact ? "true" : "false",
+                   i < 3 ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("baseline written to %s\n", jsonPath.c_str());
+  }
+
+  if (!allExact) {
+    std::fprintf(stderr, "FAIL: vector dispatch is not bit-exact against "
+                         "the scalar reference\n");
+    return 1;
+  }
+  if (minSpeedup > 0.0) {
+    if (best == simd::Isa::kScalar) {
+      std::printf("gate: no SIMD support in this build/CPU; speedup gate "
+                  "skipped\n");
+    } else if (geomean < minSpeedup) {
+      std::fprintf(stderr,
+                   "FAIL: geomean speedup %.2fx is below the "
+                   "--min-speedup=%.2f gate\n",
+                   geomean, minSpeedup);
+      return 1;
+    } else {
+      std::printf("gate: %.2fx >= %.2fx required\n", geomean, minSpeedup);
+    }
+  }
+  return 0;
+}

@@ -21,6 +21,8 @@
 //   --rpc-timeout=T     per-attempt leaf fetch timeout (default 5)
 //   --archive-dir=DIR   flight-record this tier's collection rounds
 //   --idle-timeout=T    reap connections idle for T seconds (0 = never)
+//   --shards=N          summary-server event-loop shards (default 1;
+//                       DESIGN.md §15)
 //   --model-cache=FILE  load the trained model from FILE when present,
 //                       else train and write it — a supervised restart
 //                       (tools/asdf_supervise) skips retraining and is
@@ -65,13 +67,14 @@ int main(int argc, char** argv) {
           {"port", "leaves", "first-node", "group-size", "slaves", "seed",
            "duration", "scale", "window", "slide", "threads",
            "train-duration", "train-warmup", "centroids", "rpc-timeout",
-           "archive-dir", "idle-timeout", "model-cache", "verbose"},
+           "archive-dir", "idle-timeout", "model-cache", "shards",
+           "verbose"},
           "asdf_aggd --leaves=H:P[,H:P...] --group-size=N [--port=N] "
           "[--first-node=N] [--slaves=N] [--seed=N] [--duration=T] "
           "[--scale=X] [--window=N] [--slide=N] [--threads=N] "
           "[--train-duration=T] [--train-warmup=T] [--centroids=N] "
           "[--rpc-timeout=T] [--archive-dir=DIR] [--idle-timeout=T] "
-          "[--model-cache=FILE] [--verbose]\n")) {
+          "[--model-cache=FILE] [--shards=N] [--verbose]\n")) {
     return 2;
   }
 
@@ -102,6 +105,7 @@ int main(int argc, char** argv) {
   opts.groupSize = static_cast<int>(flagInt(argc, argv, "group-size", 0));
   opts.port = static_cast<std::uint16_t>(flagInt(argc, argv, "port", 4600));
   opts.idleTimeoutSeconds = flagDouble(argc, argv, "idle-timeout", 0.0);
+  if (!examples::parseShards(argc, argv, opts.shards)) return 2;
   const std::string modelCache = flagValue(argc, argv, "model-cache", "");
   const std::string leaves = flagValue(argc, argv, "leaves", "");
   if (leaves.empty() || opts.groupSize < 1) {

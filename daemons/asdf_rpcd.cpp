@@ -19,6 +19,9 @@
 //                       segment is normally compacted into the
 //                       queryable store while the daemon records)
 //   --idle-timeout=T    reap connections idle for T seconds (0 = never)
+//   --shards=N          network-plane event-loop shards (default 1);
+//                       each shard owns its own SO_REUSEPORT listener
+//                       and connections (DESIGN.md §15)
 //
 // With --source=sim the daemon hosts the monitored-cluster simulation
 // itself, seeded exactly like harness::runExperiment, and advances it
@@ -57,12 +60,12 @@ int main(int argc, char** argv) {
           argc, argv,
           {"port", "slaves", "seed", "source", "fault", "fault-node",
            "fault-start", "fault-end", "mix-change", "archive-dir",
-           "segment-bytes", "no-compact", "idle-timeout"},
+           "segment-bytes", "no-compact", "idle-timeout", "shards"},
           "asdf_rpcd [--port=N] [--slaves=N] [--seed=N] "
           "[--source=sim|proc] [--fault=NAME] [--fault-node=N] "
           "[--fault-start=T] [--fault-end=T] [--mix-change=T] "
           "[--archive-dir=DIR] [--segment-bytes=N] [--no-compact] "
-          "[--idle-timeout=T]\n")) {
+          "[--idle-timeout=T] [--shards=N]\n")) {
     return 2;
   }
 
@@ -77,6 +80,7 @@ int main(int argc, char** argv) {
   opts.source = flagValue(argc, argv, "source", "sim");
   opts.mixChangeTime = flagDouble(argc, argv, "mix-change", -1.0);
   opts.idleTimeoutSeconds = flagDouble(argc, argv, "idle-timeout", 0.0);
+  if (!examples::parseShards(argc, argv, opts.shards)) return 2;
   if (opts.source != "sim" && opts.source != "proc") {
     std::fprintf(stderr, "asdf_rpcd: --source must be 'sim' or 'proc'\n");
     return 2;
@@ -136,11 +140,11 @@ int main(int argc, char** argv) {
     g_server = &server;
     std::signal(SIGINT, handleSignal);
     std::signal(SIGTERM, handleSignal);
-    std::printf("asdf_rpcd: serving %d slaves (source=%s, seed=%llu) on "
-                "127.0.0.1:%u\n",
+    std::printf("asdf_rpcd: serving %d slaves (source=%s, seed=%llu, "
+                "shards=%d) on 127.0.0.1:%u\n",
                 opts.slaves, opts.source.c_str(),
                 static_cast<unsigned long long>(opts.seed),
-                static_cast<unsigned>(server.port()));
+                server.shardCount(), static_cast<unsigned>(server.port()));
     std::fflush(stdout);
     server.run();
     std::printf("asdf_rpcd: served %ld frames (%ld connections rejected)\n",

@@ -64,6 +64,40 @@ inline bool checkFlags(int argc, char** argv,
   return true;
 }
 
+/// Strict --shards parsing: accepts only a positive integer (capped at
+/// 64 network-plane shards — far past any sane core count). Returns
+/// false (after printing to stderr) on --shards=0, negatives, or
+/// non-numeric values: a daemon silently running single-shard when the
+/// operator asked for 8 would be a perf bug nobody notices.
+inline bool parseShards(int argc, char** argv, int& shardsOut) {
+  shardsOut = 1;
+  std::string value;
+  bool present = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--shards") {
+      present = true;  // bare form: no value, rejected below
+      value.clear();
+    } else if (arg.compare(0, 9, "--shards=") == 0) {
+      present = true;
+      value = arg.substr(9);
+    }
+  }
+  if (!present) return true;
+  char* end = nullptr;
+  const long parsed =
+      value.empty() ? 0 : std::strtol(value.c_str(), &end, 10);
+  if (value.empty() || end == value.c_str() || *end != '\0' || parsed < 1 ||
+      parsed > 64) {
+    std::fprintf(stderr,
+                 "--shards must be an integer in [1, 64], got '%s'\n",
+                 value.c_str());
+    return false;
+  }
+  shardsOut = static_cast<int>(parsed);
+  return true;
+}
+
 inline bool flagPresent(int argc, char** argv, const std::string& name) {
   const std::string bare = "--" + name;
   const std::string prefix = bare + "=";

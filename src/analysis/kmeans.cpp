@@ -6,12 +6,11 @@
 #include <limits>
 #include <numeric>
 
+#include "common/simd.h"
 #include "common/stats.h"
 
 namespace asdf::analysis {
 namespace {
-
-double sq(double x) { return x * x; }
 
 // k-means++ seeding with a fused weight pass: updating d^2 against the
 // newest centroid and accumulating the cumulative weights happen in
@@ -60,9 +59,7 @@ void seedPlusPlus(const Matrix& points, int k, Rng& rng,
 }  // namespace
 
 double sqDistanceN(const double* a, const double* b, std::size_t n) {
-  double sum = 0.0;
-  for (std::size_t i = 0; i < n; ++i) sum += sq(a[i] - b[i]);
-  return sum;
+  return simd::sqDistance(a, b, n);
 }
 
 KMeansResult kmeans(const Matrix& points, const KMeansOptions& options,

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/simd.h"
 #include "common/stats.h"
 
 namespace asdf::analysis {
@@ -11,9 +12,8 @@ PeerComparisonResult madCompare(const std::vector<double>& scores, double k,
   PeerComparisonResult result;
   if (scores.empty()) return result;
   const double med = median(scores);
-  std::vector<double> deviations;
-  deviations.reserve(scores.size());
-  for (double s : scores) deviations.push_back(std::abs(s - med));
+  std::vector<double> deviations(scores.size());
+  simd::absDeviations(scores.data(), med, deviations.data(), scores.size());
   const double mad = std::max(minMad, median(deviations));
 
   result.flags.reserve(scores.size());

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "common/simd.h"
 #include "common/stats.h"
 
 namespace asdf::analysis {
@@ -106,16 +107,11 @@ void whiteBoxCompareInto(const double* const* means,
 
 double whiteBoxCriticalK(const double* mean, const double* median,
                          const double* sigmaMedian, std::size_t dims) {
-  double criticalK = 0.0;
-  for (std::size_t m = 0; m < dims; ++m) {
-    const double diff = std::abs(mean[m] - median[m]);
-    if (diff <= 1.0) continue;  // below the max(1, .) floor at any k
-    const double sigma = sigmaMedian[m];
-    const double metricCritical =
-        sigma > 1e-12 ? diff / sigma : kWhiteBoxAlwaysFlagged;
-    criticalK = std::max(criticalK, metricCritical);
-  }
-  return criticalK;
+  // diff <= 1.0 is below the max(1, .) floor at any k and contributes
+  // nothing; the SIMD kernel mirrors that gate (including NaN diffs
+  // falling through to the sigma branch) bit-exactly.
+  return simd::whiteBoxCriticalK(mean, median, sigmaMedian, dims,
+                                 kWhiteBoxAlwaysFlagged);
 }
 
 }  // namespace asdf::analysis

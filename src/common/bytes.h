@@ -30,6 +30,18 @@ inline void putU64(std::vector<std::uint8_t>& buf, std::uint64_t v) {
   putU32(buf, static_cast<std::uint32_t>(v & 0xFFFFFFFFULL));
 }
 
+inline void storeU16(std::uint8_t* p, std::uint16_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 8);
+  p[1] = static_cast<std::uint8_t>(v);
+}
+
+inline void storeU32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>(v >> 16);
+  p[2] = static_cast<std::uint8_t>(v >> 8);
+  p[3] = static_cast<std::uint8_t>(v);
+}
+
 inline std::uint16_t readU16(const std::uint8_t* p) {
   return static_cast<std::uint16_t>((p[0] << 8) | p[1]);
 }

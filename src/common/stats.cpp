@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "common/simd.h"
+
 namespace asdf {
 
 double mean(const std::vector<double>& xs) {
@@ -54,9 +56,7 @@ double l1Distance(const std::vector<double>& a, const std::vector<double>& b) {
 }
 
 double l1DistanceN(const double* a, const double* b, std::size_t n) {
-  double sum = 0.0;
-  for (std::size_t i = 0; i < n; ++i) sum += std::abs(a[i] - b[i]);
-  return sum;
+  return simd::l1Distance(a, b, n);
 }
 
 double l2Distance(const std::vector<double>& a, const std::vector<double>& b) {

@@ -54,6 +54,7 @@ net::AggServerOptions serverOptionsFor(const AggregatorOptions& opts,
   sopts.seed = opts.base.seed;
   sopts.board = &board;
   sopts.idleTimeoutSeconds = opts.idleTimeoutSeconds;
+  sopts.shards = opts.shards;
   return sopts;
 }
 

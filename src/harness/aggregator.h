@@ -59,6 +59,9 @@ struct AggregatorOptions {
   std::uint16_t port = 0;  // summary serving port (0 = ephemeral)
   /// Idle-connection reaping on the summary server (0 = never).
   double idleTimeoutSeconds = 0.0;
+  /// Network-plane shards on the summary server (--shards; see
+  /// net::ShardGroup). 1 = the classic single loop.
+  int shards = 1;
 };
 
 class AggregatorNode {

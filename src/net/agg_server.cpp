@@ -5,20 +5,26 @@
 namespace asdf::net {
 
 AggServer::AggServer(const AggServerOptions& opts)
-    : opts_(opts), server_(loop_, opts.port) {
-  server_.onFrame([this](TcpServer::Connection& conn, Frame&& frame) {
-    handleFrame(conn, std::move(frame));
-  });
-  if (opts_.idleTimeoutSeconds > 0.0) {
-    server_.setIdleTimeout(opts_.idleTimeoutSeconds);
+    : opts_(opts),
+      group_(ShardGroupOptions{opts.port, opts.shards,
+                               /*preferReusePort=*/true}) {
+  for (int i = 0; i < group_.shardCount(); ++i) {
+    group_.server(i).onFrame(
+        [this](TcpServer::Connection& conn, const Frame& frame) {
+          handleFrame(conn, frame);
+        });
+    if (opts_.idleTimeoutSeconds > 0.0) {
+      group_.server(i).setIdleTimeout(opts_.idleTimeoutSeconds);
+    }
   }
 }
 
-void AggServer::run() { loop_.run(); }
+void AggServer::run() { group_.runOnCaller(); }
 
-void AggServer::stop() { loop_.stop(); }
+void AggServer::stop() { group_.stop(); }
 
-void AggServer::handleFrame(TcpServer::Connection& conn, Frame&& frame) {
+void AggServer::handleFrame(TcpServer::Connection& conn,
+                            const Frame& frame) {
   rpc::Decoder dec(frame.payload);
   switch (frame.type) {
     case MsgType::kHello: {
@@ -62,7 +68,7 @@ void AggServer::handleFrame(TcpServer::Connection& conn, Frame&& frame) {
       conn.send(MsgType::kShutdownAck, enc);
       conn.close();
       logInfo("asdf_aggd: shutdown requested; exiting");
-      loop_.stop();
+      group_.stop();
       return;
     }
     default:

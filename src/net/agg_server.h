@@ -4,16 +4,16 @@
 //
 // The aggregator's pipeline thread publishes GroupSummary windows into
 // a rpc::SummaryBoard; this server answers kFetchSummary requests from
-// the board. Single-threaded on an EventLoop, like RpcdServer — the
-// board is internally locked, so the pipeline thread and the loop
-// thread never race.
+// the board. Runs a ShardGroup like RpcdServer (--shards=1 is the
+// classic single loop). The board is internally locked, so the
+// pipeline thread and any number of shard loop threads never race —
+// no extra state mutex is needed here.
 #pragma once
 
 #include <cstdint>
 #include <string>
 
-#include "net/event_loop.h"
-#include "net/tcp_server.h"
+#include "net/shard_group.h"
 #include "rpc/summary.h"
 
 namespace asdf::net {
@@ -27,27 +27,29 @@ struct AggServerOptions {
   /// Reap connections with no read/write progress for this long
   /// (--idle-timeout; 0 = never — see TcpServer::setIdleTimeout).
   double idleTimeoutSeconds = 0.0;
+  /// Network-plane shards (--shards; see ShardGroup).
+  int shards = 1;
 };
 
 class AggServer {
  public:
   explicit AggServer(const AggServerOptions& opts);
 
-  std::uint16_t port() const { return server_.port(); }
+  std::uint16_t port() const { return group_.port(); }
+  int shardCount() const { return group_.shardCount(); }
 
   /// Serves until stop() or a kShutdown frame.
   void run();
   /// Thread-safe; makes run() return.
   void stop();
 
-  long framesServed() const { return server_.framesServed(); }
+  long framesServed() const { return group_.framesServed(); }
 
  private:
-  void handleFrame(TcpServer::Connection& conn, Frame&& frame);
+  void handleFrame(TcpServer::Connection& conn, const Frame& frame);
 
   AggServerOptions opts_;
-  EventLoop loop_;
-  TcpServer server_;
+  ShardGroup group_;
 };
 
 }  // namespace asdf::net

@@ -1,25 +1,48 @@
 #include "net/crc32.h"
 
 #include <array>
+#include <cstring>
 
 namespace asdf::net {
 namespace {
 
-std::array<std::uint32_t, 256> buildTable() {
-  std::array<std::uint32_t, 256> table{};
+// Slice-by-8 CRC-32 (IEEE 802.3 polynomial, reflected). Eight derived
+// tables let the inner loop fold 8 input bytes per iteration instead
+// of one — ~5x on the frame-sized payloads the live plane checksums
+// twice per exchange (encode + validate). Table k maps a byte to its
+// CRC contribution k+1 positions further from the end of an 8-byte
+// block, so the eight lookups per block are independent; the result is
+// byte-identical to the classic bytewise loop.
+std::array<std::array<std::uint32_t, 256>, 8> buildTables() {
+  std::array<std::array<std::uint32_t, 256>, 8> tables{};
   for (std::uint32_t i = 0; i < 256; ++i) {
     std::uint32_t c = i;
     for (int k = 0; k < 8; ++k) {
       c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
     }
-    table[i] = c;
+    tables[0][i] = c;
   }
-  return table;
+  for (int k = 1; k < 8; ++k) {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      const std::uint32_t prev = tables[k - 1][i];
+      tables[k][i] = tables[0][prev & 0xFFu] ^ (prev >> 8);
+    }
+  }
+  return tables;
 }
 
-const std::array<std::uint32_t, 256>& table() {
-  static const std::array<std::uint32_t, 256> t = buildTable();
+const std::array<std::array<std::uint32_t, 256>, 8>& tables() {
+  static const std::array<std::array<std::uint32_t, 256>, 8> t = buildTables();
   return t;
+}
+
+inline std::uint32_t loadLe32(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+  v = __builtin_bswap32(v);
+#endif
+  return v;
 }
 
 }  // namespace
@@ -27,9 +50,19 @@ const std::array<std::uint32_t, 256>& table() {
 std::uint32_t crc32Update(std::uint32_t state, const void* data,
                           std::size_t size) {
   const auto* p = static_cast<const std::uint8_t*>(data);
-  const auto& t = table();
+  const auto& t = tables();
+  while (size >= 8) {
+    const std::uint32_t lo = state ^ loadLe32(p);
+    const std::uint32_t hi = loadLe32(p + 4);
+    state = t[7][lo & 0xFFu] ^ t[6][(lo >> 8) & 0xFFu] ^
+            t[5][(lo >> 16) & 0xFFu] ^ t[4][lo >> 24] ^
+            t[3][hi & 0xFFu] ^ t[2][(hi >> 8) & 0xFFu] ^
+            t[1][(hi >> 16) & 0xFFu] ^ t[0][hi >> 24];
+    p += 8;
+    size -= 8;
+  }
   for (std::size_t i = 0; i < size; ++i) {
-    state = t[(state ^ p[i]) & 0xFFu] ^ (state >> 8);
+    state = t[0][(state ^ p[i]) & 0xFFu] ^ (state >> 8);
   }
   return state;
 }

@@ -127,6 +127,7 @@ int EventLoop::runOnce(double maxWaitSeconds) {
   }
 
   int dispatched = dispatchDueTimers();
+  dispatched += drainPostedTasks();
   for (int i = 0; i < n; ++i) {
     const int fd = events[i].data.fd;
     if (fd == wakeupFd_) {
@@ -153,6 +154,13 @@ void EventLoop::run() {
   while (!stopped_) {
     runOnce(-1.0);
   }
+  // Final non-blocking drain: readiness that raced with stop() — a
+  // peer close, a posted task — is dispatched instead of dropped, so
+  // observable teardown state (connection counts, close callbacks) is
+  // settled by the time run() returns. Without this, whether an EOF
+  // that arrived just before stop() is processed depends on whether it
+  // shared an epoll batch with the wakeup.
+  runOnce(0.0);
 }
 
 void EventLoop::stop() {
@@ -160,6 +168,26 @@ void EventLoop::stop() {
   const std::uint64_t one = 1;
   // Best-effort: the loop also re-checks stopped_ after every wait.
   [[maybe_unused]] ssize_t n = write(wakeupFd_, &one, sizeof(one));
+}
+
+void EventLoop::post(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(tasksMutex_);
+    tasks_.push_back(std::move(task));
+  }
+  const std::uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = write(wakeupFd_, &one, sizeof(one));
+}
+
+int EventLoop::drainPostedTasks() {
+  std::vector<std::function<void()>> run;
+  {
+    std::lock_guard<std::mutex> lock(tasksMutex_);
+    if (tasks_.empty()) return 0;
+    run.swap(tasks_);
+  }
+  for (auto& task : run) task();
+  return static_cast<int>(run.size());
 }
 
 }  // namespace asdf::net

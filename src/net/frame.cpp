@@ -17,13 +17,27 @@ std::vector<std::uint8_t> encodeFrame(MsgType type,
                                       std::size_t size) {
   std::vector<std::uint8_t> out;
   out.reserve(kFrameHeaderBytes + size);
+  encodeFrameInto(out, type, payload, size);
+  return out;
+}
+
+void encodeFrameInto(std::vector<std::uint8_t>& out, MsgType type,
+                     const std::uint8_t* payload, std::size_t size) {
   putU32(out, kFrameMagic);
   putU16(out, kProtocolVersion);
   putU16(out, static_cast<std::uint16_t>(type));
   putU32(out, static_cast<std::uint32_t>(size));
   putU32(out, crc32(payload, size));
   out.insert(out.end(), payload, payload + size);
-  return out;
+}
+
+void encodeFrameHeader(std::uint8_t* header, MsgType type,
+                       const std::uint8_t* payload, std::size_t size) {
+  bytes::storeU32(header, kFrameMagic);
+  bytes::storeU16(header + 4, kProtocolVersion);
+  bytes::storeU16(header + 6, static_cast<std::uint16_t>(type));
+  bytes::storeU32(header + 8, static_cast<std::uint32_t>(size));
+  bytes::storeU32(header + 12, crc32(payload, size));
 }
 
 std::vector<std::uint8_t> encodeFrame(MsgType type, const rpc::Encoder& enc) {
@@ -47,47 +61,63 @@ bool FrameDecoder::feed(const std::uint8_t* data, std::size_t size) {
 }
 
 bool FrameDecoder::tryAssemble() {
-  if (error_ != Error::kNone || buf_.size() < kFrameHeaderBytes) {
+  if (error_ != Error::kNone ||
+      buf_.size() - parsePos_ < kFrameHeaderBytes) {
     return false;
   }
+  const std::uint8_t* head = buf_.data() + parsePos_;
   // Validate the header before trusting — or allocating for — the
   // declared length.
-  if (readU32(buf_.data()) != kFrameMagic) {
+  if (readU32(head) != kFrameMagic) {
     error_ = Error::kBadMagic;
     return false;
   }
-  if (readU16(buf_.data() + 4) != kProtocolVersion) {
+  if (readU16(head + 4) != kProtocolVersion) {
     error_ = Error::kBadVersion;
     return false;
   }
-  const std::uint32_t length = readU32(buf_.data() + 8);
+  const std::uint32_t length = readU32(head + 8);
   if (length > kMaxFramePayloadBytes) {
     error_ = Error::kOversized;
     return false;
   }
-  if (buf_.size() < kFrameHeaderBytes + length) {
+  if (buf_.size() - parsePos_ < kFrameHeaderBytes + length) {
     return false;  // partial frame: wait for more bytes
   }
-  const std::uint32_t expected = readU32(buf_.data() + 12);
-  if (crc32(buf_.data() + kFrameHeaderBytes, length) != expected) {
+  const std::uint32_t expected = readU32(head + 12);
+  if (crc32(head + kFrameHeaderBytes, length) != expected) {
     error_ = Error::kBadCrc;
     return false;
   }
-  Frame frame;
-  frame.type = static_cast<MsgType>(readU16(buf_.data() + 6));
-  frame.payload.assign(buf_.begin() + kFrameHeaderBytes,
-                       buf_.begin() + kFrameHeaderBytes + length);
-  ready_.push_back(std::move(frame));
+  // Record an index entry instead of copying the payload out: the
+  // bytes stay in buf_ until next() surfaces them, so a busy
+  // connection assembles frames with zero allocations once buf_ and
+  // pending_ have reached steady-state capacity.
+  pending_.push_back(
+      Pending{static_cast<MsgType>(readU16(head + 6)),
+              static_cast<std::uint32_t>(parsePos_ + kFrameHeaderBytes),
+              length});
+  parsePos_ += kFrameHeaderBytes + length;
   ++framesDecoded_;
-  buf_.erase(buf_.begin(),
-             buf_.begin() + kFrameHeaderBytes + length);
   return true;
 }
 
 bool FrameDecoder::next(Frame& out) {
-  if (ready_.empty()) return false;
-  out = std::move(ready_.front());
-  ready_.pop_front();
+  if (nextPending_ == pending_.size()) return false;
+  const Pending& p = pending_[nextPending_++];
+  out.type = p.type;
+  out.payload.assign(buf_.begin() + p.offset,
+                     buf_.begin() + p.offset + p.size);
+  consumed_ = p.offset + p.size;
+  if (nextPending_ == pending_.size()) {
+    // Everything validated has been surfaced; drop the consumed prefix
+    // (consumed_ == parsePos_ here) and keep only partial-frame bytes.
+    pending_.clear();
+    nextPending_ = 0;
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<long>(consumed_));
+    parsePos_ -= consumed_;
+    consumed_ = 0;
+  }
   return true;
 }
 

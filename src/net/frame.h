@@ -21,7 +21,6 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "rpc/wire.h"
@@ -80,6 +79,19 @@ std::vector<std::uint8_t> encodeFrame(MsgType type,
                                       std::size_t size);
 std::vector<std::uint8_t> encodeFrame(MsgType type, const rpc::Encoder& enc);
 
+/// Appends one frame (header + payload) to `out` without allocating a
+/// temporary — the server's batched outbound path encodes straight
+/// into the per-connection send buffer.
+void encodeFrameInto(std::vector<std::uint8_t>& out, MsgType type,
+                     const std::uint8_t* payload, std::size_t size);
+
+/// Writes just the 16-byte header for a payload into `header` (caller
+/// provides kFrameHeaderBytes of space, typically on the stack); the
+/// payload itself can then go out via writev scatter-gather without
+/// ever being copied next to the header.
+void encodeFrameHeader(std::uint8_t* header, MsgType type,
+                       const std::uint8_t* payload, std::size_t size);
+
 /// Convenience: an error frame with code + human-readable message.
 std::vector<std::uint8_t> encodeErrorFrame(ErrorCode code,
                                            const std::string& message);
@@ -98,19 +110,32 @@ class FrameDecoder {
   /// poisoned (error() != kNone); further feeds are ignored.
   bool feed(const std::uint8_t* data, std::size_t size);
 
-  /// Pops the next complete frame; false when none is pending.
+  /// Pops the next complete frame; false when none is pending. The
+  /// payload is copied with assign(), so a caller that reuses the same
+  /// Frame object allocates nothing once its capacity has warmed up —
+  /// validated frames live in the stream buffer until surfaced, as
+  /// {type, offset, size} index entries rather than per-frame copies.
   bool next(Frame& out);
 
   Error error() const { return error_; }
   long framesDecoded() const { return framesDecoded_; }
-  /// Bytes buffered but not yet assembled into a frame.
-  std::size_t pendingBytes() const { return buf_.size(); }
+  /// Bytes buffered but not yet surfaced via next().
+  std::size_t pendingBytes() const { return buf_.size() - consumed_; }
 
  private:
+  struct Pending {
+    MsgType type;
+    std::uint32_t offset;  // payload start within buf_
+    std::uint32_t size;
+  };
+
   bool tryAssemble();
 
   std::vector<std::uint8_t> buf_;
-  std::deque<Frame> ready_;
+  std::vector<Pending> pending_;
+  std::size_t nextPending_ = 0;  // index into pending_ of next frame
+  std::size_t parsePos_ = 0;     // first unvalidated byte in buf_
+  std::size_t consumed_ = 0;     // bytes already handed out via next()
   Error error_ = Error::kNone;
   long framesDecoded_ = 0;
 };

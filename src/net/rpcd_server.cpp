@@ -24,7 +24,9 @@ workload::GridMixParams gridmixParamsFor(const RpcdOptions& opts) {
 }  // namespace
 
 RpcdServer::RpcdServer(const RpcdOptions& opts)
-    : opts_(opts), server_(loop_, opts.port) {
+    : opts_(opts),
+      group_(ShardGroupOptions{opts.port, opts.shards,
+                               opts.preferReusePort}) {
   if (opts_.source == "sim") {
     // Seed derivations must match harness::runExperiment exactly: that
     // is what lets a live client observe the same cluster a
@@ -43,19 +45,22 @@ RpcdServer::RpcdServer(const RpcdOptions& opts)
   } else {
     proc_ = std::make_unique<ProcSource>(opts_.slaves, opts_.seed);
   }
-  server_.onFrame([this](TcpServer::Connection& conn, Frame&& frame) {
-    handleFrame(conn, std::move(frame));
-  });
-  if (opts_.idleTimeoutSeconds > 0.0) {
-    server_.setIdleTimeout(opts_.idleTimeoutSeconds);
+  for (int i = 0; i < group_.shardCount(); ++i) {
+    group_.server(i).onFrame(
+        [this](TcpServer::Connection& conn, const Frame& frame) {
+          handleFrame(conn, frame);
+        });
+    if (opts_.idleTimeoutSeconds > 0.0) {
+      group_.server(i).setIdleTimeout(opts_.idleTimeoutSeconds);
+    }
   }
 }
 
 RpcdServer::~RpcdServer() = default;
 
-void RpcdServer::run() { loop_.run(); }
+void RpcdServer::run() { group_.runOnCaller(); }
 
-void RpcdServer::stop() { loop_.stop(); }
+void RpcdServer::stop() { group_.stop(); }
 
 void RpcdServer::advanceTo(double now) {
   // Lazy advance: every event at or before `now` runs before the fetch
@@ -84,6 +89,7 @@ void RpcdServer::observeSample(rpc::CollectKind kind, NodeId node,
 }
 
 ClusterStatsWire RpcdServer::snapshotStats(double now) {
+  std::lock_guard<std::mutex> lock(stateMutex_);
   advanceTo(now);
   ClusterStatsWire stats;
   if (engine_ != nullptr) {
@@ -118,7 +124,8 @@ void RpcdServer::handleStats(TcpServer::Connection& conn, double now) {
   conn.send(MsgType::kStatsData, enc);
 }
 
-void RpcdServer::handleFrame(TcpServer::Connection& conn, Frame&& frame) {
+void RpcdServer::handleFrame(TcpServer::Connection& conn,
+                             const Frame& frame) {
   rpc::Decoder dec(frame.payload);
   switch (frame.type) {
     case MsgType::kHello: {
@@ -146,16 +153,23 @@ void RpcdServer::handleFrame(TcpServer::Connection& conn, Frame&& frame) {
                        "node " + std::to_string(node));
         return;
       }
+      // The state mutex serializes shard threads through the shared
+      // source and the archive observer (DESIGN.md §15): responses
+      // depend only on (node, now), so which shard's request advances
+      // the simulation first does not change any payload.
       metrics::SadcSnapshot snap;
-      if (engine_ != nullptr) {
-        advanceTo(now);
-        snap = hub_->sadc(node).fetch();
-      } else {
-        snap = proc_->collect(node, now);
-      }
       rpc::Encoder enc;
-      rpc::encodeSnapshot(enc, snap);
-      observeSample(rpc::CollectKind::kSadc, node, now, kNoTime, enc);
+      {
+        std::lock_guard<std::mutex> lock(stateMutex_);
+        if (engine_ != nullptr) {
+          advanceTo(now);
+          snap = hub_->sadc(node).fetch();
+        } else {
+          snap = proc_->collect(node, now);
+        }
+        rpc::encodeSnapshot(enc, snap);
+        observeSample(rpc::CollectKind::kSadc, node, now, kNoTime, enc);
+      }
       conn.send(MsgType::kSadcData, enc);
       return;
     }
@@ -171,18 +185,21 @@ void RpcdServer::handleFrame(TcpServer::Connection& conn, Frame&& frame) {
         return;
       }
       std::vector<hadooplog::StateSample> rows;
-      if (engine_ != nullptr) {
-        advanceTo(now);
-        rows = tt ? hub_->hadoopLog(node).fetchTt(watermark)
-                  : hub_->hadoopLog(node).fetchDn(watermark);
-      } else {
-        rows = tt ? proc_->fetchTt(node, watermark)
-                  : proc_->fetchDn(node, watermark);
-      }
       rpc::Encoder enc;
-      rpc::encodeSamples(enc, rows);
-      observeSample(tt ? rpc::CollectKind::kTt : rpc::CollectKind::kDn,
-                    node, now, watermark, enc);
+      {
+        std::lock_guard<std::mutex> lock(stateMutex_);
+        if (engine_ != nullptr) {
+          advanceTo(now);
+          rows = tt ? hub_->hadoopLog(node).fetchTt(watermark)
+                    : hub_->hadoopLog(node).fetchDn(watermark);
+        } else {
+          rows = tt ? proc_->fetchTt(node, watermark)
+                    : proc_->fetchDn(node, watermark);
+        }
+        rpc::encodeSamples(enc, rows);
+        observeSample(tt ? rpc::CollectKind::kTt : rpc::CollectKind::kDn,
+                      node, now, watermark, enc);
+      }
       conn.send(tt ? MsgType::kTtData : MsgType::kDnData, enc);
       return;
     }
@@ -199,11 +216,14 @@ void RpcdServer::handleFrame(TcpServer::Connection& conn, Frame&& frame) {
                        "node " + std::to_string(node));
         return;
       }
-      advanceTo(now);
-      const syscalls::TraceSecond trace = hub_->strace(node).fetch();
       rpc::Encoder enc;
-      rpc::encodeTrace(enc, trace);
-      observeSample(rpc::CollectKind::kStrace, node, now, kNoTime, enc);
+      {
+        std::lock_guard<std::mutex> lock(stateMutex_);
+        advanceTo(now);
+        const syscalls::TraceSecond trace = hub_->strace(node).fetch();
+        rpc::encodeTrace(enc, trace);
+        observeSample(rpc::CollectKind::kStrace, node, now, kNoTime, enc);
+      }
       conn.send(MsgType::kStraceData, enc);
       return;
     }
@@ -216,7 +236,7 @@ void RpcdServer::handleFrame(TcpServer::Connection& conn, Frame&& frame) {
       conn.send(MsgType::kShutdownAck, enc);
       conn.close();
       logInfo("asdf_rpcd: shutdown requested; exiting");
-      loop_.stop();
+      group_.stop();
       return;
     }
     default:

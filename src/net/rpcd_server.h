@@ -14,20 +14,27 @@
 //          walk when /proc is unavailable) plus replayed hadoop-log
 //          rows; the honest "online on a real machine" mode.
 //
-// Single-threaded on an EventLoop: requests are served in arrival
-// order, never concurrently, so the hosted simulation needs no locks.
+// Default (--shards=1): single-threaded on an EventLoop — requests
+// are served in arrival order, never concurrently, so the hosted
+// simulation needs no locks. With --shards=N the network plane is a
+// ShardGroup (per-shard loops + SO_REUSEPORT listeners, DESIGN.md
+// §15) and a state mutex serializes access to the shared source.
+// Responses stay byte-identical either way: every request carries its
+// own virtual `now`, the simulation is advanced lazily to it under
+// the mutex, and what a fetch returns depends only on (channel, node,
+// now, watermark) — not on which connection's request ran first.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "faults/faults.h"
 #include "hadoop/cluster.h"
 #include "net/cluster_stats.h"
-#include "net/event_loop.h"
 #include "net/proc_source.h"
-#include "net/tcp_server.h"
+#include "net/shard_group.h"
 #include "rpc/daemons.h"
 #include "sim/engine.h"
 #include "workload/gridmix.h"
@@ -47,6 +54,11 @@ struct RpcdOptions {
   /// Reap connections with no read/write progress for this long
   /// (--idle-timeout; 0 = never — see TcpServer::setIdleTimeout).
   double idleTimeoutSeconds = 0.0;
+  /// Network-plane shards (--shards; see ShardGroup). 1 = the classic
+  /// single-loop daemon.
+  int shards = 1;
+  /// Test hook: force the acceptor-handoff fallback path.
+  bool preferReusePort = true;
 };
 
 class RpcdServer {
@@ -54,18 +66,20 @@ class RpcdServer {
   explicit RpcdServer(const RpcdOptions& opts);
   ~RpcdServer();
 
-  std::uint16_t port() const { return server_.port(); }
+  std::uint16_t port() const { return group_.port(); }
+  int shardCount() const { return group_.shardCount(); }
+  bool usingReusePort() const { return group_.usingReusePort(); }
 
   /// Serves until stop() or a kShutdown frame. Call from the thread
-  /// that owns the daemon.
+  /// that owns the daemon (shards 2..N run on spawned threads).
   void run();
 
   /// Thread-safe; makes run() return.
   void stop();
 
-  long framesServed() const { return server_.framesServed(); }
-  long connectionsRejected() const { return server_.connectionsRejected(); }
-  long connectionsReaped() const { return server_.connectionsReaped(); }
+  long framesServed() const { return group_.framesServed(); }
+  long connectionsRejected() const { return group_.connectionsRejected(); }
+  long connectionsReaped() const { return group_.connectionsReaped(); }
 
   /// Cluster-side accounting as of virtual time `now` (the payload the
   /// kStats request returns; the daemon main also stamps it into the
@@ -73,15 +87,18 @@ class RpcdServer {
   ClusterStatsWire snapshotStats(double now);
 
  private:
-  void handleFrame(TcpServer::Connection& conn, Frame&& frame);
+  void handleFrame(TcpServer::Connection& conn, const Frame& frame);
   void advanceTo(double now);
   void handleStats(TcpServer::Connection& conn, double now);
   void observeSample(rpc::CollectKind kind, NodeId node, double now,
                      double watermark, const rpc::Encoder& enc);
 
   RpcdOptions opts_;
-  EventLoop loop_;
-  TcpServer server_;
+  ShardGroup group_;
+  /// Serializes shard threads through the shared source (sim engine /
+  /// proc walker) and the archive observer. Uncontended no-op cost at
+  /// shards=1.
+  std::mutex stateMutex_;
 
   // sim source (null in proc mode).
   std::unique_ptr<sim::SimEngine> engine_;

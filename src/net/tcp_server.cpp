@@ -5,6 +5,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -30,23 +31,44 @@ double monotonicSeconds() {
 
 }  // namespace
 
-TcpServer::TcpServer(EventLoop& loop, std::uint16_t port) : loop_(loop) {
+TcpServer::TcpServer(EventLoop& loop, std::uint16_t port)
+    : TcpServer(loop, TcpServerOptions{port, /*reusePort=*/false,
+                                       /*listen=*/true}) {}
+
+TcpServer::TcpServer(EventLoop& loop, const TcpServerOptions& options)
+    : loop_(loop) {
+  connections_.reserve(64);
+  if (!options.listen) {
+    // Listenerless shard: connections arrive via adoptFd() only.
+    port_ = options.port;
+    return;
+  }
   listenFd_ = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (listenFd_ < 0) {
     throw NetError(std::string("socket: ") + std::strerror(errno));
   }
   const int one = 1;
   setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (options.reusePort) {
+    if (setsockopt(listenFd_, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) <
+        0) {
+      const std::string why = std::strerror(errno);
+      close(listenFd_);
+      listenFd_ = -1;
+      throw NetError("setsockopt(SO_REUSEPORT): " + why);
+    }
+  }
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
+  addr.sin_port = htons(options.port);
   if (bind(listenFd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
     const std::string why = std::strerror(errno);
     close(listenFd_);
     listenFd_ = -1;
-    throw NetError("bind 127.0.0.1:" + std::to_string(port) + ": " + why);
+    throw NetError("bind 127.0.0.1:" + std::to_string(options.port) + ": " +
+                   why);
   }
   if (listen(listenFd_, 64) < 0) {
     const std::string why = std::strerror(errno);
@@ -70,6 +92,7 @@ TcpServer::~TcpServer() {
     close(conn->fd_);
   }
   connections_.clear();
+  connectionCount_.store(0, std::memory_order_relaxed);
   if (listenFd_ >= 0) {
     loop_.unwatchFd(listenFd_);
     close(listenFd_);
@@ -84,19 +107,27 @@ void TcpServer::handleAccept() {
       if (errno == EINTR) continue;
       return;  // transient accept failure; keep listening
     }
-    setNonBlocking(fd);
-    const int one = 1;
-    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    const std::uint64_t id = nextConnId_++;
-    auto conn = std::make_unique<Connection>(*this, fd, id);
-    conn->lastActivity_ = monotonicSeconds();
-    Connection* raw = conn.get();
-    connections_.emplace(id, std::move(conn));
-    loop_.watchFd(fd, /*wantRead=*/true, /*wantWrite=*/false,
-                  [this, raw](int, std::uint32_t events) {
-                    handleConnection(*raw, events);
-                  });
+    if (acceptHook_ && acceptHook_(fd)) continue;  // handed to a shard
+    addConnection(fd);
   }
+}
+
+void TcpServer::adoptFd(int fd) { addConnection(fd); }
+
+void TcpServer::addConnection(int fd) {
+  setNonBlocking(fd);
+  const int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  const std::uint64_t id = nextConnId_++;
+  auto conn = std::make_unique<Connection>(*this, fd, id);
+  conn->lastActivity_ = monotonicSeconds();
+  Connection* raw = conn.get();
+  connections_.emplace(id, std::move(conn));
+  connectionCount_.store(connections_.size(), std::memory_order_relaxed);
+  loop_.watchFd(fd, /*wantRead=*/true, /*wantWrite=*/false,
+                [this, raw](int, std::uint32_t events) {
+                  handleConnection(*raw, events);
+                });
 }
 
 void TcpServer::handleConnection(Connection& conn, std::uint32_t events) {
@@ -111,6 +142,10 @@ void TcpServer::handleConnection(Connection& conn, std::uint32_t events) {
   }
   if ((events & EventLoop::kReadable) == 0) return;
 
+  // Cork for the whole read batch: every response the handler queues
+  // below accumulates in outbound_ and leaves in one syscall at the
+  // flush after the loop.
+  conn.corked_ = true;
   std::uint8_t buf[65536];
   for (;;) {
     const ssize_t n = read(conn.fd_, buf, sizeof(buf));
@@ -122,44 +157,56 @@ void TcpServer::handleConnection(Connection& conn, std::uint32_t events) {
         // connection) keeps running.
         logWarn("net: dropping connection " + std::to_string(id) + ": " +
                 frameErrorName(conn.decoder_.error()));
-        ++connectionsRejected_;
+        connectionsRejected_.fetch_add(1, std::memory_order_relaxed);
         dropConnection(id);
         return;
       }
-      Frame frame;
-      while (conn.decoder_.next(frame)) {
-        ++framesServed_;
-        if (handler_) {
-          try {
-            handler_(conn, std::move(frame));
-          } catch (const std::exception& e) {
-            conn.sendError(ErrorCode::kInternal, e.what());
-          }
-        }
-        // The handler may have closed the connection.
-        if (connections_.find(id) == connections_.end()) return;
-      }
+      dispatchDecoded(conn);
+      // The handler may have closed or dropped the connection.
+      if (connections_.find(id) == connections_.end()) return;
       continue;
     }
-    if (n == 0) {  // orderly peer close
-      dropConnection(id);
+    if (n == 0) {
+      // Orderly peer close: flush any responses to the requests it
+      // pipelined before closing its write side, then drop.
+      conn.corked_ = false;
+      conn.closing_ = true;
+      flushOutbound(conn);
       return;
     }
-    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
     if (errno == EINTR) continue;
     dropConnection(id);
     return;
   }
+  conn.corked_ = false;
+  flushOutbound(conn);
+}
+
+void TcpServer::dispatchDecoded(Connection& conn) {
+  const std::uint64_t id = conn.id_;
+  while (conn.decoder_.next(conn.scratch_)) {
+    framesServed_.fetch_add(1, std::memory_order_relaxed);
+    if (handler_) {
+      try {
+        handler_(conn, conn.scratch_);
+      } catch (const std::exception& e) {
+        conn.sendError(ErrorCode::kInternal, e.what());
+      }
+    }
+    if (connections_.find(id) == connections_.end()) return;
+  }
 }
 
 void TcpServer::flushOutbound(Connection& conn) {
-  while (!conn.outbound_.empty()) {
-    const ssize_t n = send(conn.fd_, conn.outbound_.data(),
-                           conn.outbound_.size(), MSG_NOSIGNAL);
+  if (conn.corked_) return;  // the batch leaves at uncork
+  while (conn.outboundHead_ < conn.outbound_.size()) {
+    const ssize_t n =
+        send(conn.fd_, conn.outbound_.data() + conn.outboundHead_,
+             conn.outbound_.size() - conn.outboundHead_, MSG_NOSIGNAL);
     if (n > 0) {
       conn.lastActivity_ = monotonicSeconds();
-      conn.outbound_.erase(conn.outbound_.begin(),
-                           conn.outbound_.begin() + n);
+      conn.outboundHead_ += static_cast<std::size_t>(n);
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
@@ -167,16 +214,27 @@ void TcpServer::flushOutbound(Connection& conn) {
     dropConnection(conn.id_);
     return;
   }
-  if (conn.outbound_.empty()) {
+  if (conn.outboundHead_ == conn.outbound_.size()) {
+    // Fully drained: reset the head offset, keep the capacity.
+    conn.outbound_.clear();
+    conn.outboundHead_ = 0;
     if (conn.closing_) {
       dropConnection(conn.id_);
       return;
     }
-    loop_.modifyFd(conn.fd_, /*wantRead=*/true, /*wantWrite=*/false);
-  } else {
-    loop_.modifyFd(conn.fd_, /*wantRead=*/!conn.closing_,
-                   /*wantWrite=*/true);
   }
+  updateWriteInterest(conn);
+}
+
+void TcpServer::updateWriteInterest(Connection& conn) {
+  const bool wantWrite = conn.outboundHead_ < conn.outbound_.size();
+  const bool wantRead = !conn.closing_;
+  if (wantWrite == conn.watchingWrite_ && wantRead == conn.watchingRead_) {
+    return;  // epoll_ctl only on change
+  }
+  conn.watchingWrite_ = wantWrite;
+  conn.watchingRead_ = wantRead;
+  loop_.modifyFd(conn.fd_, wantRead, wantWrite);
 }
 
 void TcpServer::dropConnection(std::uint64_t id) {
@@ -185,6 +243,7 @@ void TcpServer::dropConnection(std::uint64_t id) {
   loop_.unwatchFd(it->second->fd_);
   close(it->second->fd_);
   connections_.erase(it);
+  connectionCount_.store(connections_.size(), std::memory_order_relaxed);
 }
 
 void TcpServer::setIdleTimeout(double seconds) {
@@ -213,40 +272,80 @@ void TcpServer::reapIdle() {
   }
   for (const std::uint64_t id : idle) {
     logWarn("net: reaping idle connection " + std::to_string(id));
-    ++connectionsReaped_;
+    connectionsReaped_.fetch_add(1, std::memory_order_relaxed);
     dropConnection(id);
   }
 }
 
 void TcpServer::Connection::send(MsgType type, const rpc::Encoder& payload) {
-  const std::vector<std::uint8_t> frame = encodeFrame(type, payload);
-  if (server_.maxOutboundBytes_ != 0 &&
-      outbound_.size() + frame.size() > server_.maxOutboundBytes_) {
-    // The peer stopped draining its responses: dropping bounds memory
-    // (the peer's decoder couldn't survive a truncated stream anyway).
-    logWarn("net: dropping connection " + std::to_string(id_) +
-            ": outbound buffer over cap");
-    ++server_.connectionsOverflowed_;
-    server_.dropConnection(id_);
-    return;
-  }
-  outbound_.insert(outbound_.end(), frame.begin(), frame.end());
-  server_.flushOutbound(*this);
+  queueFrame(type, payload.bytes().data(), payload.size());
 }
 
 void TcpServer::Connection::sendError(ErrorCode code,
                                       const std::string& message) {
-  const std::vector<std::uint8_t> frame = encodeErrorFrame(code, message);
+  rpc::Encoder enc;
+  enc.putU32(static_cast<std::uint32_t>(code));
+  enc.putString(message);
+  queueFrame(MsgType::kError, enc.bytes().data(), enc.size());
+}
+
+void TcpServer::Connection::queueFrame(MsgType type,
+                                       const std::uint8_t* payload,
+                                       std::size_t size) {
+  const std::size_t queued = outbound_.size() - outboundHead_;
   if (server_.maxOutboundBytes_ != 0 &&
-      outbound_.size() + frame.size() > server_.maxOutboundBytes_) {
+      queued + kFrameHeaderBytes + size > server_.maxOutboundBytes_) {
+    // The peer stopped draining its responses: dropping bounds memory
+    // (the peer's decoder couldn't survive a truncated stream anyway).
     logWarn("net: dropping connection " + std::to_string(id_) +
             ": outbound buffer over cap");
-    ++server_.connectionsOverflowed_;
+    server_.connectionsOverflowed_.fetch_add(1, std::memory_order_relaxed);
     server_.dropConnection(id_);
     return;
   }
-  outbound_.insert(outbound_.end(), frame.begin(), frame.end());
-  server_.flushOutbound(*this);
+  if (!corked_ && queued == 0) {
+    // Nothing buffered and no batch in progress: scatter-gather the
+    // stack header and the payload out in one sendmsg, no copy of the
+    // payload next to its header, no outbound_ traffic at all when
+    // the socket takes the whole frame (the common case).
+    std::uint8_t header[kFrameHeaderBytes];
+    encodeFrameHeader(header, type, payload, size);
+    iovec iov[2];
+    iov[0] = {header, kFrameHeaderBytes};
+    iov[1] = {const_cast<std::uint8_t*>(payload), size};
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = size > 0 ? 2 : 1;
+    std::size_t sent = 0;
+    for (;;) {
+      const ssize_t n = sendmsg(fd_, &msg, MSG_NOSIGNAL);
+      if (n >= 0) {
+        lastActivity_ = monotonicSeconds();
+        sent = static_cast<std::size_t>(n);
+        break;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      server_.dropConnection(id_);
+      return;
+    }
+    const std::size_t total = kFrameHeaderBytes + size;
+    if (sent < total) {  // buffer the unsent tail for writability
+      if (sent < kFrameHeaderBytes) {
+        outbound_.insert(outbound_.end(), header + sent,
+                         header + kFrameHeaderBytes);
+        outbound_.insert(outbound_.end(), payload, payload + size);
+      } else {
+        outbound_.insert(outbound_.end(),
+                         payload + (sent - kFrameHeaderBytes),
+                         payload + size);
+      }
+    }
+    server_.updateWriteInterest(*this);
+    return;
+  }
+  encodeFrameInto(outbound_, type, payload, size);
+  if (!corked_) server_.flushOutbound(*this);
 }
 
 void TcpServer::Connection::close() {

@@ -5,6 +5,26 @@
 // complete frame to one handler. Writes are non-blocking with a
 // per-connection outbound buffer drained on writability.
 //
+// Hot-path shape (DESIGN.md §15): the steady-state request/response
+// cycle performs zero heap allocations — the decoder indexes frames in
+// place, one reused scratch Frame carries payloads to the handler, and
+// responses encode straight into the connection's outbound buffer.
+// While a read batch is being dispatched the connection is *corked*:
+// every response queued by the handler accumulates and leaves in one
+// send() when the batch ends, so a pipelining client costs one write
+// syscall per batch instead of one per frame. Uncorked single
+// responses go out via sendmsg scatter-gather (stack header + payload
+// iovec) without ever copying the payload next to its header.
+//
+// Sharding hooks: TcpServerOptions can request SO_REUSEPORT (several
+// shard servers bind the same port and the kernel spreads accepts), or
+// no listener at all — connections then arrive via adoptFd(), handed
+// across loops with EventLoop::post by an acceptor shard whose
+// onAccept interceptor round-robins raw fds (the fallback when
+// SO_REUSEPORT is unavailable). Each shard owns its connections
+// outright; no lock is ever taken on the data path. Counters are
+// relaxed atomics so a ShardGroup can sum them across live shards.
+//
 // Robustness contract: a connection that sends malformed framing (bad
 // magic, version skew, oversized length, CRC mismatch) is counted and
 // dropped — a corrupt length-prefixed stream cannot be resynchronized
@@ -19,16 +39,26 @@
 // process-killing SIGPIPE.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "net/event_loop.h"
 #include "net/frame.h"
 
 namespace asdf::net {
+
+struct TcpServerOptions {
+  std::uint16_t port = 0;  // 0 = ephemeral (when listening)
+  /// SO_REUSEPORT on the listener so sibling shard servers can bind
+  /// the same port.
+  bool reusePort = false;
+  /// false: no listener at all — connections arrive via adoptFd().
+  bool listen = true;
+};
 
 class TcpServer {
  public:
@@ -37,8 +67,10 @@ class TcpServer {
     Connection(TcpServer& server, int fd, std::uint64_t id)
         : server_(server), fd_(fd), id_(id) {}
 
-    /// Queues one frame for delivery (immediate write, remainder
-    /// buffered until the socket drains).
+    /// Queues one frame for delivery. Uncorked with an empty buffer:
+    /// one sendmsg(header iovec + payload iovec); otherwise the frame
+    /// is encoded in place onto the outbound buffer (corked frames all
+    /// leave in one syscall when the read batch ends).
     void send(MsgType type, const rpc::Encoder& payload);
     void sendError(ErrorCode code, const std::string& message);
     /// Closes after the outbound buffer drains.
@@ -48,27 +80,48 @@ class TcpServer {
 
    private:
     friend class TcpServer;
+    void queueFrame(MsgType type, const std::uint8_t* payload,
+                    std::size_t size);
+
     TcpServer& server_;
     int fd_;
     std::uint64_t id_;
     FrameDecoder decoder_;
+    Frame scratch_;  // reused per-dispatch payload carrier
     std::vector<std::uint8_t> outbound_;
+    std::size_t outboundHead_ = 0;  // drained prefix of outbound_
+    bool corked_ = false;
+    bool watchingRead_ = true;
+    bool watchingWrite_ = false;
     bool closing_ = false;
     double lastActivity_ = 0.0;  // monotonic; read/write progress
   };
 
   /// Frame handler: called once per complete inbound frame, on the
-  /// loop thread.
-  using FrameHandler = std::function<void(Connection&, Frame&&)>;
+  /// loop thread. The Frame is a reused scratch owned by the
+  /// connection — copy out anything that must outlive the call.
+  using FrameHandler = std::function<void(Connection&, const Frame&)>;
+
+  /// Accept interceptor: offered every freshly accepted fd before the
+  /// server builds a connection for it. Return true to take ownership
+  /// (e.g. hand it to a sibling shard via EventLoop::post + adoptFd);
+  /// false lets this server keep it.
+  using AcceptInterceptor = std::function<bool(int fd)>;
 
   /// Binds and listens on 127.0.0.1:`port` (0 = ephemeral; see
   /// port()). Throws NetError on bind/listen failure.
   TcpServer(EventLoop& loop, std::uint16_t port);
+  TcpServer(EventLoop& loop, const TcpServerOptions& options);
   ~TcpServer();
   TcpServer(const TcpServer&) = delete;
   TcpServer& operator=(const TcpServer&) = delete;
 
   void onFrame(FrameHandler handler) { handler_ = std::move(handler); }
+  void onAccept(AcceptInterceptor cb) { acceptHook_ = std::move(cb); }
+
+  /// Takes ownership of an established socket as a new connection.
+  /// Must run on this server's loop thread (post() it across shards).
+  void adoptFd(int fd);
 
   /// Reaps connections with no read/write progress for `seconds`
   /// (checked at half that interval on the loop). 0 disables (the
@@ -81,16 +134,29 @@ class TcpServer {
   void setMaxOutboundBytes(std::size_t bytes) { maxOutboundBytes_ = bytes; }
 
   std::uint16_t port() const { return port_; }
-  std::size_t connectionCount() const { return connections_.size(); }
-  long framesServed() const { return framesServed_; }
-  long connectionsRejected() const { return connectionsRejected_; }
-  long connectionsReaped() const { return connectionsReaped_; }
-  long connectionsOverflowed() const { return connectionsOverflowed_; }
+  std::size_t connectionCount() const {
+    return connectionCount_.load(std::memory_order_relaxed);
+  }
+  long framesServed() const {
+    return framesServed_.load(std::memory_order_relaxed);
+  }
+  long connectionsRejected() const {
+    return connectionsRejected_.load(std::memory_order_relaxed);
+  }
+  long connectionsReaped() const {
+    return connectionsReaped_.load(std::memory_order_relaxed);
+  }
+  long connectionsOverflowed() const {
+    return connectionsOverflowed_.load(std::memory_order_relaxed);
+  }
 
  private:
   void handleAccept();
+  void addConnection(int fd);
   void handleConnection(Connection& conn, std::uint32_t events);
+  void dispatchDecoded(Connection& conn);
   void flushOutbound(Connection& conn);
+  void updateWriteInterest(Connection& conn);
   void dropConnection(std::uint64_t id);
   void armReapTimer();
   void reapIdle();
@@ -99,12 +165,16 @@ class TcpServer {
   int listenFd_ = -1;
   std::uint16_t port_ = 0;
   FrameHandler handler_;
-  std::map<std::uint64_t, std::unique_ptr<Connection>> connections_;
+  AcceptInterceptor acceptHook_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<Connection>> connections_;
   std::uint64_t nextConnId_ = 1;
-  long framesServed_ = 0;
-  long connectionsRejected_ = 0;  // dropped for malformed framing
-  long connectionsReaped_ = 0;    // dropped for idling past the timeout
-  long connectionsOverflowed_ = 0;  // dropped for an over-cap outbound
+  // Relaxed atomics: bumped on the loop thread, summed cross-thread by
+  // ShardGroup while shards are live.
+  std::atomic<std::size_t> connectionCount_{0};
+  std::atomic<long> framesServed_{0};
+  std::atomic<long> connectionsRejected_{0};  // malformed framing
+  std::atomic<long> connectionsReaped_{0};    // idled past the timeout
+  std::atomic<long> connectionsOverflowed_{0};  // over-cap outbound
   double idleTimeoutSeconds_ = 0.0;
   std::size_t maxOutboundBytes_ = 0;
   int reapTimer_ = -1;

@@ -492,7 +492,7 @@ TEST(ChaosProxy, PartitionWindowStallsBytesThenDeliversThem) {
 TEST(ChaosProxy, FramedProtocolSurvivesCorruptionAndSlicing) {
   EventLoop serverLoop;
   TcpServer server(serverLoop, 0);
-  server.onFrame([](TcpServer::Connection& conn, Frame&& frame) {
+  server.onFrame([](TcpServer::Connection& conn, const Frame& frame) {
     rpc::Encoder out;
     out.putU32(0);
     conn.send(frame.type, out);

@@ -86,6 +86,46 @@ TEST(CheckFlags, ValidatesSubcommandFlagsPastPositionals) {
   EXPECT_FALSE(checkFlags(4 - 2, argv + 2, {}, "usage\n"));
 }
 
+// --shards is parsed strictly (asdf_rpcd / asdf_aggd): a daemon
+// silently running single-shard when the operator asked for 8 would be
+// a perf bug nobody notices, so anything but a positive integer in
+// range is a hard startup error.
+TEST(ParseShards, DefaultsToOneWhenAbsent) {
+  std::vector<std::string> storage;
+  std::vector<char*> ptrs;
+  char** argv = argvOf(storage, ptrs, {"prog", "--port=1"});
+  int shards = -1;
+  EXPECT_TRUE(parseShards(2, argv, shards));
+  EXPECT_EQ(shards, 1);
+}
+
+TEST(ParseShards, AcceptsPositiveIntegersUpToTheCap) {
+  std::vector<std::string> storage;
+  std::vector<char*> ptrs;
+  int shards = 0;
+  char** argv = argvOf(storage, ptrs, {"prog", "--shards=4"});
+  EXPECT_TRUE(parseShards(2, argv, shards));
+  EXPECT_EQ(shards, 4);
+  argv = argvOf(storage, ptrs, {"prog", "--shards=1"});
+  EXPECT_TRUE(parseShards(2, argv, shards));
+  EXPECT_EQ(shards, 1);
+  argv = argvOf(storage, ptrs, {"prog", "--shards=64"});
+  EXPECT_TRUE(parseShards(2, argv, shards));
+  EXPECT_EQ(shards, 64);
+}
+
+TEST(ParseShards, RejectsZeroNegativeNonNumericAndOverCap) {
+  std::vector<std::string> storage;
+  std::vector<char*> ptrs;
+  for (const char* bad :
+       {"--shards=0", "--shards=-2", "--shards=two", "--shards=4x",
+        "--shards=", "--shards=65", "--shards=1e3"}) {
+    int shards = 0;
+    char** argv = argvOf(storage, ptrs, {"prog", bad});
+    EXPECT_FALSE(parseShards(2, argv, shards)) << bad;
+  }
+}
+
 TEST(CheckFlags, AcceptsEmptyCommandLine) {
   std::vector<std::string> storage;
   std::vector<char*> ptrs;

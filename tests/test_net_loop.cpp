@@ -134,7 +134,7 @@ TEST(TcpServer, ServesFramesAndSurvivesHandlerErrors) {
   EventLoop loop;
   TcpServer server(loop, 0);
   ASSERT_GT(server.port(), 0);
-  server.onFrame([](TcpServer::Connection& conn, Frame&& frame) {
+  server.onFrame([](TcpServer::Connection& conn, const Frame& frame) {
     if (frame.type == MsgType::kHello) {
       rpc::Decoder in(frame.payload);
       in.getU32();
@@ -175,7 +175,7 @@ TEST(TcpServer, ServesFramesAndSurvivesHandlerErrors) {
 TEST(TcpServer, MalformedFramingDropsOnlyThatConnection) {
   EventLoop loop;
   TcpServer server(loop, 0);
-  server.onFrame([](TcpServer::Connection& conn, Frame&& frame) {
+  server.onFrame([](TcpServer::Connection& conn, const Frame& frame) {
     rpc::Encoder out;
     out.putU32(0);
     conn.send(frame.type, out);
@@ -207,7 +207,7 @@ TEST(TcpServer, MalformedFramingDropsOnlyThatConnection) {
 TEST(TcpServer, CrcCorruptionDropsConnection) {
   EventLoop loop;
   TcpServer server(loop, 0);
-  server.onFrame([](TcpServer::Connection&, Frame&&) {});
+  server.onFrame([](TcpServer::Connection&, const Frame&) {});
   std::thread loopThread([&] { loop.run(); });
 
   {
@@ -229,7 +229,7 @@ TEST(TcpServer, CrcCorruptionDropsConnection) {
 TEST(TcpServer, ReapsIdleConnections) {
   EventLoop loop;
   TcpServer server(loop, 0);
-  server.onFrame([](TcpServer::Connection& conn, Frame&& frame) {
+  server.onFrame([](TcpServer::Connection& conn, const Frame& frame) {
     rpc::Encoder out;
     out.putU32(0);
     conn.send(frame.type, out);
@@ -259,7 +259,7 @@ TEST(TcpServer, OutboundBufferOverCapDropsTheConnection) {
   TcpServer server(loop, 0);
   server.setMaxOutboundBytes(128 * 1024);
   const std::string blob(64 * 1024, 'x');
-  server.onFrame([&blob](TcpServer::Connection& conn, Frame&& frame) {
+  server.onFrame([&blob](TcpServer::Connection& conn, const Frame& frame) {
     rpc::Encoder out;
     out.putString(blob);
     conn.send(frame.type, out);
@@ -295,7 +295,7 @@ TEST(TcpServer, OutboundBufferOverCapDropsTheConnection) {
 TEST(TcpServer, WriteToClosedPeerDoesNotKillTheProcess) {
   EventLoop loop;
   TcpServer server(loop, 0);
-  server.onFrame([](TcpServer::Connection& conn, Frame&& frame) {
+  server.onFrame([](TcpServer::Connection& conn, const Frame& frame) {
     // Give the peer's FIN (and the RST its closed socket answers our
     // data with) time to arrive before the 1 MiB response goes out.
     std::this_thread::sleep_for(std::chrono::milliseconds(50));

@@ -1,0 +1,303 @@
+// The SIMD dispatch contract (src/common/simd.h, DESIGN.md §15):
+// every vector path is bit-exact against the scalar reference on every
+// input — length sweeps that cover every tail residue, NaNs, signed
+// zeros, denormals — and the analysis consumers (kmeans, the peer
+// comparisons, MAD) produce identical results whichever ISA dispatch
+// picks. These are the tests that make ASDF_SIMD=ON vs OFF a pure
+// performance knob: alarms cannot move.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "analysis/kmeans.h"
+#include "analysis/mad.h"
+#include "analysis/peercompare.h"
+#include "common/matrix.h"
+#include "common/rng.h"
+#include "common/simd.h"
+#include "common/stats.h"
+
+namespace asdf {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kDenormal = std::numeric_limits<double>::denorm_min();
+
+/// Bitwise double equality: distinguishes -0.0 from 0.0 and treats two
+/// NaNs with the same payload as equal — exactly the "byte-identical
+/// alarms" standard.
+bool sameBits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+/// The ISAs this machine can actually run (kScalar always; wider ones
+/// when forceIsa doesn't clamp them away).
+std::vector<simd::Isa> supportedIsas() {
+  std::vector<simd::Isa> isas{simd::Isa::kScalar};
+  for (simd::Isa isa : {simd::Isa::kSse2, simd::Isa::kAvx2}) {
+    if (simd::forceIsa(isa) == isa) isas.push_back(isa);
+  }
+  simd::forceIsa(simd::bestSupportedIsa());
+  return isas;
+}
+
+/// Restores best-ISA dispatch when a test returns, even on failure.
+struct IsaGuard {
+  ~IsaGuard() { simd::forceIsa(simd::bestSupportedIsa()); }
+};
+
+void fillDeterministic(std::vector<double>& v, std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (double& x : v) {
+    s = s * 6364136223846793005ull + 1442695040888963407ull;
+    const double u =
+        static_cast<double>((s >> 11) & ((1ull << 40) - 1)) / (1ull << 40);
+    x = (u - 0.5) * 1000.0;
+  }
+}
+
+// --- length sweep: every vector-width residue -----------------------
+
+TEST(SimdKernels, BitExactAcrossIsasForEveryLength1To67) {
+  IsaGuard guard;
+  for (std::size_t n = 1; n <= 67; ++n) {
+    std::vector<double> a(n), b(n), sigma(n), outRef(n), outIsa(n);
+    fillDeterministic(a, n * 3 + 1);
+    fillDeterministic(b, n * 5 + 2);
+    fillDeterministic(sigma, n * 7 + 3);
+    for (double& s : sigma) s = std::fabs(s);
+    // A few exact ties exercise the |mean - median| <= 1 branch.
+    for (std::size_t i = 0; i < n; i += 5) b[i] = a[i] + 0.5;
+
+    simd::forceIsa(simd::Isa::kScalar);
+    const double sqRef = simd::sqDistance(a.data(), b.data(), n);
+    const double l1Ref = simd::l1Distance(a.data(), b.data(), n);
+    const double wbRef =
+        simd::whiteBoxCriticalK(a.data(), b.data(), sigma.data(), n, 1e18);
+    simd::absDeviations(a.data(), 12.5, outRef.data(), n);
+
+    for (simd::Isa isa : supportedIsas()) {
+      simd::forceIsa(isa);
+      EXPECT_TRUE(sameBits(sqRef, simd::sqDistance(a.data(), b.data(), n)))
+          << "sqDistance n=" << n << " isa=" << simd::isaName(isa);
+      EXPECT_TRUE(sameBits(l1Ref, simd::l1Distance(a.data(), b.data(), n)))
+          << "l1Distance n=" << n << " isa=" << simd::isaName(isa);
+      EXPECT_TRUE(sameBits(wbRef, simd::whiteBoxCriticalK(
+                                      a.data(), b.data(), sigma.data(), n,
+                                      1e18)))
+          << "whiteBoxCriticalK n=" << n << " isa=" << simd::isaName(isa);
+      simd::absDeviations(a.data(), 12.5, outIsa.data(), n);
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_TRUE(sameBits(outRef[i], outIsa[i]))
+            << "absDeviations n=" << n << " i=" << i
+            << " isa=" << simd::isaName(isa);
+      }
+    }
+  }
+}
+
+// --- special values -------------------------------------------------
+
+TEST(SimdKernels, SpecialValuesMatchScalarBitForBit) {
+  IsaGuard guard;
+  // NaN, +-inf, -0.0, denormals, and huge/tiny magnitudes, scattered
+  // so they land in different lanes and in the tail.
+  const std::vector<double> a = {kNan,  1.0,   -0.0, kDenormal, 1e308,
+                                 -1e308, 0.0,  kInf, -kInf,     2.5,
+                                 kNan,  -2.5,  1e-300};
+  const std::vector<double> b = {1.0,  kNan,  0.0,  -kDenormal, 1e308,
+                                 1e308, -0.0, kInf, kInf,       2.5,
+                                 kNan, 7.75,  -1e-300};
+  std::vector<double> sigma = {0.0, 1.0, kNan, kDenormal, 1e-12,
+                               2.0, 0.5, 1.0,  1.0,       0.25,
+                               1.0, 4.0, 1e-13};
+  const std::size_t n = a.size();
+  std::vector<double> outRef(n), outIsa(n);
+
+  simd::forceIsa(simd::Isa::kScalar);
+  const double sqRef = simd::sqDistance(a.data(), b.data(), n);
+  const double l1Ref = simd::l1Distance(a.data(), b.data(), n);
+  const double wbRef =
+      simd::whiteBoxCriticalK(a.data(), b.data(), sigma.data(), n, 1e18);
+  simd::absDeviations(a.data(), -0.0, outRef.data(), n);
+
+  for (simd::Isa isa : supportedIsas()) {
+    simd::forceIsa(isa);
+    EXPECT_TRUE(sameBits(sqRef, simd::sqDistance(a.data(), b.data(), n)))
+        << simd::isaName(isa);
+    EXPECT_TRUE(sameBits(l1Ref, simd::l1Distance(a.data(), b.data(), n)))
+        << simd::isaName(isa);
+    EXPECT_TRUE(sameBits(wbRef, simd::whiteBoxCriticalK(
+                                    a.data(), b.data(), sigma.data(), n,
+                                    1e18)))
+        << simd::isaName(isa);
+    simd::absDeviations(a.data(), -0.0, outIsa.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_TRUE(sameBits(outRef[i], outIsa[i]))
+          << "i=" << i << " isa=" << simd::isaName(isa);
+    }
+  }
+}
+
+TEST(SimdKernels, NanCandidateNeverReplacesTheWhiteBoxMax) {
+  IsaGuard guard;
+  // Metric 1 produces a NaN critical k (NaN mean); metric 2 a real
+  // one. std::max semantics: the NaN candidate is dropped, the real
+  // max survives — on every ISA.
+  const std::vector<double> mean = {5.0, kNan, 30.0, 5.0};
+  const std::vector<double> median = {5.0, 1.0, 10.0, 5.0};
+  const std::vector<double> sigma = {1.0, 1.0, 4.0, 1.0};
+  simd::forceIsa(simd::Isa::kScalar);
+  const double ref = simd::whiteBoxCriticalK(mean.data(), median.data(),
+                                             sigma.data(), 4, 1e18);
+  EXPECT_TRUE(sameBits(ref, 5.0));
+  for (simd::Isa isa : supportedIsas()) {
+    simd::forceIsa(isa);
+    EXPECT_TRUE(sameBits(ref, simd::whiteBoxCriticalK(
+                                  mean.data(), median.data(), sigma.data(),
+                                  4, 1e18)))
+        << simd::isaName(isa);
+  }
+}
+
+TEST(SimdKernels, ZeroSigmaFallsToTheSentinelOnEveryIsa) {
+  IsaGuard guard;
+  const std::vector<double> mean = {10.0, 1.0};
+  const std::vector<double> median = {1.0, 1.0};
+  const std::vector<double> sigma = {0.0, 1.0};  // below the 1e-12 floor
+  const double sentinel = 424242.0;
+  for (simd::Isa isa : supportedIsas()) {
+    simd::forceIsa(isa);
+    EXPECT_TRUE(sameBits(sentinel,
+                         simd::whiteBoxCriticalK(mean.data(), median.data(),
+                                                 sigma.data(), 2, sentinel)))
+        << simd::isaName(isa);
+  }
+}
+
+// --- dispatch plumbing ----------------------------------------------
+
+TEST(SimdDispatch, ForceIsaClampsToSupportAndReports) {
+  IsaGuard guard;
+  EXPECT_EQ(simd::forceIsa(simd::Isa::kScalar), simd::Isa::kScalar);
+  EXPECT_EQ(simd::activeIsa(), simd::Isa::kScalar);
+  const simd::Isa best = simd::bestSupportedIsa();
+  EXPECT_LE(static_cast<int>(simd::forceIsa(simd::Isa::kAvx2)),
+            static_cast<int>(best));
+  EXPECT_EQ(simd::forceIsa(best), best);
+  EXPECT_EQ(simd::activeIsa(), best);
+  EXPECT_STREQ(simd::isaName(simd::Isa::kScalar), "scalar");
+}
+
+// --- end-to-end: the analysis consumers -----------------------------
+
+template <typename Fn>
+void compareAcrossIsas(Fn&& run) {
+  IsaGuard guard;
+  simd::forceIsa(simd::Isa::kScalar);
+  const auto ref = run();
+  for (simd::Isa isa : supportedIsas()) {
+    simd::forceIsa(isa);
+    const auto got = run();
+    ASSERT_EQ(ref, got) << "diverged on " << simd::isaName(isa);
+  }
+}
+
+Matrix makePoints(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  Matrix m(rows, cols);
+  std::vector<double> row(cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    fillDeterministic(row, seed + r);
+    for (std::size_t c = 0; c < cols; ++c) m.row(r)[c] = row[c];
+  }
+  return m;
+}
+
+TEST(SimdEndToEnd, KMeansTrainingIsIsaInvariant) {
+  const Matrix points = makePoints(60, 17, 99);  // odd dims: nonzero tail
+  compareAcrossIsas([&] {
+    analysis::KMeansOptions options;
+    options.k = 5;
+    Rng rng(1234);
+    const analysis::KMeansResult result =
+        analysis::kmeans(points, options, rng);
+    std::vector<double> flat;
+    for (std::size_t r = 0; r < result.centroids.rows(); ++r) {
+      const double* row = result.centroids.row(r);
+      flat.insert(flat.end(), row, row + result.centroids.cols());
+    }
+    flat.push_back(result.inertia);
+    flat.push_back(static_cast<double>(result.iterations));
+    for (int a : result.assignment) flat.push_back(static_cast<double>(a));
+    return flat;
+  });
+}
+
+TEST(SimdEndToEnd, PeerComparisonsAreIsaInvariant) {
+  const std::size_t nodes = 23, dims = 19;
+  const Matrix hists = makePoints(nodes, dims, 7);
+  const Matrix means = makePoints(nodes, dims, 11);
+  Matrix stddevs = makePoints(nodes, dims, 13);
+  for (std::size_t r = 0; r < nodes; ++r) {
+    for (std::size_t c = 0; c < dims; ++c) {
+      stddevs.row(r)[c] = std::fabs(stddevs.row(r)[c]) + 0.25;
+    }
+  }
+  std::vector<const double*> histRows(nodes), meanRows(nodes), sdRows(nodes);
+  for (std::size_t r = 0; r < nodes; ++r) {
+    histRows[r] = hists.row(r);
+    meanRows[r] = means.row(r);
+    sdRows[r] = stddevs.row(r);
+  }
+  compareAcrossIsas([&] {
+    analysis::PeerScratch scratch;
+    std::vector<double> flags(nodes), scores(nodes);
+    analysis::blackBoxCompareInto(histRows.data(), nodes, dims, 40.0,
+                                  scratch, flags.data(), scores.data());
+    std::vector<double> all(flags);
+    all.insert(all.end(), scores.begin(), scores.end());
+    analysis::whiteBoxCompareInto(meanRows.data(), sdRows.data(), nodes,
+                                  dims, 2.0, scratch, flags.data(),
+                                  scores.data());
+    all.insert(all.end(), flags.begin(), flags.end());
+    all.insert(all.end(), scores.begin(), scores.end());
+    return all;
+  });
+}
+
+TEST(SimdEndToEnd, MadCompareIsIsaInvariant) {
+  std::vector<double> scores(37);
+  fillDeterministic(scores, 21);
+  for (double& s : scores) s = std::fabs(s);
+  scores[5] *= 50.0;  // one loud node
+  compareAcrossIsas([&] {
+    const analysis::PeerComparisonResult r = analysis::madCompare(scores, 3.0);
+    std::vector<double> all(r.flags);
+    all.insert(all.end(), r.scores.begin(), r.scores.end());
+    return all;
+  });
+}
+
+TEST(SimdEndToEnd, L1DistanceNMatchesNaiveSum) {
+  // l1DistanceN (stats.cpp) now routes through the blocked kernel;
+  // the blocked order must still equal the naive left-to-right sum
+  // whenever the sum is exact — integers small enough that every
+  // partial is representable.
+  std::vector<double> a(31), b(31);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<double>(i * 3);
+    b[i] = static_cast<double>((i % 7) * 5);
+  }
+  double naive = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    naive += std::fabs(a[i] - b[i]);
+  }
+  EXPECT_EQ(naive, l1DistanceN(a.data(), b.data(), a.size()));
+}
+
+}  // namespace
+}  // namespace asdf

@@ -8,6 +8,12 @@
 // bench/alloc_hook.cpp, which must not leak into the main suite.
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <thread>
 #include <vector>
 
 #include "alloc_hook.h"
@@ -16,6 +22,10 @@
 #include "common/matrix.h"
 #include "common/rng.h"
 #include "core/value.h"
+#include "net/event_loop.h"
+#include "net/frame.h"
+#include "net/tcp_server.h"
+#include "rpc/wire.h"
 
 namespace asdf {
 namespace {
@@ -135,6 +145,78 @@ TEST(ZeroAlloc, BuilderEmissionAndRetentionAllocateNothing) {
   }
   EXPECT_EQ(allochook::totals().allocs, 0u);
   EXPECT_LE(builder.poolSize(), 12u);
+}
+
+// The net-plane claim (DESIGN.md §15): once a connection's decode
+// buffer, scratch frame and outbound queue are warm, a full
+// request -> decode -> dispatch -> respond exchange performs zero heap
+// allocations on the server — the hot path reuses the per-connection
+// scratch Frame, appends responses into the retained outbound buffer,
+// and the uncorked single-frame path writes straight from a stack
+// header + payload iovec pair.
+TEST(ZeroAlloc, TcpServerSteadyStateExchangeAllocatesNothing) {
+  net::EventLoop loop;
+  net::TcpServer server(loop, 0);
+  // Pre-built response so the handler itself is allocation-free; real
+  // daemons reuse encoders the same way.
+  rpc::Encoder response;
+  response.putDouble(1234.5);
+  response.putString("steady-state");
+  server.onFrame([&response](net::TcpServer::Connection& conn,
+                             const net::Frame&) {
+    conn.send(net::MsgType::kSadcData, response);
+  });
+  std::thread loopThread([&loop] { loop.run(); });
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+
+  const std::vector<std::uint8_t> request =
+      net::encodeFrame(net::MsgType::kStats, nullptr, 0);
+  net::FrameDecoder decoder;
+  net::Frame reply;
+  std::uint8_t chunk[4096];
+  // The client side of the exchange loop is allocation-free too once
+  // the decoder buffer and reply payload are at capacity, so the
+  // global counter isolates the server path.
+  const auto exchange = [&]() -> bool {
+    std::size_t off = 0;
+    while (off < request.size()) {
+      const ssize_t n = ::write(fd, request.data() + off,
+                                request.size() - off);
+      if (n <= 0) return false;
+      off += static_cast<std::size_t>(n);
+    }
+    while (!decoder.next(reply)) {
+      const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+      if (n <= 0 || !decoder.feed(chunk, static_cast<std::size_t>(n))) {
+        return false;
+      }
+    }
+    return reply.type == net::MsgType::kSadcData;
+  };
+
+  // Warm: connection buffers, scratch frame, decoder, reply payload.
+  for (int i = 0; i < 50; ++i) ASSERT_TRUE(exchange());
+
+  allochook::reset();
+  int ok = 0;
+  for (int i = 0; i < 200; ++i) ok += exchange() ? 1 : 0;
+  const allochook::Totals t = allochook::totals();
+  EXPECT_EQ(ok, 200);
+  EXPECT_EQ(t.allocs, 0u)
+      << "accept->dispatch->respond allocated in steady state";
+
+  ::close(fd);
+  loop.stop();
+  loopThread.join();
+  EXPECT_EQ(server.framesServed(), 250);
 }
 
 }  // namespace
