@@ -64,37 +64,50 @@ inline bool checkFlags(int argc, char** argv,
   return true;
 }
 
-/// Strict --shards parsing: accepts only a positive integer (capped at
-/// 64 network-plane shards — far past any sane core count). Returns
-/// false (after printing to stderr) on --shards=0, negatives, or
-/// non-numeric values: a daemon silently running single-shard when the
-/// operator asked for 8 would be a perf bug nobody notices.
-inline bool parseShards(int argc, char** argv, int& shardsOut) {
-  shardsOut = 1;
+/// Strict bounded-integer flag parsing: "--name" absent leaves `out`
+/// at `fallback` and succeeds; present, the value must be a fully
+/// numeric integer within [lo, hi] — a bare "--name", an empty value,
+/// trailing garbage ("8x"), or an out-of-range value prints an error
+/// to stderr and returns false (callers exit nonzero). A flag silently
+/// falling back to its default when the operator mistyped it would be
+/// a config bug nobody notices.
+inline bool parseBoundedInt(int argc, char** argv, const std::string& name,
+                            long lo, long hi, long fallback, long& out) {
+  out = fallback;
+  const std::string bare = "--" + name;
+  const std::string prefix = bare + "=";
   std::string value;
   bool present = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--shards") {
+    if (arg == bare) {
       present = true;  // bare form: no value, rejected below
       value.clear();
-    } else if (arg.compare(0, 9, "--shards=") == 0) {
+    } else if (arg.compare(0, prefix.size(), prefix) == 0) {
       present = true;
-      value = arg.substr(9);
+      value = arg.substr(prefix.size());
     }
   }
   if (!present) return true;
   char* end = nullptr;
   const long parsed =
       value.empty() ? 0 : std::strtol(value.c_str(), &end, 10);
-  if (value.empty() || end == value.c_str() || *end != '\0' || parsed < 1 ||
-      parsed > 64) {
-    std::fprintf(stderr,
-                 "--shards must be an integer in [1, 64], got '%s'\n",
-                 value.c_str());
+  if (value.empty() || end == value.c_str() || *end != '\0' || parsed < lo ||
+      parsed > hi) {
+    std::fprintf(stderr, "--%s must be an integer in [%ld, %ld], got '%s'\n",
+                 name.c_str(), lo, hi, value.c_str());
     return false;
   }
-  shardsOut = static_cast<int>(parsed);
+  out = parsed;
+  return true;
+}
+
+/// Strict --shards parsing: accepts only a positive integer (capped at
+/// 64 network-plane shards — far past any sane core count).
+inline bool parseShards(int argc, char** argv, int& shardsOut) {
+  long shards = 1;
+  if (!parseBoundedInt(argc, argv, "shards", 1, 64, 1, shards)) return false;
+  shardsOut = static_cast<int>(shards);
   return true;
 }
 

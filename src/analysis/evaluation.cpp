@@ -35,7 +35,7 @@ EvalResult evaluate(const AlarmSeries& series, const GroundTruth& truth) {
     for (std::size_t node = 0; node < record.flags.size(); ++node) {
       const bool flagged = record.flags[node] > 0.5;
       const bool culprit =
-          faultActive && static_cast<int>(node) == truth.slaveIndex;
+          faultActive && truth.isCulprit(static_cast<int>(node));
       if (culprit && flagged) ++r.tp;
       if (culprit && !flagged) ++r.fn;
       if (!culprit && flagged) ++r.fp;
@@ -47,12 +47,14 @@ EvalResult evaluate(const AlarmSeries& series, const GroundTruth& truth) {
 
 double fingerpointingLatency(const AlarmSeries& series,
                              const GroundTruth& truth) {
-  if (truth.slaveIndex < 0) return -1.0;
+  if (!truth.anyCulprit()) return -1.0;
   for (const auto& record : series) {
     if (record.time < truth.faultStart) continue;
-    if (static_cast<std::size_t>(truth.slaveIndex) < record.flags.size() &&
-        record.flags[static_cast<std::size_t>(truth.slaveIndex)] > 0.5) {
-      return record.time - truth.faultStart;
+    for (std::size_t node = 0; node < record.flags.size(); ++node) {
+      if (truth.isCulprit(static_cast<int>(node)) &&
+          record.flags[node] > 0.5) {
+        return record.time - truth.faultStart;
+      }
     }
   }
   return -1.0;

@@ -24,13 +24,27 @@ struct AlarmRecord {
 using AlarmSeries = std::vector<AlarmRecord>;
 
 /// What was actually injected. slaveIndex is 0-based (node 1 -> 0);
-/// a negative slaveIndex means a fault-free run.
+/// a negative slaveIndex means a fault-free run. Correlated scenarios
+/// (faults/scenarios.h) can name several culprits at once via
+/// `culprits`; when it is empty the single-culprit semantics of
+/// slaveIndex apply unchanged, keeping every pre-scenario evaluation
+/// byte-identical.
 struct GroundTruth {
   int slaveIndex = -1;
   SimTime faultStart = kNoTime;
   SimTime faultEnd = kNoTime;  // kNoTime = until end of trace
+  /// 0-based culprit slave indices, ascending; empty = slaveIndex only.
+  std::vector<int> culprits;
+  bool anyCulprit() const { return slaveIndex >= 0 || !culprits.empty(); }
+  bool isCulprit(int idx) const {
+    if (culprits.empty()) return idx >= 0 && idx == slaveIndex;
+    for (int c : culprits) {
+      if (c == idx) return true;
+    }
+    return false;
+  }
   bool activeAt(SimTime t) const {
-    return slaveIndex >= 0 && t >= faultStart &&
+    return anyCulprit() && t >= faultStart &&
            (faultEnd == kNoTime || t <= faultEnd);
   }
 };
@@ -49,8 +63,8 @@ struct EvalResult {
 /// the window's time AND node is the culprit".
 EvalResult evaluate(const AlarmSeries& series, const GroundTruth& truth);
 
-/// Seconds from injection to the first window whose flags include the
-/// culprit; negative when the culprit was never flagged after start.
+/// Seconds from injection to the first window whose flags include any
+/// culprit; negative when no culprit was flagged after start.
 double fingerpointingLatency(const AlarmSeries& series,
                              const GroundTruth& truth);
 

@@ -14,13 +14,19 @@ constexpr double kHeartbeatBytes = 1200.0;
 Cluster::Cluster(HadoopParams params, std::uint64_t seed,
                  sim::SimEngine& engine)
     : params_(params),
+      layout_(params.slaveCount, params.topology),
       rng_(seed),
       engine_(engine),
       nameNode_(params.slaveCount, params.replication),
       jobTracker_(*this, nameNode_) {
   assert(params_.slaveCount >= 1);
+  if (!layout_.flat()) {
+    uplinks_ = std::make_unique<topology::UplinkPlane>(
+        layout_, layout_.uplinkBytesPerSec());
+  }
   for (NodeId id = 0; id <= params_.slaveCount; ++id) {
     nodes_.push_back(std::make_unique<Node>(id, params_, rng_.split()));
+    nodes_.back()->setTopology(layout_.rackOf(id), uplinks_.get());
   }
   std::vector<TaskTracker*> tts;
   for (NodeId id = 1; id <= params_.slaveCount; ++id) {
@@ -91,6 +97,7 @@ void Cluster::tick() {
   ++tickCount_;
 
   for (auto& n : nodes_) n->beginTick();
+  if (uplinks_ != nullptr) uplinks_->beginTick();
 
   // Snapshot hook ids: a hook's advance may remove the hook itself
   // (e.g. the DiskHog finishing its 20 GB write).
@@ -105,6 +112,7 @@ void Cluster::tick() {
   }
 
   for (auto& n : nodes_) n->finalizeResources();
+  if (uplinks_ != nullptr) uplinks_->finalize();
 
   for (auto& tt : tts_) tt->advance(now, 1.0);
   for (int id : hookIds) {

@@ -29,6 +29,8 @@
 #include "hadoop/task.h"
 #include "hadoop/tasktracker.h"
 #include "sim/engine.h"
+#include "topology/topology.h"
+#include "topology/uplink.h"
 
 namespace asdf::hadoop {
 
@@ -54,6 +56,10 @@ class Cluster : public ClusterView {
   JobTracker& jobTracker() { return jobTracker_; }
   TaskTracker& taskTracker(NodeId id);
   sim::SimEngine& engine() { return engine_; }
+
+  /// Rack fabric. uplinks() is null on flat (racks == 1) topologies.
+  const topology::ClusterLayout& layout() const { return layout_; }
+  topology::UplinkPlane* uplinks() { return uplinks_.get(); }
 
   /// Slave nodes 1..slaveCount, in id order.
   std::vector<Node*> slaveNodes();
@@ -82,6 +88,8 @@ class Cluster : public ClusterView {
   void scheduleCleanup(Job& job, SimTime now);
 
   HadoopParams params_;
+  topology::ClusterLayout layout_;
+  std::unique_ptr<topology::UplinkPlane> uplinks_;
   Rng rng_;
   sim::SimEngine& engine_;
   std::vector<std::unique_ptr<Node>> nodes_;  // [0] master, [1..N] slaves

@@ -6,12 +6,19 @@
 
 #include <cstddef>
 
+#include "topology/topology.h"
+
 namespace asdf::hadoop {
 
 struct HadoopParams {
   // Cluster shape. Node 0 is the master (JobTracker + NameNode);
   // nodes 1..slaveCount are slaves (TaskTracker + DataNode).
   int slaveCount = 16;
+
+  // Rack fabric (DESIGN.md §16). The default single rack reproduces
+  // the flat pre-topology cluster byte-for-byte: no uplink resources
+  // are created and no flow ever contends on them.
+  topology::TopologySpec topology;
 
   // Node hardware (EC2 Large-ish).
   double cores = 4.0;

@@ -75,6 +75,7 @@ void BlockTransfer::requestResources() {
     hSrcNic_ = src_->nic().request(remaining_);
     hDstNic_ = dst_->nic().request(remaining_);
     hSrcCpu_ = src_->cpu().request(kServeCpuCores);
+    flow_ = requestUplink(*src_, *dst_, remaining_);
   }
 }
 
@@ -94,6 +95,7 @@ double BlockTransfer::advance(double dt) {
   if (src_ != dst_) {
     moved = std::min(moved, src_->nic().granted(hSrcNic_));
     moved = std::min(moved, dst_->nic().granted(hDstNic_));
+    moved = std::min(moved, uplinkGranted(*src_, flow_));
     // The server cannot checksum faster than its CPU share allows.
     const double serveCpu = src_->cpu().granted(hSrcCpu_);
     moved *= serveCpu / kServeCpuCores;

@@ -6,14 +6,36 @@
 // replication.
 #pragma once
 
+#include <limits>
 #include <map>
 #include <vector>
 
 #include "common/rng.h"
 #include "common/types.h"
 #include "hadoop/node.h"
+#include "topology/uplink.h"
 
 namespace asdf::hadoop {
+
+/// Registers a cross-rack uplink demand for one src -> dst stream of
+/// `bytes` this tick. Inert (and free) on flat topologies, same-rack
+/// pairs, loopbacks, and off-fabric endpoints.
+inline topology::UplinkFlow requestUplink(Node& src, Node& dst,
+                                          double bytes) {
+  topology::UplinkPlane* uplinks = src.uplinks();
+  if (uplinks == nullptr || &src == &dst) return topology::UplinkFlow{};
+  return uplinks->request(src.rack(), dst.rack(), bytes);
+}
+
+/// The flow's uplink grant: min of the two rack shares, +infinity for
+/// an inert flow so callers can min() it unconditionally.
+inline double uplinkGranted(Node& src, const topology::UplinkFlow& flow) {
+  topology::UplinkPlane* uplinks = src.uplinks();
+  if (uplinks == nullptr || flow.inert()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return uplinks->granted(flow);
+}
 
 /// The NameNode: allocates block ids and tracks replica placement.
 /// Runs on the master node; its CPU footprint is negligible and folded
@@ -93,6 +115,7 @@ class BlockTransfer {
   int hDstNic_ = -1;
   int hSrcDisk_ = -1;
   int hSrcCpu_ = -1;
+  topology::UplinkFlow flow_;
   bool requested_ = false;
 };
 

@@ -22,6 +22,10 @@
 #include "sim/resources.h"
 #include "syscalls/trace_model.h"
 
+namespace asdf::topology {
+class UplinkPlane;
+}
+
 namespace asdf::hadoop {
 
 /// Per-node fault switches, flipped by the fault injectors and
@@ -45,6 +49,17 @@ class Node : public metrics::SadcProvider {
   sim::CpuResource& cpu() { return cpu_; }
   sim::DiskResource& disk() { return disk_; }
   sim::NicResource& nic() { return nic_; }
+
+  /// Rack placement, set by the Cluster from its layout. rack() is -1
+  /// for the master; uplinks() is null on flat topologies, so flow
+  /// helpers (hdfs.h) degenerate to no-ops and flat runs stay
+  /// byte-identical to the pre-topology simulator.
+  void setTopology(int rack, topology::UplinkPlane* uplinks) {
+    rack_ = rack;
+    uplinks_ = uplinks;
+  }
+  int rack() const { return rack_; }
+  topology::UplinkPlane* uplinks() const { return uplinks_; }
 
   hadooplog::LogBuffer& ttLog() { return ttLog_; }
   hadooplog::LogBuffer& dnLog() { return dnLog_; }
@@ -109,6 +124,8 @@ class Node : public metrics::SadcProvider {
   NodeId id_;
   std::string ip_;
   const HadoopParams& params_;
+  int rack_ = -1;
+  topology::UplinkPlane* uplinks_ = nullptr;
   sim::CpuResource cpu_;
   sim::DiskResource disk_;
   sim::NicResource nic_;

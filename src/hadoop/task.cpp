@@ -198,6 +198,7 @@ void TaskAttempt::requestResources(SimTime now) {
         stream.hSrcNic = src.nic().request(stream.requested);
         stream.hDstNic = host_.nic().request(stream.requested);
         stream.hSrcCpu = src.cpu().request(kServeCpuCores);
+        stream.flow = requestUplink(src, host_, stream.requested);
         streams_.push_back(stream);
       }
       nextSourceRotation_ = (nextSourceRotation_ + examined) % slaves;
@@ -234,6 +235,8 @@ void TaskAttempt::requestResources(SimTime now) {
       hWriteR2Tx_ = r2.nic().request(want);
       hWriteR3Rx_ = r3.nic().request(want);
       hWriteR3Disk_ = r3.disk().request(want);
+      writeFlow2_ = requestUplink(host_, r2, want);
+      writeFlow3_ = requestUplink(r2, r3, want);
       break;
     }
     case Phase::kDone:
@@ -301,6 +304,8 @@ TaskOutcome TaskAttempt::advance(SimTime now, double dt) {
         double moved = std::min(src.disk().granted(s.hSrcDisk),
                                 std::min(src.nic().granted(s.hSrcNic),
                                          host_.nic().granted(s.hDstNic)));
+        // Cross-rack fetches also share the two racks' uplinks.
+        moved = std::min(moved, uplinkGranted(src, s.flow));
         // The serving TaskTracker checksums what it ships.
         const double serveCpu = src.cpu().granted(s.hSrcCpu);
         moved *= serveCpu / kServeCpuCores;
@@ -391,6 +396,9 @@ TaskOutcome TaskAttempt::advance(SimTime now, double dt) {
       wrote = std::min(wrote, r2.nic().granted(hWriteR2Tx_));
       wrote = std::min(wrote, r3.nic().granted(hWriteR3Rx_));
       wrote = std::min(wrote, r3.disk().granted(hWriteR3Disk_));
+      // The replication pipeline's cross-rack hops share the uplinks.
+      wrote = std::min(wrote, uplinkGranted(host_, writeFlow2_));
+      wrote = std::min(wrote, uplinkGranted(r2, writeFlow3_));
       // The write cannot run ahead of the reduce function itself.
       if (cpuTotal_ > 0.0 && cpuRemaining_ > 0.0) {
         const double cpuFractionLeft = cpuRemaining_ / cpuTotal_;

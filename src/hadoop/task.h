@@ -126,6 +126,7 @@ class TaskAttempt {
     int hSrcNic = -1;
     int hDstNic = -1;
     int hSrcCpu = -1;  // the server's checksum CPU
+    topology::UplinkFlow flow;  // cross-rack uplink share (inert if same rack)
     double requested = 0.0;
   };
   std::map<NodeId, double> fetched_;  // bytes fetched per source node
@@ -150,6 +151,8 @@ class TaskAttempt {
   int hWriteR2Tx_ = -1;
   int hWriteR3Rx_ = -1;
   int hWriteR3Disk_ = -1;
+  topology::UplinkFlow writeFlow2_;  // host -> r2 pipeline hop
+  topology::UplinkFlow writeFlow3_;  // r2 -> r3 pipeline hop
   double writtenSinceBlockStart_ = 0.0;
   long currentOutBlock_ = -1;
   bool requestedThisTick_ = false;

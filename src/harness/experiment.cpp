@@ -9,6 +9,7 @@
 #include "archive/collector.h"
 #include "harness/aggregator.h"
 #include "archive/writer.h"
+#include "common/error.h"
 #include "common/logging.h"
 #include "core/fpt_core.h"
 #include "core/realtime.h"
@@ -27,6 +28,7 @@ namespace {
 hadoop::HadoopParams hadoopParamsFor(const ExperimentSpec& spec) {
   hadoop::HadoopParams p;
   p.slaveCount = spec.slaves;
+  p.topology = spec.topology;
   return p;
 }
 
@@ -321,6 +323,12 @@ ExperimentResult runReplayExperiment(const ExperimentSpec& spec,
 std::vector<int> tierGroupsFor(const ExperimentSpec& spec) {
   if (!spec.tierGroups.empty()) return spec.tierGroups;
   const int n = spec.slaves;
+  // A multi-rack topology is the natural aggregation-tier shape: one
+  // aggregator per rack keeps summary traffic off the rack uplinks.
+  // An explicit aggregator count overrides the rack mapping.
+  if (spec.topology.racks > 1 && spec.aggregators <= 0) {
+    return topology::ClusterLayout(n, spec.topology).tierGroups();
+  }
   int groups = spec.aggregators;
   if (groups <= 0) {
     // ~sqrt(n) regions keeps both the per-aggregator fan-in and the
@@ -337,7 +345,58 @@ std::vector<int> tierGroupsFor(const ExperimentSpec& spec) {
   return sizes;
 }
 
+void validateSpec(const ExperimentSpec& spec) {
+  if (spec.slaves < 1) {
+    throw ConfigError("spec: slaves must be >= 1, got " +
+                      std::to_string(spec.slaves));
+  }
+  // The layout constructor enforces the rack-shape invariants
+  // (racks >= 1, no empty rack, nodesPerRack covering every slave).
+  const topology::ClusterLayout layout(spec.slaves, spec.topology);
+  if (!spec.tierGroups.empty()) {
+    int covered = 0;
+    for (std::size_t i = 0; i < spec.tierGroups.size(); ++i) {
+      if (spec.tierGroups[i] < 1) {
+        throw ConfigError("spec: tierGroups[" + std::to_string(i) +
+                          "] must be >= 1, got " +
+                          std::to_string(spec.tierGroups[i]));
+      }
+      covered += spec.tierGroups[i];
+    }
+    if (covered != spec.slaves) {
+      throw ConfigError("spec: tierGroups cover " + std::to_string(covered) +
+                        " slaves but the cluster has " +
+                        std::to_string(spec.slaves));
+    }
+  }
+  if (spec.scenario.cls != faults::ScenarioClass::kNone) {
+    if (spec.transport != TransportMode::kSim) {
+      throw ConfigError(
+          "spec: correlated scenarios require the sim transport");
+    }
+    if (spec.fault.type != faults::FaultType::kNone) {
+      throw ConfigError(
+          "spec: a correlated scenario and a single-node fault cannot "
+          "be injected together");
+    }
+    // Resolve rack/node placement defaults the same way the injector
+    // will, then check the class constraints.
+    faults::ScenarioSpec resolved = spec.scenario;
+    if (resolved.rack < 0) {
+      resolved.rack = resolved.node != kInvalidNode
+                          ? layout.rackOf(resolved.node)
+                          : layout.racks() - 1;
+    }
+    if (resolved.node == kInvalidNode && resolved.rack >= 0 &&
+        resolved.rack < layout.racks()) {
+      resolved.node = layout.hostId(resolved.rack, 0);
+    }
+    faults::validateScenario(resolved, layout);
+  }
+}
+
 analysis::BlackBoxModel trainModel(const ExperimentSpec& spec) {
+  validateSpec(spec);
   sim::SimEngine engine;
   hadoop::Cluster cluster(hadoopParamsFor(spec), spec.seed * 7919 + 17,
                           engine);
@@ -368,6 +427,7 @@ analysis::BlackBoxModel trainModel(const ExperimentSpec& spec) {
 
 ExperimentResult runExperiment(const ExperimentSpec& spec,
                                const analysis::BlackBoxModel& model) {
+  validateSpec(spec);
   if (spec.transport == TransportMode::kLive) {
     // Tiered live runs merge aggregator summaries instead of
     // collecting from leaves; the model lives in the aggregators.
@@ -437,6 +497,13 @@ ExperimentResult runExperiment(const ExperimentSpec& spec,
   faults::FaultInjector injector(cluster, spec.fault);
   injector.arm();
 
+  std::unique_ptr<faults::ScenarioInjector> scenario;
+  if (spec.scenario.cls != faults::ScenarioClass::kNone) {
+    scenario =
+        std::make_unique<faults::ScenarioInjector>(cluster, spec.scenario);
+    scenario->arm();
+  }
+
   std::vector<std::unique_ptr<faults::MonitoringFaultInjector>> monInjectors;
   for (const faults::MonitoringFaultSpec& mf : spec.monitoringFaults) {
     monInjectors.push_back(std::make_unique<faults::MonitoringFaultInjector>(
@@ -457,6 +524,16 @@ ExperimentResult runExperiment(const ExperimentSpec& spec,
   // negatives.
   result.truth.faultEnd =
       injector.endedAt() != kNoTime ? injector.endedAt() : spec.fault.endTime;
+  if (scenario != nullptr) {
+    result.truth.culprits = scenario->culpritIndices();
+    result.truth.slaveIndex =
+        result.truth.culprits.empty() ? -1 : result.truth.culprits.front();
+    result.truth.faultStart = scenario->spec().startTime;
+    result.truth.faultEnd = scenario->endedAt() != kNoTime
+                                ? scenario->endedAt()
+                                : scenario->spec().endTime;
+    result.scenarioEvents = scenario->events();
+  }
   result.simulatedSeconds = spec.duration;
 
   // Table 3 accounting. CPU percentages are of one core, per node for

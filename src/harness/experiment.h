@@ -24,8 +24,10 @@
 #include "core/environment.h"
 #include "faults/faults.h"
 #include "faults/monitoring_faults.h"
+#include "faults/scenarios.h"
 #include "harness/pipelines.h"
 #include "rpc/rpc_client.h"
+#include "topology/topology.h"
 
 namespace asdf::harness {
 
@@ -50,6 +52,14 @@ struct ExperimentSpec {
 
   faults::FaultSpec fault;        // type kNone = fault-free run
   PipelineParams pipeline;
+
+  /// Rack fabric of the simulated cluster (DESIGN.md §16). The default
+  /// single-rack spec reproduces the flat pre-topology cluster
+  /// byte-for-byte on the same seed.
+  topology::TopologySpec topology;
+  /// Correlated-fault scenario (cls kNone = none). Sim transport only;
+  /// mutually exclusive with `fault`.
+  faults::ScenarioSpec scenario;
 
   /// When >= 0, the GridMix mix flips at this time (workload change).
   double mixChangeTime = -1.0;
@@ -95,9 +105,19 @@ struct ExperimentSpec {
   std::vector<std::string> aggEndpoints;
 };
 
-/// The group sizes a spec's topology resolves to (explicit tierGroups,
-/// else an even split across the aggregator count).
+/// The group sizes a spec's topology resolves to: explicit tierGroups
+/// win; a tiered spec on a multi-rack topology with no explicit groups
+/// and no aggregator count maps racks to aggregation groups; otherwise
+/// the slaves split evenly across the aggregator count.
 std::vector<int> tierGroupsFor(const ExperimentSpec& spec);
+
+/// Validates a spec's cross-field invariants before a run: slave
+/// count, rack layout (via ClusterLayout), explicit tier groups that
+/// must cover every slave exactly, and scenario requirements (sim
+/// transport, no simultaneous single-node fault, class constraints via
+/// validateScenario). Throws ConfigError. trainModel/runExperiment
+/// call this; examples may call it early for friendlier errors.
+void validateSpec(const ExperimentSpec& spec);
 
 struct RpcChannelReport {
   std::string name;
@@ -116,6 +136,10 @@ struct ExperimentResult {
   analysis::AlarmSeries whiteBox;
   analysis::GroundTruth truth;
   double simulatedSeconds = 0.0;
+
+  /// Deterministic scenario event log (scenario runs only): two runs
+  /// of one spec produce identical logs.
+  std::vector<faults::ScenarioEvent> scenarioEvents;
 
   // Monitoring cost (Table 3).
   double sadcRpcdCpuPct = 0.0;      // per node, % of one core

@@ -1,0 +1,156 @@
+#include "harness/scenario_matrix.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace asdf::harness {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+void fnvBytes(std::uint64_t& h, const void* data, std::size_t n) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+}
+
+void fnvDouble(std::uint64_t& h, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof bits);
+  fnvBytes(h, &bits, sizeof bits);
+}
+
+ApproachSummary aggregateOf(const ScenarioMatrix& matrix,
+                            ApproachSummary ScenarioOutcome::* member) {
+  ApproachSummary agg;
+  double latencySum = 0.0;
+  int localized = 0;
+  for (const ScenarioOutcome& row : matrix.rows) {
+    const ApproachSummary& s = row.*member;
+    agg.eval.tp += s.eval.tp;
+    agg.eval.fp += s.eval.fp;
+    agg.eval.tn += s.eval.tn;
+    agg.eval.fn += s.eval.fn;
+    if (s.latencySeconds >= 0.0) {
+      latencySum += s.latencySeconds;
+      ++localized;
+    }
+  }
+  agg.latencySeconds = localized > 0 ? latencySum / localized : -1.0;
+  return agg;
+}
+
+}  // namespace
+
+std::uint64_t fingerprintAlarms(const analysis::AlarmSeries& series) {
+  std::uint64_t h = kFnvOffset;
+  for (const analysis::AlarmRecord& record : series) {
+    fnvDouble(h, record.time);
+    for (double f : record.flags) fnvDouble(h, f);
+    for (double s : record.scores) fnvDouble(h, s);
+  }
+  return h;
+}
+
+std::uint64_t fingerprintEvents(
+    const std::vector<faults::ScenarioEvent>& events) {
+  std::uint64_t h = kFnvOffset;
+  for (const faults::ScenarioEvent& e : events) {
+    fnvDouble(h, e.time);
+    fnvBytes(h, e.what.data(), e.what.size());
+  }
+  return h;
+}
+
+ExperimentSpec specForScenario(const ExperimentSpec& base,
+                               faults::ScenarioClass cls) {
+  ExperimentSpec spec = base;
+  spec.fault = faults::FaultSpec{};
+  spec.scenario = base.scenario;
+  spec.scenario.cls = cls;
+  // Per-class scenario stream, decorrelated from the cluster streams
+  // (which hash the base seed with different multipliers).
+  spec.scenario.seed =
+      base.seed * 1000003ULL + static_cast<std::uint64_t>(cls) * 7919ULL;
+  if (spec.scenario.startTime <= 0.0) {
+    spec.scenario.startTime = 0.3 * spec.duration;
+  }
+  if (cls == faults::ScenarioClass::kRackPartition &&
+      spec.scenario.endTime == kNoTime) {
+    spec.scenario.endTime = 0.75 * spec.duration;
+  }
+  return spec;
+}
+
+ScenarioOutcome runScenarioClass(const ExperimentSpec& base,
+                                 faults::ScenarioClass cls,
+                                 const analysis::BlackBoxModel& model) {
+  const ExperimentSpec spec = specForScenario(base, cls);
+  const ExperimentResult result = runExperiment(spec, model);
+  const ExperimentSummary summary = summarize(result);
+
+  ScenarioOutcome out;
+  out.cls = cls;
+  out.name = faults::scenarioName(cls);
+  out.blackBox = summary.blackBox;
+  out.whiteBox = summary.whiteBox;
+  out.combined = summary.combined;
+  out.culprits = result.truth.culprits;
+  out.eventCount = result.scenarioEvents.size();
+  out.eventFingerprint = fingerprintEvents(result.scenarioEvents);
+  std::uint64_t h = kFnvOffset;
+  const std::uint64_t bb = fingerprintAlarms(result.blackBox);
+  const std::uint64_t wb = fingerprintAlarms(result.whiteBox);
+  fnvBytes(h, &bb, sizeof bb);
+  fnvBytes(h, &wb, sizeof wb);
+  out.alarmFingerprint = h;
+  return out;
+}
+
+void aggregateMatrix(ScenarioMatrix& matrix) {
+  matrix.blackBox = aggregateOf(matrix, &ScenarioOutcome::blackBox);
+  matrix.whiteBox = aggregateOf(matrix, &ScenarioOutcome::whiteBox);
+  matrix.combined = aggregateOf(matrix, &ScenarioOutcome::combined);
+}
+
+ScenarioMatrix runScenarioMatrix(const ExperimentSpec& base,
+                                 const analysis::BlackBoxModel& model) {
+  ScenarioMatrix matrix;
+  for (faults::ScenarioClass cls : faults::allScenarios()) {
+    matrix.rows.push_back(runScenarioClass(base, cls, model));
+  }
+  aggregateMatrix(matrix);
+  return matrix;
+}
+
+std::string formatScenarioMatrix(const ScenarioMatrix& matrix) {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof line, "%-16s %28s %28s %28s\n", "scenario",
+                "black-box acc%/fpr%/lat", "white-box acc%/fpr%/lat",
+                "combined acc%/fpr%/lat");
+  out += line;
+  auto cell = [](const ApproachSummary& s) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%6.2f /%6.2f /%7.1f",
+                  s.eval.balancedAccuracyPct(),
+                  s.eval.falsePositiveRatePct(), s.latencySeconds);
+    return std::string(buf);
+  };
+  for (const ScenarioOutcome& row : matrix.rows) {
+    std::snprintf(line, sizeof line, "%-16s %28s %28s %28s\n",
+                  row.name.c_str(), cell(row.blackBox).c_str(),
+                  cell(row.whiteBox).c_str(), cell(row.combined).c_str());
+    out += line;
+  }
+  std::snprintf(line, sizeof line, "%-16s %28s %28s %28s\n", "aggregate",
+                cell(matrix.blackBox).c_str(), cell(matrix.whiteBox).c_str(),
+                cell(matrix.combined).c_str());
+  out += line;
+  return out;
+}
+
+}  // namespace asdf::harness

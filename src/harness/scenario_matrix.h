@@ -1,0 +1,83 @@
+// Per-scenario-class accuracy reporting (DESIGN.md §16).
+//
+// The paper's Fig 7 / Table 4 numbers aggregate over single-node
+// faults. Correlated scenarios (faults/scenarios.h) break differently
+// per class — a rack partition floods the flags, a cascade tempts the
+// fingerpointer into blaming innocent rack peers — so this runner
+// scores each class separately: balanced accuracy, FP rate, and
+// localization latency per approach (black-box, white-box, combined),
+// one row per scenario class, plus the confusion-count aggregate whose
+// consistency with the rows is property-tested.
+//
+// Every row also carries two FNV-1a fingerprints — of the scenario's
+// event log and of the alarm series — used by bench_scenarios to gate
+// the determinism contract (two runs of one spec must agree on both)
+// and by the flat-identity check (a racks == 1 run must fingerprint
+// identically to the pre-topology simulator on the same seed).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/bbmodel.h"
+#include "harness/experiment.h"
+
+namespace asdf::harness {
+
+/// One scenario class's scored run.
+struct ScenarioOutcome {
+  faults::ScenarioClass cls = faults::ScenarioClass::kNone;
+  std::string name;
+  ApproachSummary blackBox;
+  ApproachSummary whiteBox;
+  ApproachSummary combined;
+  /// Ground-truth culprit slave indices (0-based, ascending).
+  std::vector<int> culprits;
+  std::size_t eventCount = 0;
+  std::uint64_t eventFingerprint = 0;
+  std::uint64_t alarmFingerprint = 0;
+};
+
+struct ScenarioMatrix {
+  std::vector<ScenarioOutcome> rows;
+  /// Confusion counts summed across rows; latency averaged over rows
+  /// that localized (negative when none did). rowsSumToAggregate()
+  /// in the tests asserts rows vs. these.
+  ApproachSummary blackBox;
+  ApproachSummary whiteBox;
+  ApproachSummary combined;
+};
+
+/// FNV-1a 64 over an alarm series' (time, flags, scores) doubles —
+/// byte-exact, so equal fingerprints mean byte-identical alarms.
+std::uint64_t fingerprintAlarms(const analysis::AlarmSeries& series);
+
+/// FNV-1a 64 over an event log's (time, what) entries.
+std::uint64_t fingerprintEvents(
+    const std::vector<faults::ScenarioEvent>& events);
+
+/// The matrix's canonical spec for one scenario class on a base spec:
+/// scenario seed derived from (base seed, class), onset at 30% of the
+/// run, a partition healing at 75% (exercising the restore path),
+/// other classes active until the end. Clears any single-node fault.
+ExperimentSpec specForScenario(const ExperimentSpec& base,
+                               faults::ScenarioClass cls);
+
+/// Runs and scores one scenario class with a pre-trained model.
+ScenarioOutcome runScenarioClass(const ExperimentSpec& base,
+                                 faults::ScenarioClass cls,
+                                 const analysis::BlackBoxModel& model);
+
+/// Fills a matrix's aggregate summaries from its rows (confusion
+/// counts summed, latency averaged over localized rows).
+void aggregateMatrix(ScenarioMatrix& matrix);
+
+/// Runs all four classes (matrix order) and fills the aggregate.
+ScenarioMatrix runScenarioMatrix(const ExperimentSpec& base,
+                                 const analysis::BlackBoxModel& model);
+
+/// Human-readable per-class table (examples / CLI).
+std::string formatScenarioMatrix(const ScenarioMatrix& matrix);
+
+}  // namespace asdf::harness

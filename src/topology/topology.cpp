@@ -1,0 +1,95 @@
+#include "topology/topology.h"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+
+#include "common/error.h"
+
+namespace asdf::topology {
+
+ClusterLayout::ClusterLayout(int slaves, const TopologySpec& spec)
+    : slaves_(slaves),
+      racks_(spec.racks),
+      nodesPerRack_(spec.nodesPerRack),
+      uplinkBytesPerSec_(spec.uplinkBytesPerSec) {
+  if (slaves_ < 1) {
+    throw ConfigError("topology: cluster needs at least one slave, got " +
+                      std::to_string(slaves_));
+  }
+  if (racks_ < 1) {
+    throw ConfigError("topology: racks must be >= 1, got " +
+                      std::to_string(racks_));
+  }
+  if (racks_ > slaves_) {
+    throw ConfigError("topology: " + std::to_string(racks_) +
+                      " racks over " + std::to_string(slaves_) +
+                      " slaves would leave a rack with zero nodes");
+  }
+  if (nodesPerRack_ < 0) {
+    throw ConfigError("topology: nodesPerRack must be >= 0, got " +
+                      std::to_string(nodesPerRack_));
+  }
+  if (nodesPerRack_ == 0) {
+    nodesPerRack_ = (slaves_ + racks_ - 1) / racks_;  // ceil
+  }
+  // Every slave must land in a rack...
+  if (static_cast<long>(nodesPerRack_) * racks_ < slaves_) {
+    throw ConfigError("topology: " + std::to_string(racks_) + " racks x " +
+                      std::to_string(nodesPerRack_) +
+                      " nodes/rack cannot hold " + std::to_string(slaves_) +
+                      " slaves");
+  }
+  // ...and the last rack must not be empty (a 0-node rack would make
+  // rack-level faults and the rack -> tier-group mapping degenerate).
+  if (slaves_ <= static_cast<long>(nodesPerRack_) * (racks_ - 1)) {
+    throw ConfigError("topology: " + std::to_string(slaves_) +
+                      " slaves in racks of " + std::to_string(nodesPerRack_) +
+                      " fill fewer than " + std::to_string(racks_) +
+                      " racks (the last rack would be empty)");
+  }
+  if (!(uplinkBytesPerSec_ > 0.0)) {
+    throw ConfigError("topology: uplinkBytesPerSec must be positive");
+  }
+}
+
+int ClusterLayout::rackOf(NodeId node) const {
+  if (node < 1 || node > slaves_) return -1;
+  return static_cast<int>((node - 1) / nodesPerRack_);
+}
+
+int ClusterLayout::rackSize(int rack) const {
+  assert(rack >= 0 && rack < racks_);
+  const long first = static_cast<long>(rack) * nodesPerRack_;
+  const long end = std::min<long>(first + nodesPerRack_, slaves_);
+  return static_cast<int>(end - first);
+}
+
+NodeId ClusterLayout::hostId(int rack, int idx) const {
+  assert(rack >= 0 && rack < racks_);
+  assert(idx >= 0 && idx < rackSize(rack));
+  return static_cast<NodeId>(rack * nodesPerRack_ + idx + 1);
+}
+
+std::vector<NodeId> ClusterLayout::rackNodes(int rack) const {
+  std::vector<NodeId> out;
+  const int size = rackSize(rack);
+  out.reserve(static_cast<std::size_t>(size));
+  for (int i = 0; i < size; ++i) out.push_back(hostId(rack, i));
+  return out;
+}
+
+bool ClusterLayout::crossRack(NodeId a, NodeId b) const {
+  const int ra = rackOf(a);
+  const int rb = rackOf(b);
+  return ra >= 0 && rb >= 0 && ra != rb;
+}
+
+std::vector<int> ClusterLayout::tierGroups() const {
+  std::vector<int> sizes;
+  sizes.reserve(static_cast<std::size_t>(racks_));
+  for (int r = 0; r < racks_; ++r) sizes.push_back(rackSize(r));
+  return sizes;
+}
+
+}  // namespace asdf::topology

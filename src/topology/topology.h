@@ -1,0 +1,89 @@
+// Rack-aware cluster topology (DESIGN.md §16).
+//
+// The paper's testbed — and every PR before this one — modeled the
+// cluster as a single flat switch: any node could reach any other at
+// full NIC rate. Real Hadoop clusters hang nodes off top-of-rack
+// switches whose uplinks are oversubscribed, so cross-rack shuffle
+// flows contend for shared uplink bandwidth. This module provides the
+// static layout (rack count, nodes per rack, rack-id/host-id mapping,
+// borrowed from replicant-opera's storage-sim); uplink.h provides the
+// per-tick bandwidth plane.
+//
+// Layout contract: slaves 1..N are assigned to racks in contiguous
+// ascending blocks of `nodesPerRack` ids; the last rack may be ragged
+// (smaller) but never empty. rackOf(node) = (node - 1) / nodesPerRack.
+// The master (node 0) lives outside the rack fabric (rack -1): its
+// traffic is control-plane chatter, not data-plane shuffle.
+//
+// A flat topology (racks == 1) must be indistinguishable from the
+// pre-topology simulator: no uplink resources exist, no demands are
+// registered, and runs are byte-identical to the same seed's pre-rack
+// alarms. That invariant is CI-gated (bench_scenarios
+// `flat_identical`).
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace asdf::topology {
+
+/// Shape of the rack fabric, carried in HadoopParams/ExperimentSpec.
+struct TopologySpec {
+  /// Number of racks. 1 = flat (no uplink modeling at all).
+  int racks = 1;
+  /// Slaves per rack; 0 derives ceil(slaves / racks). When explicit,
+  /// the value must cover all slaves without leaving any rack empty.
+  int nodesPerRack = 0;
+  /// Shared ToR uplink bandwidth per direction, bytes/second. The
+  /// default is a 10 Gbps uplink; scenario specs typically drop it to
+  /// model oversubscription.
+  double uplinkBytesPerSec = 1.25e9;
+};
+
+/// Validated, immutable rack layout for a cluster of `slaves` nodes.
+/// Construction throws ConfigError on impossible shapes (racks < 1,
+/// more racks than slaves, an explicit nodesPerRack that strands nodes
+/// or leaves the last rack empty).
+class ClusterLayout {
+ public:
+  ClusterLayout(int slaves, const TopologySpec& spec);
+
+  int slaves() const { return slaves_; }
+  int racks() const { return racks_; }
+  int nodesPerRack() const { return nodesPerRack_; }
+  double uplinkBytesPerSec() const { return uplinkBytesPerSec_; }
+
+  /// True when the layout is a single flat switch (no uplinks).
+  bool flat() const { return racks_ == 1; }
+
+  /// Rack of a node id: -1 for the master (node 0) or any id outside
+  /// [1, slaves]; otherwise (node - 1) / nodesPerRack.
+  int rackOf(NodeId node) const;
+
+  /// Number of slaves in `rack` (the last rack may be ragged).
+  int rackSize(int rack) const;
+
+  /// Node id of the idx-th slave of `rack` (idx in [0, rackSize)).
+  NodeId hostId(int rack, int idx) const;
+
+  /// All node ids in `rack`, ascending.
+  std::vector<NodeId> rackNodes(int rack) const;
+
+  /// True when the two ids live in different racks (master and
+  /// out-of-range ids are never cross-rack: they are off-fabric).
+  bool crossRack(NodeId a, NodeId b) const;
+
+  /// Rack sizes in rack order — the natural rack -> aggregation-tier
+  /// group mapping (tierGroupsFor uses this when a tiered spec names
+  /// no explicit groups on a multi-rack topology).
+  std::vector<int> tierGroups() const;
+
+ private:
+  int slaves_;
+  int racks_;
+  int nodesPerRack_;
+  double uplinkBytesPerSec_;
+};
+
+}  // namespace asdf::topology

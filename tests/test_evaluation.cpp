@@ -196,5 +196,62 @@ TEST(EvalResult, DegenerateCountsAreSafe) {
   EXPECT_DOUBLE_EQ(r.falsePositiveRatePct(), 0.0);
 }
 
+// Correlated scenarios name several culprits at once; an empty
+// `culprits` vector keeps the legacy single-culprit semantics exactly.
+TEST(GroundTruth, MultiCulpritMembershipAndActivation) {
+  GroundTruth truth;
+  truth.culprits = {1, 3};
+  truth.faultStart = 100.0;
+  EXPECT_TRUE(truth.anyCulprit());
+  EXPECT_TRUE(truth.isCulprit(1));
+  EXPECT_TRUE(truth.isCulprit(3));
+  EXPECT_FALSE(truth.isCulprit(2));
+  EXPECT_FALSE(truth.isCulprit(-1));
+  // activeAt works without a slaveIndex when culprits are named.
+  EXPECT_EQ(truth.slaveIndex, -1);
+  EXPECT_TRUE(truth.activeAt(150.0));
+  EXPECT_FALSE(truth.activeAt(50.0));
+}
+
+TEST(GroundTruth, EmptyCulpritsFallBackToSlaveIndex) {
+  GroundTruth truth;
+  truth.slaveIndex = 2;
+  EXPECT_TRUE(truth.isCulprit(2));
+  EXPECT_FALSE(truth.isCulprit(0));
+  truth.slaveIndex = -1;
+  EXPECT_FALSE(truth.isCulprit(-1));  // fault-free: nobody is a culprit
+}
+
+TEST(Evaluate, MultiCulpritCountsEachCulpritNode) {
+  // Two culprits {0, 2} of three nodes, one active window: flagging
+  // exactly the culprits is 2 TP + 1 TN.
+  GroundTruth truth;
+  truth.culprits = {0, 2};
+  truth.faultStart = 0.0;
+  const AlarmSeries series = {record(10.0, {1, 0, 1})};
+  const EvalResult r = evaluate(series, truth);
+  EXPECT_EQ(r.tp, 2);
+  EXPECT_EQ(r.tn, 1);
+  EXPECT_EQ(r.fp, 0);
+  EXPECT_EQ(r.fn, 0);
+  // Flagging only an innocent node is 2 FN + 1 FP.
+  const EvalResult miss = evaluate({record(10.0, {0, 1, 0})}, truth);
+  EXPECT_EQ(miss.fn, 2);
+  EXPECT_EQ(miss.fp, 1);
+  EXPECT_EQ(miss.tp, 0);
+  EXPECT_EQ(miss.tn, 0);
+}
+
+TEST(Latency, AnyCulpritFlagCountsForMultiCulpritTruth) {
+  GroundTruth truth;
+  truth.culprits = {1, 2};
+  truth.faultStart = 100.0;
+  // Window at 130 flags only culprit 2 — that is a localization.
+  const AlarmSeries series = {record(90.0, {0, 1, 0}),
+                              record(130.0, {0, 0, 1}),
+                              record(160.0, {0, 1, 0})};
+  EXPECT_DOUBLE_EQ(fingerpointingLatency(series, truth), 30.0);
+}
+
 }  // namespace
 }  // namespace asdf::analysis

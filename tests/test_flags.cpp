@@ -126,6 +126,57 @@ TEST(ParseShards, RejectsZeroNegativeNonNumericAndOverCap) {
   }
 }
 
+// parseBoundedInt is the generic strict parser parseShards is built on
+// and the topology flags (--racks / --nodes-per-rack / --uplink-gbps)
+// use directly: absent falls back, present must be a clean in-range
+// integer.
+TEST(ParseBoundedInt, AbsentFlagFallsBack) {
+  std::vector<std::string> storage;
+  std::vector<char*> ptrs;
+  char** argv = argvOf(storage, ptrs, {"prog", "--other=9"});
+  long out = -1;
+  EXPECT_TRUE(parseBoundedInt(2, argv, "racks", 1, 1024, 3, out));
+  EXPECT_EQ(out, 3);
+}
+
+TEST(ParseBoundedInt, AcceptsBoundaryValues) {
+  std::vector<std::string> storage;
+  std::vector<char*> ptrs;
+  long out = 0;
+  char** argv = argvOf(storage, ptrs, {"prog", "--racks=1"});
+  EXPECT_TRUE(parseBoundedInt(2, argv, "racks", 1, 1024, 3, out));
+  EXPECT_EQ(out, 1);
+  argv = argvOf(storage, ptrs, {"prog", "--racks=1024"});
+  EXPECT_TRUE(parseBoundedInt(2, argv, "racks", 1, 1024, 3, out));
+  EXPECT_EQ(out, 1024);
+  // Zero is fine when the range admits it (--nodes-per-rack=0 derives).
+  argv = argvOf(storage, ptrs, {"prog", "--nodes-per-rack=0"});
+  EXPECT_TRUE(parseBoundedInt(2, argv, "nodes-per-rack", 0, 1024, 0, out));
+  EXPECT_EQ(out, 0);
+}
+
+TEST(ParseBoundedInt, RejectsMalformedAndOutOfRangeValues) {
+  std::vector<std::string> storage;
+  std::vector<char*> ptrs;
+  for (const char* bad :
+       {"--racks", "--racks=", "--racks=0", "--racks=-3", "--racks=two",
+        "--racks=4x", "--racks=1025", "--racks=1e2"}) {
+    long out = -1;
+    char** argv = argvOf(storage, ptrs, {"prog", bad});
+    EXPECT_FALSE(parseBoundedInt(2, argv, "racks", 1, 1024, 3, out)) << bad;
+  }
+}
+
+TEST(ParseBoundedInt, LastOccurrenceWins) {
+  std::vector<std::string> storage;
+  std::vector<char*> ptrs;
+  char** argv =
+      argvOf(storage, ptrs, {"prog", "--racks=2", "--racks=5"});
+  long out = 0;
+  EXPECT_TRUE(parseBoundedInt(3, argv, "racks", 1, 1024, 3, out));
+  EXPECT_EQ(out, 5);
+}
+
 TEST(CheckFlags, AcceptsEmptyCommandLine) {
   std::vector<std::string> storage;
   std::vector<char*> ptrs;

@@ -1,0 +1,314 @@
+// Correlated-fault scenarios on rack topologies (DESIGN.md §16):
+// seed-determinism of the event logs and alarms, flat byte-identity,
+// per-class ground truth, spec validation, and the rows-sum-to-
+// aggregate property of the scenario matrix.
+#include "faults/scenarios.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "harness/scenario_matrix.h"
+#include "modules/modules.h"
+#include "sim/engine.h"
+
+namespace asdf::harness {
+namespace {
+
+class ScenarioTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    modules::registerBuiltinModules();
+    model_ = new analysis::BlackBoxModel(trainModel(baseSpec()));
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    model_ = nullptr;
+  }
+
+  /// Scaled-down 3-rack cluster; the training run is topology-blind
+  /// (fault-free, and flat runs are byte-identical anyway).
+  static ExperimentSpec baseSpec() {
+    ExperimentSpec spec;
+    spec.slaves = 9;
+    spec.duration = 600.0;
+    spec.trainDuration = 300.0;
+    spec.trainWarmup = 90.0;
+    spec.seed = 4242;
+    spec.topology.racks = 3;
+    return spec;
+  }
+
+  static analysis::BlackBoxModel* model_;
+};
+
+analysis::BlackBoxModel* ScenarioTest::model_ = nullptr;
+
+TEST_F(ScenarioTest, ScenarioNamesRoundTripAndShortFormsParse) {
+  for (faults::ScenarioClass cls : faults::allScenarios()) {
+    EXPECT_EQ(faults::scenarioFromName(faults::scenarioName(cls)), cls);
+  }
+  EXPECT_EQ(faults::scenarioFromName("partition"),
+            faults::ScenarioClass::kRackPartition);
+  EXPECT_EQ(faults::scenarioFromName("cascade"),
+            faults::ScenarioClass::kCascadeHotspot);
+  EXPECT_EQ(faults::scenarioFromName("noisy-neighbor"),
+            faults::ScenarioClass::kNoisyNeighbor);
+  EXPECT_EQ(faults::scenarioFromName("gray"),
+            faults::ScenarioClass::kGrayFailure);
+  EXPECT_EQ(faults::scenarioFromName(""), faults::ScenarioClass::kNone);
+  EXPECT_THROW(faults::scenarioFromName("meteor"), ConfigError);
+}
+
+TEST_F(ScenarioTest, ValidateSpecRejectsBadCombinations) {
+  // Scenario on a live transport.
+  ExperimentSpec spec = baseSpec();
+  spec.scenario.cls = faults::ScenarioClass::kGrayFailure;
+  spec.transport = TransportMode::kLive;
+  EXPECT_THROW(validateSpec(spec), ConfigError);
+
+  // Scenario plus single-node fault.
+  spec = baseSpec();
+  spec.scenario.cls = faults::ScenarioClass::kGrayFailure;
+  spec.fault.type = faults::FaultType::kCpuHog;
+  spec.fault.node = 2;
+  EXPECT_THROW(validateSpec(spec), ConfigError);
+
+  // Uplink-contending scenarios need a multi-rack layout.
+  spec = baseSpec();
+  spec.topology.racks = 1;
+  spec.scenario.cls = faults::ScenarioClass::kRackPartition;
+  EXPECT_THROW(validateSpec(spec), ConfigError);
+  spec.scenario.cls = faults::ScenarioClass::kGrayFailure;
+  EXPECT_NO_THROW(validateSpec(spec));  // gray runs anywhere
+
+  // A node outside the target rack.
+  spec = baseSpec();
+  spec.scenario.cls = faults::ScenarioClass::kCascadeHotspot;
+  spec.scenario.rack = 0;
+  spec.scenario.node = 9;  // rack 2
+  EXPECT_THROW(validateSpec(spec), ConfigError);
+
+  // The rack-shape invariants surface through validateSpec too.
+  spec = baseSpec();
+  spec.topology.racks = 12;  // > 9 slaves
+  EXPECT_THROW(validateSpec(spec), ConfigError);
+}
+
+TEST_F(ScenarioTest, ValidateSpecChecksTierGroupCoverage) {
+  ExperimentSpec spec = baseSpec();
+  spec.tiered = true;
+  spec.tierGroups = {4, 5};
+  EXPECT_NO_THROW(validateSpec(spec));
+  spec.tierGroups = {4, 4};  // covers 8 of 9
+  EXPECT_THROW(validateSpec(spec), ConfigError);
+  spec.tierGroups = {10, 2};  // overshoots
+  EXPECT_THROW(validateSpec(spec), ConfigError);
+  spec.tierGroups = {9, 0};  // empty group
+  EXPECT_THROW(validateSpec(spec), ConfigError);
+}
+
+TEST_F(ScenarioTest, TierGroupsFollowRacksUnlessOverridden) {
+  // Multi-rack, no explicit groups, no aggregator count: one group
+  // per rack, ragged last rack included (8 slaves over 3 racks).
+  ExperimentSpec spec = baseSpec();
+  spec.slaves = 8;
+  spec.tiered = true;
+  EXPECT_EQ(tierGroupsFor(spec), (std::vector<int>{3, 3, 2}));
+  // An explicit aggregator count overrides the rack mapping.
+  spec.aggregators = 2;
+  EXPECT_EQ(tierGroupsFor(spec), (std::vector<int>{4, 4}));
+  // Explicit groups win over everything.
+  spec.tierGroups = {6, 2};
+  EXPECT_EQ(tierGroupsFor(spec), (std::vector<int>{6, 2}));
+  // Flat topology keeps the ~sqrt(n) split.
+  spec = baseSpec();
+  spec.slaves = 9;
+  spec.topology.racks = 1;
+  EXPECT_EQ(tierGroupsFor(spec), (std::vector<int>{3, 3, 3}));
+}
+
+TEST_F(ScenarioTest, CulpritsMatchScenarioSemantics) {
+  sim::SimEngine engine;
+  hadoop::HadoopParams params;
+  params.slaveCount = 8;
+  params.topology.racks = 3;  // racks {1,2,3} {4,5,6} {7,8}
+  hadoop::Cluster cluster(params, 7, engine);
+
+  faults::ScenarioSpec spec;
+  spec.cls = faults::ScenarioClass::kRackPartition;
+  faults::ScenarioInjector partition(cluster, spec);
+  // Default rack: the last (ragged) one.
+  EXPECT_EQ(partition.spec().rack, 2);
+  EXPECT_EQ(partition.culpritIndices(), (std::vector<int>{6, 7}));
+
+  spec.cls = faults::ScenarioClass::kCascadeHotspot;
+  spec.rack = 1;
+  faults::ScenarioInjector cascade(cluster, spec);
+  EXPECT_EQ(cascade.spec().node, 4);  // rack 1's first node
+  EXPECT_EQ(cascade.culpritIndices(), (std::vector<int>{3}));
+
+  spec = faults::ScenarioSpec{};
+  spec.cls = faults::ScenarioClass::kNoisyNeighbor;
+  spec.rack = 0;
+  spec.node = 2;
+  spec.noisyTenants = 2;
+  faults::ScenarioInjector noisy(cluster, spec);
+  // Tenants rotate through the rack starting at the named node.
+  EXPECT_EQ(noisy.culpritIndices(), (std::vector<int>{1, 2}));
+
+  spec = faults::ScenarioSpec{};
+  spec.cls = faults::ScenarioClass::kGrayFailure;
+  spec.node = 5;
+  faults::ScenarioInjector gray(cluster, spec);
+  EXPECT_EQ(gray.spec().rack, 1);  // inferred from the node
+  EXPECT_EQ(gray.culpritIndices(), (std::vector<int>{4}));
+}
+
+TEST_F(ScenarioTest, PartitionScalesAndHealsTheUplinkExactly) {
+  sim::SimEngine engine;
+  hadoop::HadoopParams params;
+  params.slaveCount = 6;
+  params.topology.racks = 2;
+  hadoop::Cluster cluster(params, 7, engine);
+  ASSERT_NE(cluster.uplinks(), nullptr);
+  const double base = cluster.uplinks()->capacity(1);
+
+  faults::ScenarioSpec spec;
+  spec.cls = faults::ScenarioClass::kRackPartition;
+  spec.startTime = 10.0;
+  spec.endTime = 20.0;
+  spec.partitionResidualFactor = 0.02;
+  faults::ScenarioInjector injector(cluster, spec);
+  injector.arm();
+
+  engine.runUntil(15.0);
+  EXPECT_TRUE(injector.active());
+  EXPECT_DOUBLE_EQ(cluster.uplinks()->capacity(1), 0.02 * base);
+  engine.runUntil(25.0);
+  EXPECT_FALSE(injector.active());
+  EXPECT_DOUBLE_EQ(cluster.uplinks()->capacity(1), base);
+  EXPECT_DOUBLE_EQ(injector.endedAt(), 20.0);
+  ASSERT_EQ(injector.events().size(), 2u);
+  EXPECT_EQ(injector.events()[0].time, 10.0);
+  EXPECT_EQ(injector.events()[1].time, 20.0);
+}
+
+TEST_F(ScenarioTest, GrayFailureRestoresDiskCapacityExactly) {
+  sim::SimEngine engine;
+  hadoop::HadoopParams params;
+  params.slaveCount = 4;
+  params.topology.racks = 2;
+  hadoop::Cluster cluster(params, 7, engine);
+  const double base = cluster.node(3).disk().capacity();
+
+  faults::ScenarioSpec spec;
+  spec.cls = faults::ScenarioClass::kGrayFailure;
+  spec.node = 3;
+  spec.startTime = 5.0;
+  spec.endTime = 15.0;
+  faults::ScenarioInjector injector(cluster, spec);
+  injector.arm();
+
+  engine.runUntil(10.0);
+  EXPECT_DOUBLE_EQ(cluster.node(3).disk().capacity(),
+                   base * spec.grayDiskFactor);
+  engine.runUntil(20.0);
+  EXPECT_DOUBLE_EQ(cluster.node(3).disk().capacity(), base);
+}
+
+TEST_F(ScenarioTest, ScenarioRunsAreSeedDeterministic) {
+  // The determinism contract: one spec, two full runs, byte-identical
+  // event logs and alarms. Noisy-neighbor consumes the scenario rng
+  // hardest (one draw per tenant per tick), so it is the sharpest
+  // probe.
+  const ExperimentSpec spec =
+      specForScenario(baseSpec(), faults::ScenarioClass::kNoisyNeighbor);
+  const ExperimentResult a = runExperiment(spec, *model_);
+  const ExperimentResult b = runExperiment(spec, *model_);
+  ASSERT_EQ(a.scenarioEvents.size(), b.scenarioEvents.size());
+  for (std::size_t i = 0; i < a.scenarioEvents.size(); ++i) {
+    EXPECT_EQ(a.scenarioEvents[i].time, b.scenarioEvents[i].time);
+    EXPECT_EQ(a.scenarioEvents[i].what, b.scenarioEvents[i].what);
+  }
+  EXPECT_EQ(fingerprintAlarms(a.blackBox), fingerprintAlarms(b.blackBox));
+  EXPECT_EQ(fingerprintAlarms(a.whiteBox), fingerprintAlarms(b.whiteBox));
+  EXPECT_EQ(a.truth.culprits, b.truth.culprits);
+}
+
+TEST_F(ScenarioTest, FlatRunIsByteIdenticalRegardlessOfUplinkSpec) {
+  // racks == 1 constructs no uplink plane at all, so the uplink
+  // bandwidth value must be inert: two flat runs with wildly different
+  // uplink specs produce byte-identical alarms.
+  ExperimentSpec flat = baseSpec();
+  flat.topology.racks = 1;
+  ExperimentSpec tiny = flat;
+  tiny.topology.uplinkBytesPerSec = 1.0;
+  const ExperimentResult a = runExperiment(flat, *model_);
+  const ExperimentResult b = runExperiment(tiny, *model_);
+  ASSERT_GT(a.blackBox.size(), 0u);
+  EXPECT_EQ(fingerprintAlarms(a.blackBox), fingerprintAlarms(b.blackBox));
+  EXPECT_EQ(fingerprintAlarms(a.whiteBox), fingerprintAlarms(b.whiteBox));
+}
+
+TEST_F(ScenarioTest, MatrixRowsSumToAggregate) {
+  const ScenarioMatrix matrix = runScenarioMatrix(baseSpec(), *model_);
+  ASSERT_EQ(matrix.rows.size(), faults::allScenarios().size());
+  auto check = [&](ApproachSummary ScenarioOutcome::* member,
+                   const ApproachSummary& agg) {
+    long tp = 0, fp = 0, tn = 0, fn = 0;
+    double latencySum = 0.0;
+    int localized = 0;
+    for (const ScenarioOutcome& row : matrix.rows) {
+      const ApproachSummary& s = row.*member;
+      tp += s.eval.tp;
+      fp += s.eval.fp;
+      tn += s.eval.tn;
+      fn += s.eval.fn;
+      if (s.latencySeconds >= 0.0) {
+        latencySum += s.latencySeconds;
+        ++localized;
+      }
+    }
+    EXPECT_EQ(agg.eval.tp, tp);
+    EXPECT_EQ(agg.eval.fp, fp);
+    EXPECT_EQ(agg.eval.tn, tn);
+    EXPECT_EQ(agg.eval.fn, fn);
+    if (localized > 0) {
+      EXPECT_DOUBLE_EQ(agg.latencySeconds, latencySum / localized);
+    } else {
+      EXPECT_LT(agg.latencySeconds, 0.0);
+    }
+    // Every (window, node) decision lands in exactly one confusion
+    // cell, so the counts partition the decision space.
+    EXPECT_GT(tp + fp + tn + fn, 0);
+  };
+  check(&ScenarioOutcome::blackBox, matrix.blackBox);
+  check(&ScenarioOutcome::whiteBox, matrix.whiteBox);
+  check(&ScenarioOutcome::combined, matrix.combined);
+
+  for (const ScenarioOutcome& row : matrix.rows) {
+    EXPECT_FALSE(row.culprits.empty()) << row.name;
+    EXPECT_GT(row.eventCount, 0u) << row.name;
+    // Each class must be localized by at least one approach.
+    EXPECT_TRUE(row.blackBox.latencySeconds >= 0.0 ||
+                row.whiteBox.latencySeconds >= 0.0 ||
+                row.combined.latencySeconds >= 0.0)
+        << row.name;
+  }
+}
+
+TEST_F(ScenarioTest, MultiCulpritGroundTruthFlowsThroughTheHarness) {
+  const ExperimentSpec spec =
+      specForScenario(baseSpec(), faults::ScenarioClass::kRackPartition);
+  const ExperimentResult result = runExperiment(spec, *model_);
+  // Rack 2 of a 9-slave 3-rack cluster: slaves 7..9 -> indices 6..8.
+  EXPECT_EQ(result.truth.culprits, (std::vector<int>{6, 7, 8}));
+  EXPECT_EQ(result.truth.slaveIndex, 6);
+  EXPECT_TRUE(result.truth.isCulprit(7));
+  EXPECT_FALSE(result.truth.isCulprit(5));
+  EXPECT_DOUBLE_EQ(result.truth.faultStart, 0.3 * spec.duration);
+  EXPECT_DOUBLE_EQ(result.truth.faultEnd, 0.75 * spec.duration);
+}
+
+}  // namespace
+}  // namespace asdf::harness

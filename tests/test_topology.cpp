@@ -1,0 +1,169 @@
+// Rack layout mapping and the shared-uplink bandwidth plane
+// (DESIGN.md §16): rack-id/host-id edge cases (single rack, ragged
+// last rack, impossible shapes), proportional uplink sharing, and the
+// partition scale/restore contract.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+#include "topology/topology.h"
+#include "topology/uplink.h"
+
+namespace asdf::topology {
+namespace {
+
+TopologySpec spec(int racks, int nodesPerRack = 0) {
+  TopologySpec s;
+  s.racks = racks;
+  s.nodesPerRack = nodesPerRack;
+  return s;
+}
+
+TEST(Topology, SingleRackIsFlatAndHoldsEveryNode) {
+  const ClusterLayout layout(5, spec(1));
+  EXPECT_TRUE(layout.flat());
+  EXPECT_EQ(layout.racks(), 1);
+  EXPECT_EQ(layout.nodesPerRack(), 5);
+  EXPECT_EQ(layout.rackSize(0), 5);
+  for (NodeId id = 1; id <= 5; ++id) EXPECT_EQ(layout.rackOf(id), 0);
+  EXPECT_FALSE(layout.crossRack(1, 5));
+}
+
+TEST(Topology, MasterAndOutOfRangeIdsAreOffFabric) {
+  const ClusterLayout layout(6, spec(2));
+  EXPECT_EQ(layout.rackOf(0), -1);   // master
+  EXPECT_EQ(layout.rackOf(-3), -1);
+  EXPECT_EQ(layout.rackOf(7), -1);
+  EXPECT_FALSE(layout.crossRack(0, 6));  // master never cross-rack
+  EXPECT_FALSE(layout.crossRack(7, 1));
+}
+
+TEST(Topology, ContiguousBlocksAndHostIdRoundTrip) {
+  const ClusterLayout layout(9, spec(3));
+  EXPECT_EQ(layout.nodesPerRack(), 3);
+  for (int rack = 0; rack < 3; ++rack) {
+    for (int idx = 0; idx < layout.rackSize(rack); ++idx) {
+      const NodeId id = layout.hostId(rack, idx);
+      EXPECT_EQ(layout.rackOf(id), rack);
+    }
+  }
+  EXPECT_EQ(layout.rackOf(1), 0);
+  EXPECT_EQ(layout.rackOf(3), 0);
+  EXPECT_EQ(layout.rackOf(4), 1);
+  EXPECT_EQ(layout.rackOf(9), 2);
+  EXPECT_TRUE(layout.crossRack(3, 4));
+  EXPECT_FALSE(layout.crossRack(4, 6));
+}
+
+TEST(Topology, RaggedLastRackKeepsEveryNodeAndShrinks) {
+  // 8 slaves over 3 racks -> ceil(8/3) = 3 per rack, last rack has 2.
+  const ClusterLayout layout(8, spec(3));
+  EXPECT_EQ(layout.nodesPerRack(), 3);
+  EXPECT_EQ(layout.rackSize(0), 3);
+  EXPECT_EQ(layout.rackSize(1), 3);
+  EXPECT_EQ(layout.rackSize(2), 2);
+  EXPECT_EQ(layout.rackNodes(2), (std::vector<NodeId>{7, 8}));
+  EXPECT_EQ(layout.rackOf(8), 2);
+  // tierGroups mirrors the ragged sizes and covers all slaves.
+  int covered = 0;
+  for (int g : layout.tierGroups()) covered += g;
+  EXPECT_EQ(covered, 8);
+}
+
+TEST(Topology, RejectsImpossibleShapes) {
+  EXPECT_THROW(ClusterLayout(0, spec(1)), ConfigError);     // no nodes
+  EXPECT_THROW(ClusterLayout(4, spec(0)), ConfigError);     // racks < 1
+  EXPECT_THROW(ClusterLayout(4, spec(-2)), ConfigError);
+  EXPECT_THROW(ClusterLayout(3, spec(4)), ConfigError);     // empty rack
+  EXPECT_THROW(ClusterLayout(9, spec(3, 2)), ConfigError);  // strands 3
+  // Explicit nodesPerRack leaving the last rack empty: 4 slaves fit in
+  // 2 racks of 4 with rack 1 empty.
+  EXPECT_THROW(ClusterLayout(4, spec(2, 4)), ConfigError);
+  TopologySpec bad = spec(2);
+  bad.uplinkBytesPerSec = 0.0;
+  EXPECT_THROW(ClusterLayout(4, bad), ConfigError);
+}
+
+TEST(UplinkPlane, InertFlowsGrantInfinity) {
+  const ClusterLayout layout(6, spec(2));
+  UplinkPlane plane(layout, 1.0e9);
+  plane.beginTick();
+  const UplinkFlow sameRack = plane.request(0, 0, 5.0e8);
+  const UplinkFlow offFabric = plane.request(-1, 1, 5.0e8);
+  const UplinkFlow defaulted;
+  plane.finalize();
+  EXPECT_TRUE(sameRack.inert());
+  EXPECT_TRUE(offFabric.inert());
+  EXPECT_TRUE(defaulted.inert());
+  EXPECT_TRUE(std::isinf(plane.granted(sameRack)));
+  EXPECT_TRUE(std::isinf(plane.granted(defaulted)));
+}
+
+TEST(UplinkPlane, UncontendedFlowGetsItsDemand) {
+  const ClusterLayout layout(6, spec(2));
+  UplinkPlane plane(layout, 1.0e9);
+  plane.beginTick();
+  const UplinkFlow flow = plane.request(0, 1, 4.0e8);
+  plane.finalize();
+  EXPECT_DOUBLE_EQ(plane.granted(flow), 4.0e8);
+}
+
+TEST(UplinkPlane, OversubscribedUplinkSharesProportionally) {
+  const ClusterLayout layout(6, spec(2));
+  UplinkPlane plane(layout, 1.0e9);
+  plane.beginTick();
+  // Two equal flows demand 2 GB/s total through rack 0's 1 GB/s tx.
+  const UplinkFlow a = plane.request(0, 1, 1.0e9);
+  const UplinkFlow b = plane.request(0, 1, 1.0e9);
+  plane.finalize();
+  EXPECT_DOUBLE_EQ(plane.granted(a), 5.0e8);
+  EXPECT_DOUBLE_EQ(plane.granted(b), 5.0e8);
+  EXPECT_DOUBLE_EQ(plane.txGranted(0), 1.0e9);
+}
+
+TEST(UplinkPlane, FlowIsCappedByBothEnds) {
+  const ClusterLayout layout(9, spec(3));
+  UplinkPlane plane(layout, 1.0e9);
+  plane.beginTick();
+  // Saturate rack 1's rx with a competing flow; the 0 -> 1 flow is
+  // then rx-limited even though rack 0's tx is idle.
+  const UplinkFlow competitor = plane.request(2, 1, 3.0e9);
+  const UplinkFlow flow = plane.request(0, 1, 1.0e9);
+  plane.finalize();
+  EXPECT_NEAR(plane.granted(competitor), 0.75e9, 1.0);
+  EXPECT_NEAR(plane.granted(flow), 0.25e9, 1.0);
+}
+
+TEST(UplinkPlane, ScaleRackThrottlesAndRestoresExactly) {
+  const ClusterLayout layout(6, spec(2));
+  UplinkPlane plane(layout, 1.0e9);
+  plane.scaleRack(0, 0.02);
+  EXPECT_DOUBLE_EQ(plane.capacity(0), 2.0e7);
+  EXPECT_DOUBLE_EQ(plane.capacity(1), 1.0e9);
+  plane.beginTick();
+  const UplinkFlow flow = plane.request(0, 1, 1.0e9);
+  plane.finalize();
+  EXPECT_DOUBLE_EQ(plane.granted(flow), 2.0e7);
+  // Scaling is against base capacity: repeated calls do not compound,
+  // and restore heals to bit-identical bandwidth.
+  plane.scaleRack(0, 0.02);
+  EXPECT_DOUBLE_EQ(plane.capacity(0), 2.0e7);
+  plane.restoreRack(0);
+  EXPECT_DOUBLE_EQ(plane.capacity(0), 1.0e9);
+}
+
+TEST(UplinkPlane, ScaleClampsToPositiveCapacity) {
+  // ShareResource requires positive capacity; a total partition leaves
+  // the 1 B/s keepalive trickle.
+  const ClusterLayout layout(6, spec(2));
+  UplinkPlane plane(layout, 1.0e9);
+  plane.scaleRack(1, 0.0);
+  EXPECT_DOUBLE_EQ(plane.capacity(1), 1.0);
+  plane.restoreRack(1);
+  EXPECT_DOUBLE_EQ(plane.capacity(1), 1.0e9);
+}
+
+}  // namespace
+}  // namespace asdf::topology
